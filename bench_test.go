@@ -1,0 +1,476 @@
+package repro
+
+// One benchmark per experiment of DESIGN.md §4. Each reports the simulated
+// mesh time as the "mesh-steps" metric — the quantity the paper's theorems
+// bound — alongside the usual wall-clock ns/op of the simulator itself.
+// The full sweeps (several sizes per experiment) live in cmd/meshbench;
+// these benchmarks pin one representative size each.
+
+import (
+	"math/rand"
+	"testing"
+
+	"math"
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/hypercube"
+	"repro/internal/interval"
+	"repro/internal/mesh"
+
+	"repro/internal/pointloc"
+	"repro/internal/polygon"
+	"repro/internal/polyhedron"
+	"repro/internal/workload"
+)
+
+const benchSide = 64 // 4096 processors
+
+func reportSteps(b *testing.B, steps int64) {
+	b.ReportMetric(float64(steps), "mesh-steps")
+}
+
+func benchTree(side int) (*graph.Tree, graph.Splitting) {
+	h := 0
+	for (1<<(h+2))-1 <= side*side {
+		h++
+	}
+	tr := graph.NewBalancedTree(2, h, true)
+	s := graph.InstallTreeSplitter(tr, (h+1)/2, graph.Primary)
+	return tr, s
+}
+
+func BenchmarkE1ConstrainedMultisearch(b *testing.B) {
+	tr, s := benchTree(benchSide)
+	rng := rand.New(rand.NewSource(1))
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.KeySearchQueries(m.N(), int64(tr.SubtreeSize(0)), tr.Root(), 2, rng)
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		in.Prime(m.Root())
+		in.GlobalStep(m.Root())
+		m.ResetSteps()
+		core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE2HierarchicalDAG(b *testing.B) {
+	d := graph.CompleteTreeHDag(2, 11)
+	plan, err := core.PlanHDag(d, benchSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.KeySearchQueries(m.N(), 1<<11, d.Root(), 2, rng)
+		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+		m.ResetSteps()
+		core.MultisearchHDag(m.Root(), in, plan)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE3AlphaPartitionable(b *testing.B) {
+	g := workload.CycleGraph(benchSide*benchSide/benchSide, benchSide)
+	rng := rand.New(rand.NewSource(3))
+	r := 8 * core.Log2N(mesh.New(benchSide).Root())
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.WalkQueries(m.N(), r, g.N(), rng)
+		in := core.NewInstance(m, g, qs, workload.WalkSuccessor)
+		core.MultisearchAlpha(m.Root(), in, benchSide, 0)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE4AlphaBeta(b *testing.B) {
+	h := 11
+	tr := graph.NewBalancedTree(2, h, false)
+	s1 := graph.InstallTreeSplitter(tr, h/3, graph.Primary)
+	s2 := graph.InstallTreeSplitter(tr, 2*h/3, graph.Secondary)
+	rng := rand.New(rand.NewSource(4))
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.BounceQueries(m.N(), 4, int64(tr.SubtreeSize(0)), tr.Root(), rng)
+		in := core.NewInstance(m, tr.Graph, qs, workload.BounceSuccessor(2))
+		core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 0)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE5VsSynchronous(b *testing.B) {
+	g := workload.CycleGraph(benchSide, benchSide)
+	rng := rand.New(rand.NewSource(5))
+	r := 8 * core.Log2N(mesh.New(benchSide).Root())
+	b.Run("multisearch", func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			m := mesh.New(benchSide)
+			qs := workload.WalkQueries(m.N(), r, g.N(), rng)
+			in := core.NewInstance(m, g, qs, workload.WalkSuccessor)
+			core.MultisearchAlpha(m.Root(), in, benchSide, 0)
+			steps = m.Steps()
+		}
+		reportSteps(b, steps)
+	})
+	b.Run("synchronous", func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			m := mesh.New(benchSide)
+			qs := workload.WalkQueries(m.N(), r, g.N(), rng)
+			in := core.NewInstance(m, g, qs, workload.WalkSuccessor)
+			core.SynchronousMultisearch(m.Root(), in, 0)
+			steps = m.Steps()
+		}
+		reportSteps(b, steps)
+	})
+}
+
+func BenchmarkE6SplitterStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := graph.NewBalancedTree(2, 14, true)
+		s := graph.InstallTreeSplitter(tr, 7, graph.Primary)
+		if err := graph.ValidateAlphaPartitionable(tr.Graph); err != nil {
+			b.Fatal(err)
+		}
+		_ = s
+	}
+}
+
+func BenchmarkE7AlphaBetaSplitterStats(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tr := graph.NewBalancedTree(2, 14, false)
+		graph.InstallTreeSplitter(tr, 4, graph.Primary)
+		graph.InstallTreeSplitter(tr, 9, graph.Secondary)
+		if d := graph.SplitterDistance(tr.Graph); d < 4 {
+			b.Fatalf("distance %d", d)
+		}
+	}
+}
+
+func BenchmarkE8BiDecomposition(b *testing.B) {
+	d := graph.CompleteTreeHDag(2, 17)
+	for i := 0; i < b.N; i++ {
+		plan, err := core.PlanHDag(d, 512)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if plan.S != 1 {
+			b.Fatalf("S=%d", plan.S)
+		}
+	}
+}
+
+func BenchmarkE9IntervalIntersection(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	set := make([]interval.Interval, 2000)
+	for i := range set {
+		lo := rng.Int63n(1 << 20)
+		set[i] = interval.Interval{Lo: lo, Hi: lo + rng.Int63n(1<<14), ID: int32(i)}
+	}
+	st := interval.NewSearchTree(set)
+	s1, s2 := st.InstallSplitters()
+	ranges := make([][2]int64, benchSide*benchSide/2)
+	for i := range ranges {
+		lo := rng.Int63n(1 << 20)
+		ranges[i] = [2]int64{lo, lo + rng.Int63n(1<<12)}
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		in := core.NewInstance(m, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
+		core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 0)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE10PointLocation(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	pts := make([]geom.Point2, 0, 500)
+	seen := map[geom.Point2]bool{}
+	for len(pts) < 500 {
+		p := geom.Point2{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	h, err := pointloc.Build(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]geom.Point2, side*side/2)
+	for i := range queries {
+		queries[i] = geom.Point2{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20)}
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(side)
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(queries), h.Successor())
+		core.MultisearchHDag(m.Root(), in, plan)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE11LinePolyhedron(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	poly, err := geom.ConvexHull3D(geom.RandomSpherePoints(800, 1<<20, rng))
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := polyhedron.Build(poly)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dirs := make([]geom.Point3, side*side/2)
+	for i := range dirs {
+		for dirs[i] == (geom.Point3{}) {
+			dirs[i] = geom.Point3{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20), Z: rng.Int63n(1 << 20)}
+		}
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(side)
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(dirs), h.Successor())
+		core.MultisearchHDag(m.Root(), in, plan)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE12Separation(b *testing.B) {
+	rng := rand.New(rand.NewSource(12))
+	a := geom.RandomSpherePoints(200, 1<<18, rng)
+	c := geom.RandomSpherePoints(200, 1<<18, rng)
+	for i := range c {
+		c[i].X += 5 << 18
+	}
+	pa, _ := geom.ConvexHull3D(a)
+	pb, _ := geom.ConvexHull3D(c)
+	ha, err := polyhedron.Build(pa)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hb, err := polyhedron.Build(pb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	axes := polyhedron.CandidateAxes(pa, pb, 32, rng)
+	side := 4
+	for side*side < ha.Dag.N() || side*side < hb.Dag.N() || side*side < 4*len(axes) {
+		side *= 2
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := polyhedron.Separate(ha, hb, axes, mesh.New(side), mesh.New(side))
+		if !res.Separated {
+			b.Fatal("not separated")
+		}
+		steps = res.MeshSteps
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE13CostModelAblation(b *testing.B) {
+	d := graph.CompleteTreeHDag(2, 11)
+	plan, err := core.PlanHDag(d, benchSide)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, tc := range []struct {
+		name  string
+		model mesh.CostModel
+	}{{"counted", mesh.CostCounted}, {"theoretical", mesh.CostTheoretical}} {
+		b.Run(tc.name, func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := mesh.New(benchSide, mesh.WithCostModel(tc.model))
+				qs := workload.KeySearchQueries(m.N(), 1<<11, d.Root(), 2, rng)
+				in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+				core.MultisearchHDag(m.Root(), in, plan)
+				steps = m.Steps()
+			}
+			reportSteps(b, steps)
+		})
+	}
+}
+
+func BenchmarkE15Dictionary(b *testing.B) {
+	rng := rand.New(rand.NewSource(15))
+	seen := map[int64]bool{}
+	keys := make([]int64, 0, 2000)
+	for len(keys) < 2000 {
+		k := rng.Int63n(1 << 40)
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	bt := dict.New(keys, 2, 3)
+	maxPart := bt.InstallSplitter()
+	side := 4
+	for side*side < bt.G.N() {
+		side *= 2
+	}
+	needles := make([]int64, side*side/2)
+	for i := range needles {
+		needles[i] = keys[rng.Intn(len(keys))]
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(side)
+		in := core.NewInstance(m, bt.G, bt.NewQueries(needles), dict.Successor)
+		core.MultisearchAlpha(m.Root(), in, maxPart, 0)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE16ComputeLevels(b *testing.B) {
+	d := graph.CompleteTreeHDag(2, 11)
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		in := core.NewInstance(m, d.Graph, nil, nil)
+		core.ComputeLevels(m.Root(), in)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE17RecursionAblation(b *testing.B) {
+	d := graph.CompleteTreeHDag(2, 11)
+	man, err := core.ManualPlan(d, benchSide, 6, []core.HDagBlock{
+		{Lo: 0, Hi: 2, Grid: 16},
+		{Lo: 3, Hi: 5, Grid: 8},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.KeySearchQueries(m.N()/2, 1<<11, d.Root(), 2, rng)
+		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+		core.MultisearchHDag(m.Root(), in, man)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE18HypercubeBaseline(b *testing.B) {
+	g := workload.CycleGraph(benchSide, benchSide)
+	rng := rand.New(rand.NewSource(18))
+	r := 8 * core.Log2N(mesh.New(benchSide).Root())
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		c := hypercube.New(benchSide*benchSide, hypercube.CostCounted)
+		qs := workload.WalkQueries(c.N(), r, g.N(), rng)
+		in := hypercube.NewInstance(c, g, qs, workload.WalkSuccessor)
+		hypercube.SynchronousMultisearch(in, 0)
+		steps = c.Steps()
+	}
+	b.ReportMetric(float64(steps), "cube-steps")
+}
+
+func BenchmarkE19PolygonTangents(b *testing.B) {
+	rng := rand.New(rand.NewSource(19))
+	var raw []geom.Point2
+	const nv = 2000
+	for i := 0; i < nv; i++ {
+		a := 2 * math.Pi * (float64(i) + 0.5) / nv
+		raw = append(raw, geom.Point2{
+			X: int64(float64(1<<26) * math.Cos(a)),
+			Y: int64(float64(1<<26) * math.Sin(a)),
+		})
+	}
+	hullIdx := geom.ConvexHull2D(raw)
+	pts := make([]geom.Point2, len(hullIdx))
+	for i, id := range hullIdx {
+		pts[i] = raw[id]
+	}
+	h, err := polygon.Build(pts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := make([]geom.Point2, side*side/2)
+	for i := range queries {
+		a := 2 * math.Pi * rng.Float64()
+		queries[i] = geom.Point2{
+			X: int64(3 * float64(1<<26) * math.Cos(a)),
+			Y: int64(3 * float64(1<<26) * math.Sin(a)),
+		}
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(side)
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(queries, 1), h.Successor())
+		core.MultisearchHDag(m.Root(), in, plan)
+		steps = m.Steps()
+	}
+	reportSteps(b, steps)
+}
+
+func BenchmarkE14CopyVolume(b *testing.B) {
+	tr, s := benchTree(benchSide)
+	rng := rand.New(rand.NewSource(14))
+	var vol int
+	for i := 0; i < b.N; i++ {
+		m := mesh.New(benchSide)
+		qs := workload.SkewedQueries(m.N(), int64(tr.SubtreeSize(0)), tr.Root(), rng)
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		in.Prime(m.Root())
+		in.GlobalStep(m.Root())
+		st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+		if st.CopyVolume > 2*m.N() {
+			b.Fatalf("copy volume %d > 2n", st.CopyVolume)
+		}
+		vol = st.CopyVolume
+	}
+	b.ReportMetric(float64(vol), "copy-words")
+}

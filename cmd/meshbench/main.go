@@ -1,0 +1,88 @@
+// Command meshbench regenerates the experiment tables of EXPERIMENTS.md:
+// every theorem and figure of the SPAA'91 multisearch paper has one
+// experiment (see DESIGN.md §4 for the index).
+//
+// Usage:
+//
+//	meshbench                 # run everything, full sizes
+//	meshbench -quick          # small sizes (CI-friendly)
+//	meshbench -run E2,E5      # selected experiments
+//	meshbench -model theoretical
+//	meshbench -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/mesh"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "small problem sizes")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	model := flag.String("model", "counted", "cost model: counted | theoretical")
+	format := flag.String("format", "text", "output format: text | csv")
+	seed := flag.Int64("seed", 1, "workload seed")
+	verbose := flag.Bool("v", false, "progress to stderr")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All {
+			fmt.Printf("%-4s %-55s [%s]\n", e.ID, e.Title, e.Source)
+		}
+		return
+	}
+
+	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	switch *model {
+	case "counted":
+		cfg.Model = mesh.CostCounted
+	case "theoretical":
+		cfg.Model = mesh.CostTheoretical
+	default:
+		fmt.Fprintf(os.Stderr, "meshbench: unknown cost model %q\n", *model)
+		os.Exit(2)
+	}
+	if *verbose {
+		cfg.Progress = os.Stderr
+	}
+
+	var selected []bench.Experiment
+	if *run == "" {
+		selected = bench.All
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e := bench.Find(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	if *format == "text" {
+		fmt.Printf("multisearch on a mesh-connected computer — experiment harness\n")
+		fmt.Printf("cost model: %s   seed: %d   quick: %v\n", cfg.Model, cfg.Seed, cfg.Quick)
+	}
+	for _, e := range selected {
+		start := time.Now()
+		t := e.Run(cfg)
+		switch *format {
+		case "csv":
+			t.CSV(os.Stdout)
+		case "text":
+			t.Print(os.Stdout)
+			fmt.Printf("  (%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
+		default:
+			fmt.Fprintf(os.Stderr, "meshbench: unknown format %q\n", *format)
+			os.Exit(2)
+		}
+	}
+}

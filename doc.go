@@ -1,0 +1,19 @@
+// Package repro is a reproduction of "Multisearch Techniques for
+// Implementing Data Structures on a Mesh-Connected Computer (Preliminary
+// Version)" (Atallah, Dehne, Miller, Rau-Chaplin, Tsay — SPAA 1991).
+//
+// The library lives under internal/:
+//
+//	internal/mesh       the simulated √n×√n mesh-connected computer
+//	internal/graph      constant-degree graphs, hierarchical DAGs, splitters
+//	internal/core       the multisearch algorithms (the paper's contribution)
+//	internal/geom       exact geometric predicates, hulls, triangulations
+//	internal/pointloc   Kirkpatrick subdivision hierarchies (§5)
+//	internal/polyhedron Dobkin–Kirkpatrick hierarchies (§5, Theorem 8)
+//	internal/interval   interval trees / multiple interval intersection (§6)
+//	internal/workload   seeded input generators
+//	internal/bench      the experiment harness behind cmd/meshbench
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

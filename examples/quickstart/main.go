@@ -1,0 +1,51 @@
+// Quickstart: run a batch of 4096 key searches on a balanced binary search
+// tree, on a simulated 64×64 mesh-connected computer, with Algorithm 2
+// (α-partitionable multisearch, Theorem 5) — and check the answers against
+// the sequential oracle.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+func main() {
+	const side = 64 // the mesh is side×side; n = 4096 processors
+	const height = 11
+
+	// 1. Build the search structure G: a directed balanced binary tree with
+	//    the Figure-2 α-splitter (cut at half height).
+	tree := graph.NewBalancedTree(2, height, true)
+	split := graph.InstallTreeSplitter(tree, (height+1)/2, graph.Primary)
+	fmt.Printf("search tree: %d vertices, height %d\n", tree.N(), height)
+	fmt.Printf("α-splitter: %d parts, largest %d ≈ n^%.2f\n", split.K, split.MaxPart, split.Delta)
+
+	// 2. Draw one search query per processor; duplicated keys create the
+	//    congestion that multisearch resolves by copying subgraphs.
+	rng := rand.New(rand.NewSource(42))
+	queries := workload.KeySearchQueries(side*side, int64(tree.SubtreeSize(0)), tree.Root(), 8, rng)
+
+	// 3. Load everything onto the mesh and run the multisearch.
+	m := mesh.New(side)
+	in := core.NewInstance(m, tree.Graph, queries, workload.KeySearchSuccessor)
+	stats := core.MultisearchAlpha(m.Root(), in, split.MaxPart, 0)
+
+	fmt.Printf("\nmultisearch finished in %d log-phases\n", stats.LogPhases)
+	fmt.Printf("simulated mesh time: %d steps (√n = %.0f, sort(n) = %d)\n",
+		m.Steps(), math.Sqrt(float64(m.N())), m.Root().SortCost())
+
+	// 4. Verify against the sequential oracle: identical visit sequences.
+	want := core.Oracle(tree.Graph, queries, workload.KeySearchSuccessor, 0)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		panic(err)
+	}
+	fmt.Printf("all %d searches match the sequential oracle ✓\n", len(queries))
+}

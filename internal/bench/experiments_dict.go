@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// --- E15: (a,b)-tree dictionary ------------------------------------------
+
+func runE15(c Config) *Table {
+	t := &Table{
+		ID: "E15", Title: "Batched membership lookups on a (2,3)-tree dictionary",
+		Source: "§1 [PVS83] / §6",
+		Note: "The mesh analogue of the Paul–Vishkin–Wagener parallel dictionary:\n" +
+			"n/2 lookups per batch via Algorithm 2 on an irregular-arity tree\n" +
+			"(general depth splitter + normalization). Verified against a map.",
+		Header: []string{"keys", "tree nodes", "n(mesh)", "lookups", "steps", "steps/√n", "steps/(√n·lg n)"},
+	}
+	rng := c.rng()
+	for _, nk := range sides(c, []int{100, 400}, []int{100, 400, 1600, 6400, 25600}) {
+		seen := map[int64]bool{}
+		keys := make([]int64, 0, nk)
+		for len(keys) < nk {
+			k := rng.Int63n(1 << 40)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		bt := dict.New(keys, 2, 3)
+		maxPart := bt.InstallSplitter()
+		side := 4
+		for side*side < bt.G.N() {
+			side *= 2
+		}
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		needles := make([]int64, side*side/2)
+		for i := range needles {
+			if i%2 == 0 {
+				needles[i] = keys[rng.Intn(len(keys))]
+			} else {
+				needles[i] = rng.Int63n(1 << 40)
+			}
+		}
+		in := core.NewInstance(m, bt.G, bt.NewQueries(needles), dict.Successor)
+		m.ResetSteps()
+		core.MultisearchAlpha(m.Root(), in, maxPart, 0)
+		for i, q := range in.ResultQueries() {
+			if i%97 == 0 && dict.Member(q) != seen[needles[i]] {
+				panic(fmt.Sprintf("E15: needle %d wrong membership", i))
+			}
+		}
+		n := m.N()
+		t.Add(fi(int64(nk)), fi(int64(bt.G.N())), fi(int64(n)), fi(int64(len(needles))),
+			fi(m.Steps()), ff(perSqrtN(m.Steps(), n)), ff(perSqrtNLogN(m.Steps(), n)))
+		c.log("E15 keys=%d done", nk)
+	}
+	return t
+}
+
+// --- E17: recursion-depth ablation -----------------------------------------
+
+func runE17(c Config) *Table {
+	t := &Table{
+		ID: "E17", Title: "Algorithm 1 recursion-depth ablation (manual B-block plans)",
+		Source: "§3 design choice",
+		Note: "The same DAG and queries solved with S = 0 (pure level-by-level),\n" +
+			"the automatic plan, and manually deepened recursions. Identical\n" +
+			"results asserted; only the step counts differ. Automatic plans never\n" +
+			"reach S ≥ 2 at realizable sizes (log*μ h ≥ 2 needs h ≥ μ^(μ^c)).",
+		Header: []string{"n", "plan", "S", "steps", "steps/√n"},
+	}
+	side := 128
+	if c.Quick {
+		side = 32
+	}
+	h := heightForSide(side)
+	d := graph.CompleteTreeHDag(2, h)
+	qs := workload.KeySearchQueries(side*side/2, 1<<h, d.Root(), 2, c.rng())
+
+	type variant struct {
+		name string
+		plan *core.HDagPlan
+	}
+	var variants []variant
+	flat, err := core.ManualPlan(d, side, 0, nil)
+	if err != nil {
+		panic(err)
+	}
+	variants = append(variants, variant{"level-by-level (S=0)", flat})
+	auto, err := core.PlanHDag(d, side)
+	if err != nil {
+		panic(err)
+	}
+	variants = append(variants, variant{"automatic", auto})
+	// Manual S=2: split the top levels into two geometric blocks.
+	if h >= 9 {
+		cut1, cut2 := h/4, h/2
+		man, err := core.ManualPlan(d, side, cut2+1, []core.HDagBlock{
+			{Lo: 0, Hi: cut1, Grid: minInt(16, side/4)},
+			{Lo: cut1 + 1, Hi: cut2, Grid: minInt(4, side/8)},
+		})
+		if err == nil {
+			variants = append(variants, variant{"manual (S=2)", man})
+		} else {
+			c.log("E17 manual plan rejected: %v", err)
+		}
+	}
+
+	var reference []core.Query
+	for _, v := range variants {
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+		m.ResetSteps()
+		core.MultisearchHDag(m.Root(), in, v.plan)
+		if reference == nil {
+			reference = in.ResultQueries()
+		} else if err := core.SameOutcome(reference, in.ResultQueries()); err != nil {
+			panic(fmt.Sprintf("E17: %s diverges: %v", v.name, err))
+		}
+		n := m.N()
+		t.Add(fi(int64(n)), v.name, fi(int64(v.plan.S)), fi(m.Steps()), ff(perSqrtN(m.Steps(), n)))
+		c.log("E17 %s done", v.name)
+	}
+	return t
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// --- E16: §3 level-index computation --------------------------------------
+
+func runE16(c Config) *Table {
+	t := &Table{
+		ID: "E16", Title: "Level indices by peel-and-compress",
+		Source: "§3 (the \"easily computed in time O(√n)\" remark)",
+		Note: "h peel rounds would cost Θ(h·√n) without compression; compressing\n" +
+			"the survivors telescopes the total to O(Sort(√n)). The last column\n" +
+			"shows the measured advantage.",
+		Header: []string{"n", "h", "steps", "steps/√n", "uncompressed est.", "saving"},
+	}
+	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
+		d := graph.CompleteTreeHDag(2, heightForSide(side))
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		in := core.NewInstance(m, d.Graph, nil, workload.KeySearchSuccessor)
+		m.ResetSteps()
+		levels := core.ComputeLevels(m.Root(), in)
+		for id := range d.Verts {
+			if levels[id] != d.Verts[id].Level {
+				panic(fmt.Sprintf("E16: vertex %d level %d want %d", id, levels[id], d.Verts[id].Level))
+			}
+		}
+		n := m.N()
+		// Uncompressed estimate: h rounds, each ≈ MaxDegree RARs ≈
+		// 3·MaxDegree sorts at full mesh size.
+		uncompressed := int64(d.Height()+1) * 3 * int64(graph.MaxDegree) * m.Root().SortCost()
+		t.Add(fi(int64(n)), fi(int64(d.Height())), fi(m.Steps()),
+			ff(perSqrtN(m.Steps(), n)), fi(uncompressed),
+			ff(float64(uncompressed)/math.Max(1, float64(m.Steps()))))
+		c.log("E16 side=%d done", side)
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/polygon"
+)
+
+// --- E19: planar DK hierarchy tangents --------------------------------------
+
+func runE19(c Config) *Table {
+	t := &Table{
+		ID: "E19", Title: "Batched 2-D tangent determination (planar DK hierarchy, μ=2 exactly)",
+		Source: "Theorem 8 (planar analogue)",
+		Note: "Alternate-vertex removal gives the cleanest hierarchical DAG of the\n" +
+			"paper's class (Figure 1, μ=2). n/2 external points, one tangent each,\n" +
+			"every answer certified by the exact all-vertices-one-side test.",
+		Header: []string{"poly verts", "DAG nodes", "levels", "n(mesh)", "steps", "steps/√n", "steps/(√n·lg n)"},
+	}
+	rng := c.rng()
+	for _, nv := range sides(c, []int{128, 512}, []int{128, 512, 2048, 8192, 32768}) {
+		pts := convexCircle(nv, 1<<26, rng)
+		h, err := polygon.Build(pts)
+		if err != nil {
+			panic(err)
+		}
+		side := 4
+		for side*side < h.Dag.N() {
+			side *= 2
+		}
+		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		plan, err := core.PlanHDag(h.Dag, side)
+		if err != nil {
+			panic(err)
+		}
+		queries := make([]geom.Point2, side*side/2)
+		for i := range queries {
+			a := 2 * math.Pi * rng.Float64()
+			r := float64(int64(1)<<26) * (2 + 2*rng.Float64())
+			queries[i] = geom.Point2{X: int64(r * math.Cos(a)), Y: int64(r * math.Sin(a))}
+		}
+		in := core.NewInstance(m, h.Dag.Graph, h.NewQueries(queries, +1), h.Successor())
+		m.ResetSteps()
+		core.MultisearchHDag(m.Root(), in, plan)
+		for i, q := range in.ResultQueries() {
+			if i%127 == 0 && !h.IsTangent(queries[i], polygon.Answer(q)) {
+				panic(fmt.Sprintf("E19: query %d answer not tangent", i))
+			}
+		}
+		n := m.N()
+		t.Add(fi(int64(len(pts))), fi(int64(h.Dag.N())), fi(int64(h.Levels)), fi(int64(n)),
+			fi(m.Steps()), ff(perSqrtN(m.Steps(), n)), ff(perSqrtNLogN(m.Steps(), n)))
+		c.log("E19 verts=%d done", nv)
+	}
+	return t
+}
+
+// convexCircle places n angle-jittered integer points on a circle (all in
+// convex position at this radius).
+func convexCircle(n int, radius int64, rng *rand.Rand) []geom.Point2 {
+	var raw []geom.Point2
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * (float64(i) + 0.2 + 0.6*rng.Float64()) / float64(n)
+		raw = append(raw, geom.Point2{
+			X: int64(float64(radius) * math.Cos(a)),
+			Y: int64(float64(radius) * math.Sin(a)),
+		})
+	}
+	hull := geom.ConvexHull2D(raw)
+	pts := make([]geom.Point2, len(hull))
+	for i, id := range hull {
+		pts[i] = raw[id]
+	}
+	return pts
+}

@@ -1,0 +1,103 @@
+// Package bench is the experiment harness: one runnable experiment per
+// theorem/figure of the paper (the per-experiment index lives in
+// DESIGN.md §4, results in EXPERIMENTS.md). cmd/meshbench drives it.
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Table is one experiment's output: a titled, aligned text table.
+type Table struct {
+	ID     string
+	Title  string
+	Source string // theorem / figure / section reference
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Print renders the table.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n%s — %s  [%s]\n", t.ID, t.Title, t.Source)
+	if t.Note != "" {
+		for _, line := range strings.Split(t.Note, "\n") {
+			fmt.Fprintf(w, "  %s\n", line)
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%*s", widths[i], c)
+		}
+		fmt.Fprintf(w, "  %s\n", strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+}
+
+// CSV renders the table as RFC-4180 CSV with a leading comment line naming
+// the experiment, for downstream plotting.
+func (t *Table) CSV(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s [%s]\n", t.ID, t.Title, t.Source)
+	cw := csv.NewWriter(w)
+	_ = cw.Write(t.Header)
+	for _, r := range t.Rows {
+		_ = cw.Write(r)
+	}
+	cw.Flush()
+}
+
+// Numeric formatting helpers.
+
+func fi(v int64) string { return fmt.Sprintf("%d", v) }
+
+func ff(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.4f", v)
+	}
+}
+
+// perSqrtN returns steps normalized by √n.
+func perSqrtN(steps int64, n int) float64 {
+	return float64(steps) / math.Sqrt(float64(n))
+}
+
+// perSqrtNLogN returns steps normalized by √n·log₂n.
+func perSqrtNLogN(steps int64, n int) float64 {
+	return float64(steps) / (math.Sqrt(float64(n)) * math.Log2(float64(n)))
+}

@@ -1,0 +1,279 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// buildAlphaTree returns a directed balanced binary tree with the Figure-2
+// α-splitter installed, sized to fit a mesh of the given side.
+func buildAlphaTree(side, height int) (*graph.Tree, graph.Splitting) {
+	tr := graph.NewBalancedTree(2, height, true)
+	if tr.N() > side*side {
+		panic("tree too large for mesh")
+	}
+	s := graph.InstallTreeSplitter(tr, (height+1)/2, graph.Primary)
+	return tr, s
+}
+
+func TestPrimeSetsMembership(t *testing.T) {
+	m := mesh.New(8)
+	tr, _ := buildAlphaTree(8, 4)
+	qs := workload.KeySearchQueries(10, 16, tr.Root(), 1, rand.New(rand.NewSource(1)))
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	in.Prime(m.Root())
+	for i, q := range in.ResultQueries() {
+		if q.CurPart != tr.Verts[tr.Root()].Part {
+			t.Fatalf("query %d CurPart=%d", i, q.CurPart)
+		}
+		if q.CurLevel != 0 {
+			t.Fatalf("query %d CurLevel=%d", i, q.CurLevel)
+		}
+	}
+}
+
+func TestGlobalStepAdvancesAll(t *testing.T) {
+	m := mesh.New(8)
+	tr, _ := buildAlphaTree(8, 4)
+	qs := workload.KeySearchQueries(20, 16, tr.Root(), 1, rand.New(rand.NewSource(2)))
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	in.Prime(m.Root())
+	if n := in.GlobalStep(m.Root()); n != 20 {
+		t.Fatalf("advanced %d", n)
+	}
+	for i, q := range in.ResultQueries() {
+		if q.Steps != 1 || q.CurLevel != 1 {
+			t.Fatalf("query %d: steps=%d level=%d", i, q.Steps, q.CurLevel)
+		}
+	}
+}
+
+func TestSynchronousMatchesOracle(t *testing.T) {
+	m := mesh.New(16)
+	tr, _ := buildAlphaTree(16, 7)
+	rng := rand.New(rand.NewSource(3))
+	qs := workload.KeySearchQueries(200, 128, tr.Root(), 3, rng)
+	want := core.Oracle(tr.Graph, qs, workload.KeySearchSuccessor, 0)
+
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	steps := core.SynchronousMultisearch(m.Root(), in, 100)
+	if steps != 8 { // path length h+1
+		t.Fatalf("multisteps=%d", steps)
+	}
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConstrainedMultisearchAdvancesWithinParts(t *testing.T) {
+	m := mesh.New(16)
+	tr, s := buildAlphaTree(16, 7) // cut at depth 4
+	rng := rand.New(rand.NewSource(4))
+	qs := workload.KeySearchQueries(100, 128, tr.Root(), 2, rng)
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	in.Prime(m.Root())
+	in.GlobalStep(m.Root()) // visit root; queries now at depth 1
+	st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+	if st.Marked != 100 {
+		t.Fatalf("marked=%d", st.Marked)
+	}
+	// Every query must now sit exactly at the first vertex of its subtree
+	// part (depth 4 = the cut), having visited depths 1..3.
+	for i, q := range in.ResultQueries() {
+		if q.Done {
+			t.Fatalf("query %d finished inside H", i)
+		}
+		if q.Steps != 4 { // visited depths 0(global),1,2,3
+			t.Fatalf("query %d steps=%d want 4", i, q.Steps)
+		}
+		if d := tr.Depth[q.Cur]; d != 4 {
+			t.Fatalf("query %d waiting at depth %d", i, d)
+		}
+		if q.CurPart == 0 || q.CurPart == graph.NoPart {
+			t.Fatalf("query %d has CurPart=%d, should be a subtree part", i, q.CurPart)
+		}
+	}
+	if st.Advanced != 3*100 {
+		t.Fatalf("advanced=%d want 300", st.Advanced)
+	}
+}
+
+func TestConstrainedMultisearchNoMarked(t *testing.T) {
+	m := mesh.New(8)
+	tr, s := buildAlphaTree(8, 4)
+	qs := workload.KeySearchQueries(5, 16, tr.Root(), 1, rand.New(rand.NewSource(5)))
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	// Without Prime, CurPart is NoPart everywhere: nothing marks.
+	st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+	if st.Marked != 0 || st.TotalGamma != 0 || st.Advanced != 0 {
+		t.Fatalf("stats=%+v", st)
+	}
+}
+
+func TestConstrainedMultisearchCopyVolumeBound(t *testing.T) {
+	// Lemma 3 item (1): total copy volume O(n) — asserted ≤ 2n inside the
+	// procedure; verify the reported number as well, under heavy skew.
+	m := mesh.New(16)
+	tr, s := buildAlphaTree(16, 7)
+	rng := rand.New(rand.NewSource(6))
+	qs := workload.SkewedQueries(256, 128, tr.Root(), rng)
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	in.Prime(m.Root())
+	in.GlobalStep(m.Root())
+	st := core.ConstrainedMultisearch(m.Root(), in, graph.Primary, s.MaxPart, core.Log2N(m.Root()))
+	if st.CopyVolume > 2*m.N() {
+		t.Fatalf("copy volume %d > 2n", st.CopyVolume)
+	}
+	if st.TotalGamma == 0 {
+		t.Fatal("no copies created")
+	}
+}
+
+func TestMultisearchAlphaMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		side, height, nq, dup int
+	}{
+		{8, 4, 30, 1},
+		{16, 7, 255, 4},
+		{32, 9, 1023, 1},
+		{32, 9, 1023, 16},
+	} {
+		m := mesh.New(tc.side)
+		tr, s := buildAlphaTree(tc.side, tc.height)
+		rng := rand.New(rand.NewSource(int64(tc.side + tc.nq)))
+		qs := workload.KeySearchQueries(tc.nq, int64(tr.SubtreeSize(0)), tr.Root(), tc.dup, rng)
+		want := core.Oracle(tr.Graph, qs, workload.KeySearchSuccessor, 0)
+
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		st := core.MultisearchAlpha(m.Root(), in, s.MaxPart, 100)
+		if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+			t.Fatalf("side=%d: %v", tc.side, err)
+		}
+		// r = h+1; one log-phase handles ≥ log n steps: phases stay small.
+		if st.LogPhases > tc.height {
+			t.Fatalf("side=%d: %d log-phases for height %d", tc.side, st.LogPhases, tc.height)
+		}
+	}
+}
+
+func TestMultisearchAlphaSkewed(t *testing.T) {
+	m := mesh.New(32)
+	tr, s := buildAlphaTree(32, 9)
+	rng := rand.New(rand.NewSource(77))
+	qs := workload.SkewedQueries(1024, int64(tr.SubtreeSize(0)), tr.Root(), rng)
+	want := core.Oracle(tr.Graph, qs, workload.KeySearchSuccessor, 0)
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchAlpha(m.Root(), in, s.MaxPart, 100)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisearchAlphaWithNormalizedSplitting(t *testing.T) {
+	// Cut deep so parts are tiny, then normalize: exercises grouped parts
+	// where a subgraph is a union of components.
+	// The grouping target must be Θ(n^α) = Θ(maxPart): the top tree has 127
+	// vertices, so the tiny depth-7 subtrees are grouped to ~127 as well.
+	m := mesh.New(32)
+	tr := graph.NewBalancedTree(2, 9, true)
+	s := graph.InstallTreeSplitter(tr, 7, graph.Primary)
+	ns := graph.NormalizeParts(tr.Graph, s, 127, func(p int32) int {
+		if p == 0 {
+			return 0
+		}
+		return 1
+	})
+	rng := rand.New(rand.NewSource(8))
+	qs := workload.KeySearchQueries(1000, int64(tr.SubtreeSize(0)), tr.Root(), 2, rng)
+	want := core.Oracle(tr.Graph, qs, workload.KeySearchSuccessor, 0)
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchAlpha(m.Root(), in, ns.MaxPart, 100)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisearchAlphaBetaMatchesOracle(t *testing.T) {
+	// Figure 3: undirected tree, S1 cut shallow, S2 cut deep, down-up
+	// traversals crossing both splitters in both directions.
+	for _, tc := range []struct {
+		side, height, cut1, cut2, nq int
+	}{
+		{16, 6, 2, 5, 120},
+		{32, 8, 3, 7, 1000},
+	} {
+		m := mesh.New(tc.side)
+		tr := graph.NewBalancedTree(2, tc.height, false)
+		s1 := graph.InstallTreeSplitter(tr, tc.cut1, graph.Primary)
+		s2 := graph.InstallTreeSplitter(tr, tc.cut2, graph.Secondary)
+		succ := workload.DownUpSuccessor(2)
+		rng := rand.New(rand.NewSource(int64(tc.side)))
+		qs := workload.KeySearchQueries(tc.nq, int64(tr.SubtreeSize(0)), tr.Root(), 2, rng)
+		want := core.Oracle(tr.Graph, qs, succ, 0)
+
+		in := core.NewInstance(m, tr.Graph, qs, succ)
+		st := core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 200)
+		if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+			t.Fatalf("side=%d: %v", tc.side, err)
+		}
+		if st.LogPhases == 0 {
+			t.Fatal("no phases ran")
+		}
+		// Paths have length 2h+1: every query's Steps agrees.
+		for i, q := range in.ResultQueries() {
+			if int(q.Steps) != 2*tc.height+1 {
+				t.Fatalf("query %d steps=%d want %d", i, q.Steps, 2*tc.height+1)
+			}
+		}
+	}
+}
+
+func TestMultisearchCostSanity(t *testing.T) {
+	// Theorem 5 shape: mesh steps for r=O(log n) paths should be within a
+	// polylog factor of √n, and far below the r·√n of doing r full-mesh
+	// RARs... the strong version is checked in the benchmarks; here just
+	// assert the algorithm charges something and stays under r·Sort(n).
+	m := mesh.New(32)
+	tr, s := buildAlphaTree(32, 9)
+	rng := rand.New(rand.NewSource(9))
+	qs := workload.KeySearchQueries(1024, 512, tr.Root(), 1, rng)
+	in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchAlpha(m.Root(), in, s.MaxPart, 100)
+	steps := m.Steps()
+	if steps <= 0 {
+		t.Fatal("no cost charged")
+	}
+	if bound := int64(10) * m.Root().SortCost() * 10; steps > bound {
+		t.Fatalf("cost %d exceeds sanity bound %d", steps, bound)
+	}
+}
+
+func TestOracleRespectsMaxSteps(t *testing.T) {
+	tr, _ := buildAlphaTree(8, 4)
+	qs := workload.KeySearchQueries(3, 16, tr.Root(), 1, rand.New(rand.NewSource(10)))
+	out := core.Oracle(tr.Graph, qs, workload.KeySearchSuccessor, 2)
+	for _, q := range out {
+		if q.Steps != 2 || q.Done {
+			t.Fatalf("steps=%d done=%v", q.Steps, q.Done)
+		}
+	}
+}
+
+func TestSameOutcomeDetectsDifferences(t *testing.T) {
+	a := []core.Query{{ID: 0, Steps: 3}}
+	b := []core.Query{{ID: 0, Steps: 4}}
+	if core.SameOutcome(a, b) == nil {
+		t.Fatal("should differ")
+	}
+	if core.SameOutcome(a, a) != nil {
+		t.Fatal("should match")
+	}
+	if core.SameOutcome(a, nil) == nil {
+		t.Fatal("length mismatch")
+	}
+}

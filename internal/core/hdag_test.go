@@ -1,0 +1,223 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+func TestThresholdAndPlanSmall(t *testing.T) {
+	// h small: log h < c ⇒ no blocks, everything in B*.
+	d := graph.CompleteTreeHDag(2, 6) // n=127, h=6, log h ≈ 2.6 < 4
+	p, err := core.PlanHDag(d, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.S != 0 || p.StarLo != 0 {
+		t.Fatalf("S=%d StarLo=%d, want all-B*", p.S, p.StarLo)
+	}
+}
+
+func TestPlanMedium(t *testing.T) {
+	// h=17 (n=2^18-1 won't fit small test meshes; use RandomHDag with small
+	// levels instead). CompleteTreeHDag(2,17) has 262143 vertices: mesh 512.
+	d := graph.CompleteTreeHDag(2, 17)
+	p, err := core.PlanHDag(d, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.S != 1 {
+		t.Fatalf("S=%d want 1 (log*2(17) with c=4)", p.S)
+	}
+	blk := p.Blocks[0]
+	if blk.Lo != 0 {
+		t.Fatalf("B_0 starts at %d", blk.Lo)
+	}
+	if p.StarLo != blk.Hi+1 {
+		t.Fatalf("B* gap: B_0 ends %d, B* starts %d", blk.Hi, p.StarLo)
+	}
+	if p.H-p.StarLo+1 > 2*16+1 {
+		t.Fatalf("B* has %d levels, not O(1)", p.H-p.StarLo+1)
+	}
+	// Capacity invariants.
+	sub := 512 / blk.Grid
+	if sub*sub < blk.Count {
+		t.Fatalf("B_0 (%d) does not fit its submesh (%d)", blk.Count, sub*sub)
+	}
+	if blk.LabelPerSub*2 < blk.Count {
+		t.Fatalf("label capacity %d for %d records", blk.LabelPerSub, blk.Count)
+	}
+}
+
+func TestPlanBlocksPartitionLevels(t *testing.T) {
+	for _, h := range []int{4, 6, 10, 14, 17} {
+		d := graph.CompleteTreeHDag(2, h)
+		side := 4
+		for side*side < d.N() {
+			side *= 2
+		}
+		p, err := core.PlanHDag(d, side)
+		if err != nil {
+			t.Fatalf("h=%d: %v", h, err)
+		}
+		next := 0
+		for i, blk := range p.Blocks {
+			if blk.Lo != next {
+				t.Fatalf("h=%d block %d starts at %d want %d", h, i, blk.Lo, next)
+			}
+			if blk.Hi < blk.Lo {
+				t.Fatalf("h=%d block %d empty", h, i)
+			}
+			next = blk.Hi + 1
+		}
+		if p.StarLo != next {
+			t.Fatalf("h=%d B* starts at %d want %d", h, p.StarLo, next)
+		}
+		if p.H < p.StarLo {
+			t.Fatalf("h=%d B* empty", h)
+		}
+		// Grids monotone nonincreasing and dividing the side.
+		prev := side
+		for i, blk := range p.Blocks {
+			if blk.Grid > prev || side%blk.Grid != 0 {
+				t.Fatalf("h=%d grid %d at block %d (prev %d)", h, blk.Grid, i, prev)
+			}
+			prev = blk.Grid
+		}
+	}
+}
+
+func TestLabelCountsMatchEnumeration(t *testing.T) {
+	d := graph.CompleteTreeHDag(2, 17)
+	p, err := core.PlanHDag(d, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blk := range p.Blocks {
+		gOut := p.GridOf(i + 1)
+		subSide := 512 / gOut
+		count := 0
+		for r := 0; r < subSide; r++ {
+			for c := 0; c < subSide; c++ {
+				if p.LabelAt(r, c) == i {
+					count++
+				}
+			}
+		}
+		if count != blk.LabelPerSub {
+			t.Fatalf("block %d: enumerated %d label processors, plan says %d", i, count, blk.LabelPerSub)
+		}
+	}
+}
+
+func runHDagCase(t *testing.T, d *graph.HDag, side, nq, dup int, succ core.Successor, seed int64) {
+	t.Helper()
+	m := mesh.New(side)
+	plan, err := core.PlanHDag(d, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	span := d.Verts[d.Root()].Data[graph.HDagSpanWidth]
+	if span == 0 {
+		span = 1 << 20
+	}
+	qs := workload.KeySearchQueries(nq, span, d.Root(), dup, rng)
+	want := core.Oracle(d.Graph, qs, succ, 0)
+	in := core.NewInstance(m, d.Graph, qs, succ)
+	st := core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	if st.Advanced == 0 {
+		t.Fatal("no advancement recorded")
+	}
+}
+
+func TestMultisearchHDagSmallAllStar(t *testing.T) {
+	runHDagCase(t, graph.CompleteTreeHDag(2, 6), 16, 100, 1, workload.KeySearchSuccessor, 11)
+}
+
+func TestMultisearchHDagBinary(t *testing.T) {
+	runHDagCase(t, graph.CompleteTreeHDag(2, 13), 128, 4000, 1, workload.KeySearchSuccessor, 12)
+}
+
+func TestMultisearchHDagBinarySkewedDuplicates(t *testing.T) {
+	runHDagCase(t, graph.CompleteTreeHDag(2, 13), 128, 4000, 64, workload.KeySearchSuccessor, 13)
+}
+
+func TestMultisearchHDagTernary(t *testing.T) {
+	runHDagCase(t, graph.CompleteTreeHDag(3, 8), 128, 2000, 2, workload.KeySearchSuccessor, 14)
+}
+
+func TestMultisearchHDagWithBlocks(t *testing.T) {
+	// h=17 forces S=1: exercises the full step 1-3 machinery.
+	runHDagCase(t, graph.CompleteTreeHDag(2, 17), 512, 20000, 4, workload.KeySearchSuccessor, 15)
+}
+
+func TestMultisearchHDagRandomDagRandomWalks(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	d := graph.RandomHDag(2, 13, rng)
+	side := 4
+	for side*side < d.N() {
+		side *= 2
+	}
+	runHDagCase(t, d, side, 3000, 8, workload.RandomWalkDownSuccessor, 17)
+}
+
+func TestMultisearchHDagQueriesFromMidLevels(t *testing.T) {
+	// Queries starting at interior vertices (shorter search paths).
+	d := graph.CompleteTreeHDag(2, 13)
+	m := mesh.New(128)
+	plan, err := core.PlanHDag(d, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	qs := make([]core.Query, 3000)
+	for i := range qs {
+		lvl := rng.Intn(d.Height())
+		qs[i].Cur = graph.VertexID(d.LevelStart[lvl] + rng.Intn(d.LevelSizes[lvl]))
+		qs[i].State[workload.StateKey] = rng.Int63n(1 << d.Height())
+	}
+	want := core.Oracle(d.Graph, qs, workload.KeySearchSuccessor, 0)
+	in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultisearchHDagCostScaling(t *testing.T) {
+	// Theorem 2 shape check (weak form): doubling the mesh side should grow
+	// the step count by roughly 2× (√n scaling), definitely below 3×
+	// (which would indicate √n·log² or worse).
+	var prev int64
+	for _, h := range []int{9, 11, 13} {
+		d := graph.CompleteTreeHDag(2, h)
+		side := 4
+		for side*side < d.N() {
+			side *= 2
+		}
+		m := mesh.New(side)
+		plan, err := core.PlanHDag(d, side)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs := workload.KeySearchQueries(d.N()/2, 1<<h, d.Root(), 1, rand.New(rand.NewSource(19)))
+		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+		core.MultisearchHDag(m.Root(), in, plan)
+		steps := m.Steps()
+		if prev > 0 {
+			ratio := float64(steps) / float64(prev)
+			if ratio > 3.4 {
+				t.Fatalf("h=%d: step ratio %.2f suggests super-√n·log behaviour", h, ratio)
+			}
+		}
+		prev = steps
+	}
+}

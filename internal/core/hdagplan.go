@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// The B_i decomposition of §3 (Figures 4 and 5). Levels are counted from
+// the root (level 0) to level h; B_i is the subgraph induced by levels
+// [h − 2·log^(i)h, h − 1 − 2·log^(i+1)h] with log^(0)x = x/2 and logs to
+// the base μ, and B* is the O(1)-level bottom block.
+//
+// Note on the paper text: it defines B* as starting at level
+// h − 2·log^(log*h −1) h, which would overlap B_{log*h−1} entirely; the
+// consistent reading (blocks partition the levels, B* has O(1) levels
+// because log^(log*h) h < 2^c) is that B* starts where B_{log*h−1} ends,
+// i.e. at h − 2·log^(log*h) h. We implement that reading.
+//
+// The plan also fixes the submesh grids: a B_i-partitioning tiles the mesh
+// into Grid_i × Grid_i submeshes (Grid_i ≈ log^(i)h, rounded to a power of
+// two and shrunk until all capacity constraints hold numerically — the
+// paper's constant factors made explicit):
+//
+//	(side/Grid_i)² ≥ |B_i|            each B_i-submesh stores a copy of B_i
+//	(side/Grid_i)² ≥ |B_0|+…+|B_{i-1}| the union cascade of step 2(b) fits
+//	labels(i)      ≥ ⌈|B_i|/2⌉         label-i processors store B_i, ≤2 each
+//	(side/(Grid_i·P1Grid_i))² ≥ |B_i^1| Lemma 1 phase-1 copies fit
+type HDagBlock struct {
+	Lo, Hi  int // level range of B_i, inclusive
+	Count   int // vertices in B_i
+	Grid    int // B_i-partitioning grid dimension g_i (power of two)
+	P1Hi    int // top level of B_i^1; P1Hi < Lo means phase 1 is empty
+	P1Count int // vertices in B_i^1
+	P1Grid  int // Δh_i×Δh_i sub-partition dimension (power of two)
+	// LabelPerSub is the number of label-i processors in one
+	// B_{i+1}-submesh (uniform across submeshes by power-of-two alignment).
+	LabelPerSub int
+}
+
+// HDagPlan is the complete Algorithm 1 execution plan for one hierarchical
+// DAG on one mesh.
+type HDagPlan struct {
+	Side   int
+	H      int
+	Mu     float64
+	C      int // threshold constant: μ^y ≥ y² for all y ≥ C
+	S      int // number of B-blocks = log*_μ h
+	Blocks []HDagBlock
+	StarLo int // B* covers levels [StarLo, H]
+
+	levelStart []int
+	levelSizes []int
+}
+
+// GridOf returns g_i for i in [0, S]; g_S = 1 (the whole mesh is the single
+// B_S-submesh).
+func (p *HDagPlan) GridOf(i int) int {
+	if i >= p.S {
+		return 1
+	}
+	return p.Blocks[i].Grid
+}
+
+// countLevels returns the number of vertices on levels [lo, hi].
+func (p *HDagPlan) countLevels(lo, hi int) int {
+	c := 0
+	for l := lo; l <= hi && l < len(p.levelSizes); l++ {
+		if l >= 0 {
+			c += p.levelSizes[l]
+		}
+	}
+	return c
+}
+
+// thresholdC returns the smallest c ≥ 1 with μ^y ≥ y² for all y ≥ c.
+func thresholdC(mu float64) int {
+	holds := func(y int) bool { return math.Pow(mu, float64(y)) >= float64(y*y) }
+	for c := 1; c <= 64; c++ {
+		ok := true
+		for y := c; y <= c+64; y++ {
+			if !holds(y) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return c
+		}
+	}
+	return 64
+}
+
+func floorPow2(x int) int {
+	p := 1
+	for p*2 <= x {
+		p *= 2
+	}
+	return p
+}
+
+// PlanHDag computes the B_i decomposition and submesh grids for running
+// Algorithm 1 on d over a side×side mesh.
+func PlanHDag(d *graph.HDag, side int) (*HDagPlan, error) {
+	if d.N() > side*side {
+		return nil, fmt.Errorf("core: DAG with %d vertices exceeds mesh size %d", d.N(), side*side)
+	}
+	h := d.Height()
+	p := &HDagPlan{
+		Side: side, H: h, Mu: d.Mu, C: thresholdC(d.Mu),
+		levelStart: d.LevelStart, levelSizes: d.LevelSizes,
+	}
+
+	// The iterated-log sequence: log^(0)h = h/2, log^(1)h = log_μ h,
+	// log^(i+1)h = log_μ log^(i)h, truncated at the first value < c.
+	// S = log*_μ h = max{i : log^(i)h ≥ c} (0 when even h/2 < c).
+	logMu := func(x float64) float64 { return math.Log(x) / math.Log(d.Mu) }
+	ls := []float64{float64(h) / 2}
+	if ls[0] >= float64(p.C) {
+		ls = append(ls, logMu(float64(h)))
+		for ls[len(ls)-1] >= float64(p.C) {
+			ls = append(ls, logMu(ls[len(ls)-1]))
+		}
+	}
+	S := len(ls) - 2
+	if S < 0 {
+		S = 0
+	}
+	p.S = S
+	f := func(i int) int { // f(i) = ⌈2·log^(i) h⌉, the level-offset function
+		if i >= len(ls) {
+			return 0
+		}
+		return int(math.Ceil(2 * ls[i]))
+	}
+	if S == 0 {
+		p.StarLo = 0
+		return p, nil
+	}
+
+	p.StarLo = h - f(S)
+	if p.StarLo < 0 {
+		p.StarLo = 0
+	}
+	lo := 0 // = h - f(0) since f(0) = 2·⌈h/2⌉ ≥ h
+	for i := 0; i < S; i++ {
+		hi := h - 1 - f(i+1)
+		if i == S-1 && hi >= p.StarLo {
+			hi = p.StarLo - 1
+		}
+		if hi < lo {
+			// Degenerate at small h: fold this and later blocks into B*.
+			p.S = i
+			if lo < p.StarLo {
+				p.StarLo = lo
+			}
+			break
+		}
+		blk := HDagBlock{Lo: lo, Hi: hi, Count: p.countLevels(lo, hi)}
+		// Grid ≈ log^(i) h, power of two, within the mesh.
+		g := floorPow2(int(math.Max(1, ls[i])))
+		if g > side {
+			g = side
+		}
+		if i > 0 && g > p.Blocks[i-1].Grid {
+			g = p.Blocks[i-1].Grid
+		}
+		blk.Grid = g
+		p.Blocks = append(p.Blocks, blk)
+		lo = hi + 1
+	}
+	if len(p.Blocks) == 0 {
+		p.S = 0
+		p.StarLo = 0
+		return p, nil
+	}
+	p.S = len(p.Blocks)
+
+	// Capacity fixpoint: shrink grids until every constraint holds.
+	for changed := true; changed; {
+		changed = false
+		union := 0
+		for i := range p.Blocks {
+			blk := &p.Blocks[i]
+			sub := side / blk.Grid
+			need := blk.Count
+			if union > need {
+				need = union
+			}
+			for blk.Grid > 1 && sub*sub < need {
+				blk.Grid /= 2
+				sub = side / blk.Grid
+				changed = true
+			}
+			if i > 0 && blk.Grid > p.Blocks[i-1].Grid {
+				blk.Grid = p.Blocks[i-1].Grid
+				changed = true
+			}
+			union += blk.Count
+		}
+		// Monotonicity: g_0 ≥ g_1 ≥ … (finer grids for smaller blocks).
+		for i := 1; i < len(p.Blocks); i++ {
+			if p.Blocks[i].Grid > p.Blocks[i-1].Grid {
+				p.Blocks[i].Grid = p.Blocks[i-1].Grid
+				changed = true
+			}
+		}
+		// Label capacity: label-i processors in one B_{i+1}-submesh must
+		// store B_i at ≤ 2 records each.
+		for i := range p.Blocks {
+			blk := &p.Blocks[i]
+			cnt := p.labelCount(i)
+			if cnt >= (blk.Count+1)/2 {
+				blk.LabelPerSub = cnt
+				continue
+			}
+			if blk.Grid > 1 {
+				blk.Grid /= 2
+				changed = true
+			} else {
+				return nil, fmt.Errorf("core: block %d (|B_i|=%d) cannot be stored: label capacity %d", i, blk.Count, cnt)
+			}
+		}
+		if !changed {
+			for i := range p.Blocks {
+				p.Blocks[i].LabelPerSub = p.labelCount(i)
+			}
+		}
+	}
+
+	// Lemma 1 phase split: B_i^1 = [Lo, Hi − ⌈2·log₂ Δh⌉], phase-1 grid
+	// Δh×Δh (rounded down to a power of two, shrunk to fit).
+	for i := range p.Blocks {
+		blk := &p.Blocks[i]
+		dh := blk.Hi - blk.Lo + 1
+		cut := int(math.Ceil(2 * math.Log2(math.Max(2, float64(dh)))))
+		blk.P1Hi = blk.Hi - cut
+		if blk.P1Hi < blk.Lo {
+			blk.P1Hi = blk.Lo - 1 // empty phase 1
+			blk.P1Grid = 1
+			continue
+		}
+		blk.P1Count = p.countLevels(blk.Lo, blk.P1Hi)
+		subSide := side / blk.Grid
+		q := floorPow2(dh)
+		if q > subSide {
+			q = subSide
+		}
+		for q > 1 && (subSide/q)*(subSide/q) < blk.P1Count {
+			q /= 2
+		}
+		blk.P1Grid = q
+	}
+	return p, nil
+}
+
+// ManualPlan builds an Algorithm 1 plan with hand-chosen blocks, validating
+// every capacity constraint. PlanHDag's automatic decomposition never
+// produces S ≥ 2 at physically realizable sizes (log*_μ h ≥ 2 needs
+// h ≥ μ^(μ^c), i.e. > 2^65000 vertices for μ = 2), so deeper recursions —
+// used by the recursion-depth ablation (E17) and the multi-block tests —
+// are specified manually. Blocks must partition levels [0, starLo-1]
+// consecutively; grids must be powers of two, nonincreasing, and divide
+// side.
+func ManualPlan(d *graph.HDag, side, starLo int, blocks []HDagBlock) (*HDagPlan, error) {
+	if d.N() > side*side {
+		return nil, fmt.Errorf("core: DAG with %d vertices exceeds mesh size %d", d.N(), side*side)
+	}
+	p := &HDagPlan{
+		Side: side, H: d.Height(), Mu: d.Mu, C: thresholdC(d.Mu),
+		S: len(blocks), Blocks: append([]HDagBlock{}, blocks...), StarLo: starLo,
+		levelStart: d.LevelStart, levelSizes: d.LevelSizes,
+	}
+	lo := 0
+	union := 0
+	prevGrid := side
+	for i := range p.Blocks {
+		blk := &p.Blocks[i]
+		if blk.Lo != lo {
+			return nil, fmt.Errorf("core: block %d starts at level %d, want %d", i, blk.Lo, lo)
+		}
+		if blk.Hi < blk.Lo {
+			return nil, fmt.Errorf("core: block %d empty", i)
+		}
+		lo = blk.Hi + 1
+		blk.Count = p.countLevels(blk.Lo, blk.Hi)
+		g := blk.Grid
+		if g < 1 || g&(g-1) != 0 || side%g != 0 || g > prevGrid {
+			return nil, fmt.Errorf("core: block %d grid %d invalid (prev %d, side %d)", i, g, prevGrid, side)
+		}
+		prevGrid = g
+		sub := side / g
+		if sub*sub < blk.Count || sub*sub < union {
+			return nil, fmt.Errorf("core: block %d does not fit its submesh", i)
+		}
+		union += blk.Count
+		// Lemma 1 split defaults: recompute from the level range.
+		dh := blk.Hi - blk.Lo + 1
+		cut := int(math.Ceil(2 * math.Log2(math.Max(2, float64(dh)))))
+		blk.P1Hi = blk.Hi - cut
+		blk.P1Grid = 1
+		blk.P1Count = 0
+		if blk.P1Hi >= blk.Lo {
+			blk.P1Count = p.countLevels(blk.Lo, blk.P1Hi)
+			q := floorPow2(dh)
+			if q > sub {
+				q = sub
+			}
+			for q > 1 && (sub/q)*(sub/q) < blk.P1Count {
+				q /= 2
+			}
+			blk.P1Grid = q
+		}
+	}
+	if lo != starLo {
+		return nil, fmt.Errorf("core: blocks end at level %d, B* starts at %d", lo-1, starLo)
+	}
+	if starLo > p.H {
+		return nil, fmt.Errorf("core: B* empty")
+	}
+	for i := range p.Blocks {
+		blk := &p.Blocks[i]
+		blk.LabelPerSub = p.labelCount(i)
+		if 2*blk.LabelPerSub < blk.Count {
+			return nil, fmt.Errorf("core: block %d label capacity %d < ⌈%d/2⌉", i, blk.LabelPerSub, blk.Count)
+		}
+	}
+	return p, nil
+}
+
+// labelCount returns the number of label-i processors in one
+// B_{i+1}-submesh under the current grids: the top-left B_i-submesh minus
+// the top-left B_j-submeshes (j < i) of the finer partitionings that tile
+// it (the overwrites of step 1).
+func (p *HDagPlan) labelCount(i int) int {
+	side := p.Side
+	tSide := side / p.Blocks[i].Grid
+	cnt := tSide * tSide
+	for j := 0; j < i; j++ {
+		tiles := p.Blocks[j+1].Grid / p.Blocks[i].Grid // B_{j+1}-submeshes per T side
+		bj := side / p.Blocks[j].Grid
+		cnt -= tiles * tiles * bj * bj
+	}
+	return cnt
+}
+
+// LabelAt returns the step-1 label of the processor at (row, col): the
+// smallest i such that the processor lies in the top-left B_i-submesh of
+// its B_{i+1}-submesh, or -1 if it lies in none.
+func (p *HDagPlan) LabelAt(row, col int) int {
+	for i := 0; i < p.S; i++ {
+		si := p.Side / p.Blocks[i].Grid // B_i-submesh side
+		so := p.Side / p.GridOf(i+1)    // B_{i+1}-submesh side
+		if row%so < si && col%so < si {
+			return i
+		}
+	}
+	return -1
+}

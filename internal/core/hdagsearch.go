@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+// Algorithm 1 (§3): multisearch on a hierarchical DAG in O(√n) mesh time.
+//
+// Register set (all fixed — the O(1) memory of Theorem 2):
+//
+//	Nodes    initial configuration of G (never moved; serves B*)
+//	Queries  one query per processor, processed in place
+//	labels   step-1 labels
+//	stage    the union-cascade of step 2(b)
+//	store ×2 the distributed B_i storage on label-i processors (≤2 records)
+//	work     the per-B_i-submesh copy of B_i during step 3
+//	phase1   the per-B_i^1-submesh copy of B_i^1 during Lemma 1 phase 1
+//
+// Queries never move: every query is processed by the B_i-submesh that
+// contains its processor, which holds a full copy of B_i when needed.
+
+// HDagStats aggregates one Algorithm 1 run.
+type HDagStats struct {
+	Blocks     int
+	StarLevels int
+	Advanced   int64
+}
+
+type hdagRegs struct {
+	labels *mesh.Reg[int8]
+	stage  *mesh.Reg[graph.Vertex]
+	store1 *mesh.Reg[graph.Vertex]
+	store2 *mesh.Reg[graph.Vertex]
+	work   *mesh.Reg[graph.Vertex]
+	phase1 *mesh.Reg[graph.Vertex]
+}
+
+// MultisearchHDag runs Algorithm 1 on the instance (whose graph must be the
+// hierarchical DAG the plan was computed for).
+func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
+	var st HDagStats
+	st.Blocks = plan.S
+	st.StarLevels = plan.H - plan.StarLo + 1
+	m := in.M
+	regs := &hdagRegs{
+		labels: mesh.NewReg[int8](m),
+		stage:  mesh.NewReg[graph.Vertex](m),
+		store1: mesh.NewReg[graph.Vertex](m),
+		store2: mesh.NewReg[graph.Vertex](m),
+		work:   mesh.NewReg[graph.Vertex](m),
+		phase1: mesh.NewReg[graph.Vertex](m),
+	}
+	for _, r := range []*mesh.Reg[graph.Vertex]{regs.stage, regs.store1, regs.store2, regs.work, regs.phase1} {
+		mesh.Fill(v, r, emptyVertex)
+	}
+	in.Prime(v)
+
+	if plan.S > 0 {
+		// Step 1: labels. One O(1)-local pass per i (log* h passes total).
+		side := m.Side()
+		mesh.Apply(v, regs.labels, func(local int, _ int8) int8 {
+			g := v.Global(local)
+			return int8(plan.LabelAt(g/side, g%side))
+		})
+		v.Charge(int64(plan.S - 1)) // Apply charged 1; step 1 is S passes
+
+		// Step 2 prologue: stage ← U_{S-1} (everything below B*),
+		// concentrated in row-major order. One copy + one concentrate.
+		mesh.Fill(v, regs.stage, emptyVertex)
+		mesh.RouteTo(v, in.Nodes, regs.stage, func(i int, nd graph.Vertex) (int, bool) {
+			return i, nd.ID != graph.Nil && int(nd.Level) <= plan.Blocks[plan.S-1].Hi
+		})
+		mesh.Concentrate(v, regs.stage, emptyVertex, func(nd graph.Vertex) bool {
+			return nd.ID != graph.Nil
+		})
+
+		// Step 2: for i = S-1 … 0, within each B_{i+1}-submesh: distribute
+		// B_i onto the label-i processors, then push U_{i-1} down to the
+		// B_i-submeshes.
+		for i := plan.S - 1; i >= 0; i-- {
+			blk := plan.Blocks[i]
+			gOut := plan.GridOf(i + 1)
+			subs := v.Partition(gOut, gOut)
+			v.RunParallel(subs, func(_ int, delta mesh.View) {
+				distributeToLabels(delta, regs, plan, i)
+				if i > 0 {
+					pushUnionDown(delta, regs, plan.Blocks[i-1].Hi, blk.Grid/gOut)
+				}
+			})
+		}
+
+		// Step 3: for i = 0 … S-1: replicate B_i from its label storage to
+		// every B_i-submesh of each B_{i+1}-submesh, then solve the
+		// multisearch problem for B_i (Lemma 1) in every B_i-submesh.
+		for i := 0; i < plan.S; i++ {
+			blk := plan.Blocks[i]
+			gOut := plan.GridOf(i + 1)
+			subs := v.Partition(gOut, gOut)
+			adv := make([]int64, len(subs))
+			v.RunParallel(subs, func(si int, delta mesh.View) {
+				replicateBi(delta, regs, plan, i)
+				children := delta.Partition(blk.Grid/gOut, blk.Grid/gOut)
+				childAdv := make([]int64, len(children))
+				delta.RunParallel(children, func(ci int, sub mesh.View) {
+					childAdv[ci] = solveLemma1(sub, in, regs, blk)
+				})
+				for _, a := range childAdv {
+					adv[si] += a
+				}
+			})
+			for _, a := range adv {
+				st.Advanced += a
+			}
+		}
+	}
+
+	// Step 4: B* level by level over the whole view, using the untouched
+	// initial configuration (O(1) levels).
+	for t := 0; t < st.StarLevels; t++ {
+		st.Advanced += advanceRange(v, in, in.Nodes, plan.StarLo, plan.H)
+	}
+	if left := in.Unfinished(v); left > 0 {
+		panic(fmt.Sprintf("core: %d queries unfinished after Algorithm 1; graph violates the hierarchical-DAG contract", left))
+	}
+	return st
+}
+
+// distributeToLabels implements step 2(a) within one B_{i+1}-submesh: the
+// B_i records (found in the local stage copy) are spread over the label-i
+// processors, at most two per processor. Cost: one local sort.
+func distributeToLabels(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
+	blk := plan.Blocks[i]
+	size := delta.Size()
+	recs := make([]graph.Vertex, 0, blk.Count)
+	for j := 0; j < size; j++ {
+		nd := mesh.At(delta, regs.stage, j)
+		if nd.ID != graph.Nil && int(nd.Level) >= blk.Lo && int(nd.Level) <= blk.Hi {
+			recs = append(recs, nd)
+		}
+	}
+	if len(recs) != blk.Count {
+		panic(fmt.Sprintf("core: B_%d has %d records in stage, plan says %d", i, len(recs), blk.Count))
+	}
+	slots := make([]int, 0, blk.LabelPerSub)
+	for j := 0; j < size; j++ {
+		g := delta.Global(j)
+		side := delta.Mesh().Side()
+		if plan.LabelAt(g/side, g%side) == i {
+			slots = append(slots, j)
+		}
+	}
+	if len(slots)*2 < len(recs) {
+		panic(fmt.Sprintf("core: B_%d: %d records onto %d label-%d processors", i, len(recs), len(slots), i))
+	}
+	mesh.SortScratch(delta, recs, 1, func(a, b graph.Vertex) bool { return a.ID < b.ID })
+	for r, nd := range recs {
+		if r < len(slots) {
+			mesh.Set(delta, regs.store1, slots[r], nd)
+		} else {
+			mesh.Set(delta, regs.store2, slots[r-len(slots)], nd)
+		}
+	}
+	delta.Charge(1)
+}
+
+// pushUnionDown implements step 2(b) within one B_{i+1}-submesh: shrink the
+// stage to U_{i-1} and replicate it into every child B_i-submesh. Cost: one
+// concentrate plus one block broadcast.
+func pushUnionDown(delta mesh.View, regs *hdagRegs, unionHi int, childGrid int) {
+	n := mesh.Concentrate(delta, regs.stage, emptyVertex, func(nd graph.Vertex) bool {
+		return nd.ID != graph.Nil && int(nd.Level) <= unionHi
+	})
+	block := make([]graph.Vertex, n)
+	for j := 0; j < n; j++ {
+		block[j] = mesh.At(delta, regs.stage, j)
+	}
+	children := delta.Partition(childGrid, childGrid)
+	mesh.BroadcastBlock(delta, regs.stage, block, children)
+}
+
+// replicateBi implements step 3(a) within one B_{i+1}-submesh: gather B_i
+// from the label-i processors (they all lie in the top-left B_i-submesh)
+// and broadcast the block into the work register of every B_i-submesh.
+func replicateBi(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
+	blk := plan.Blocks[i]
+	size := delta.Size()
+	recs := make([]graph.Vertex, 0, blk.Count)
+	for j := 0; j < size; j++ {
+		if nd := mesh.At(delta, regs.store1, j); nd.ID != graph.Nil && int(nd.Level) >= blk.Lo && int(nd.Level) <= blk.Hi {
+			recs = append(recs, nd)
+		}
+	}
+	for j := 0; j < size; j++ {
+		if nd := mesh.At(delta, regs.store2, j); nd.ID != graph.Nil && int(nd.Level) >= blk.Lo && int(nd.Level) <= blk.Hi {
+			recs = append(recs, nd)
+		}
+	}
+	if len(recs) != blk.Count {
+		panic(fmt.Sprintf("core: replicate B_%d found %d records, plan says %d", i, len(recs), blk.Count))
+	}
+	mesh.SortScratch(delta, recs, 1, func(a, b graph.Vertex) bool { return a.ID < b.ID })
+	gOut := plan.GridOf(i + 1)
+	children := delta.Partition(blk.Grid/gOut, blk.Grid/gOut)
+	mesh.Fill(delta, regs.work, emptyVertex)
+	mesh.BroadcastBlock(delta, regs.work, recs, children)
+}
+
+// solveLemma1 solves the multisearch problem for B_i within one
+// B_i-submesh holding a copy of B_i in its work register (Lemma 1):
+// phase 1 replicates B_i^1 into Δh×Δh sub-submeshes and advances the
+// resident queries through B_i^1's levels there; phase 2 advances level by
+// level through B_i^2 at the submesh granularity.
+func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int64 {
+	var advanced int64
+	p2lo := blk.Lo
+	if blk.P1Hi >= blk.Lo {
+		// Phase 1.
+		size := sub.Size()
+		block1 := make([]graph.Vertex, 0, blk.P1Count)
+		for j := 0; j < size; j++ {
+			if nd := mesh.At(sub, regs.work, j); nd.ID != graph.Nil && int(nd.Level) <= blk.P1Hi && int(nd.Level) >= blk.Lo {
+				block1 = append(block1, nd)
+			}
+		}
+		mesh.SortScratch(sub, block1, 1, func(a, b graph.Vertex) bool { return a.ID < b.ID })
+		grand := sub.Partition(blk.P1Grid, blk.P1Grid)
+		mesh.Fill(sub, regs.phase1, emptyVertex)
+		mesh.BroadcastBlock(sub, regs.phase1, block1, grand)
+		iters := blk.P1Hi - blk.Lo + 1
+		childAdv := make([]int64, len(grand))
+		sub.RunParallel(grand, func(gi int, ss mesh.View) {
+			for t := 0; t < iters; t++ {
+				childAdv[gi] += advanceRange(ss, in, regs.phase1, blk.Lo, blk.P1Hi)
+			}
+		})
+		for _, a := range childAdv {
+			advanced += a
+		}
+		p2lo = blk.P1Hi + 1
+	}
+	// Phase 2: level by level through B_i^2 (≈ 2·log Δh levels).
+	for lvl := p2lo; lvl <= blk.Hi; lvl++ {
+		advanced += advanceRange(sub, in, regs.work, lvl, lvl)
+	}
+	return advanced
+}
+
+// advanceRange performs one local multistep: every unfinished query in the
+// view whose current level lies in [lo, hi] visits its next vertex via a
+// random-access read against the given node register. Returns the number of
+// queries advanced.
+func advanceRange(v mesh.View, in *Instance, nodes *mesh.Reg[graph.Vertex], lo, hi int) int64 {
+	var advanced int64
+	mesh.RAR(v,
+		func(i int) (graph.VertexID, graph.Vertex, bool) {
+			nd := mesh.At(v, nodes, i)
+			return nd.ID, nd, nd.ID != graph.Nil
+		},
+		func(i int) (graph.VertexID, bool) {
+			q := mesh.At(v, in.Queries, i)
+			return q.Cur, q.ID != NoQuery && !q.Done && int(q.CurLevel) >= lo && int(q.CurLevel) <= hi
+		},
+		func(i int, nd graph.Vertex, found bool) {
+			q := mesh.At(v, in.Queries, i)
+			if !found {
+				panic(fmt.Sprintf("core: query %d: vertex %d (level %d) missing from its submesh copy", q.ID, q.Cur, q.CurLevel))
+			}
+			Visit(in.F, nd, &q)
+			mesh.Set(v, in.Queries, i, q)
+			advanced++
+		})
+	return advanced
+}

@@ -1,0 +1,110 @@
+package core_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+func TestComputeLevelsCompleteTree(t *testing.T) {
+	for _, h := range []int{3, 7, 11} {
+		d := graph.CompleteTreeHDag(2, h)
+		side := 4
+		for side*side < d.N() {
+			side *= 2
+		}
+		m := mesh.New(side)
+		in := core.NewInstance(m, d.Graph, nil, nil)
+		levels := core.ComputeLevels(m.Root(), in)
+		for id := range d.Verts {
+			if levels[id] != d.Verts[id].Level {
+				t.Fatalf("h=%d vertex %d: computed %d stored %d", h, id, levels[id], d.Verts[id].Level)
+			}
+		}
+		// The Nodes register was updated in place as well.
+		for i, nd := range mesh.Snapshot(m.Root(), in.Nodes) {
+			if nd.ID != graph.Nil && nd.Level != d.Verts[nd.ID].Level {
+				t.Fatalf("h=%d cell %d: register level %d", h, i, nd.Level)
+			}
+		}
+	}
+}
+
+func TestComputeLevelsRandomDag(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 10; trial++ {
+		d := graph.RandomHDag(2, 4+rng.Intn(6), rng)
+		// The structural level (h − longest distance to a sink) equals the
+		// stored level only when every non-last-level vertex has a child;
+		// skip the rare instances where the degree-budget fallback left a
+		// childless interior vertex.
+		ok := true
+		for i := range d.Verts {
+			if d.Verts[i].Deg == 0 && int(d.Verts[i].Level) != d.Height() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		side := 4
+		for side*side < d.N() {
+			side *= 2
+		}
+		m := mesh.New(side)
+		in := core.NewInstance(m, d.Graph, nil, nil)
+		levels := core.ComputeLevels(m.Root(), in)
+		for id := range d.Verts {
+			if levels[id] != d.Verts[id].Level {
+				t.Fatalf("trial %d vertex %d: computed %d stored %d", trial, id, levels[id], d.Verts[id].Level)
+			}
+		}
+	}
+}
+
+func TestComputeLevelsCostTelescopes(t *testing.T) {
+	// §3's remark promises O(√n): with shearsort, O(√n·log n). Check the
+	// telescoping: cost within a small constant times one full-mesh sort
+	// per adjacency slot, despite h rounds.
+	d := graph.CompleteTreeHDag(2, 13)
+	side := 128
+	m := mesh.New(side)
+	in := core.NewInstance(m, d.Graph, nil, nil)
+	m.ResetSteps()
+	core.ComputeLevels(m.Root(), in)
+	sort := m.Root().SortCost()
+	// Each round costs ≈ MaxDegree RARs ≈ 3·MaxDegree sorts at the current
+	// square size; two rounds run per size before the square halves, so the
+	// telescoped total is ≈ 2·3·MaxDegree·Σ4^-i ≈ 8·MaxDegree full-mesh
+	// sorts. Without compression the h=13 rounds would cost ≈ 39·MaxDegree
+	// full-mesh sorts — the budget below separates the two regimes.
+	budget := 16 * sort * int64(graph.MaxDegree)
+	if m.Steps() > budget {
+		t.Fatalf("ComputeLevels cost %d exceeds telescoping budget %d (√n=%d)",
+			m.Steps(), budget, int(math.Sqrt(float64(m.N()))))
+	}
+	noCompress := int64(13) * 3 * int64(graph.MaxDegree) * sort
+	if m.Steps() >= noCompress {
+		t.Fatalf("ComputeLevels cost %d not better than uncompressed %d", m.Steps(), noCompress)
+	}
+}
+
+func TestComputeLevelsDetectsCycle(t *testing.T) {
+	g := graph.New(4, true)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 0)
+	m := mesh.New(2)
+	in := core.NewInstance(m, g, nil, nil)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected stall panic on a cycle")
+		}
+	}()
+	core.ComputeLevels(m.Root(), in)
+}

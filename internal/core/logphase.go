@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+// Algorithms 2 and 3: one log-phase advances every unfinished query Ω(log n)
+// steps (given splitters with the §4 properties) in O(√n) time; the full
+// multisearch iterates log-phases until all search paths end.
+
+// PhaseStats aggregates one multisearch run for the Theorem 5/7 experiments.
+type PhaseStats struct {
+	LogPhases   int
+	GlobalSteps int
+	CMS         []CMSStats
+}
+
+// LogPhaseAlpha runs Algorithm 2, one log-phase of multisearch on an
+// α-partitionable directed graph:
+//
+//  1. every query visits the next node in its search path
+//  2. Constrained-Multisearch({H…,T…}, α)
+//  3. every query visits the next node in its search path
+//  4. Constrained-Multisearch({H…,T…}, α)
+//
+// maxPart bounds every part of the installed primary splitting.
+func LogPhaseAlpha(v mesh.View, in *Instance, maxPart int) []CMSStats {
+	steps := Log2N(v)
+	in.GlobalStep(v)
+	a := ConstrainedMultisearch(v, in, graph.Primary, maxPart, steps)
+	in.GlobalStep(v)
+	b := ConstrainedMultisearch(v, in, graph.Primary, maxPart, steps)
+	return []CMSStats{a, b}
+}
+
+// LogPhaseAlphaBeta runs Algorithm 3, one log-phase of multisearch on an
+// α-β-partitionable undirected graph: like Algorithm 2 but the second
+// constrained multisearch switches to the subgraphs of the β-splitter.
+func LogPhaseAlphaBeta(v mesh.View, in *Instance, maxPart1, maxPart2 int) []CMSStats {
+	steps := Log2N(v)
+	in.GlobalStep(v)
+	a := ConstrainedMultisearch(v, in, graph.Primary, maxPart1, steps)
+	in.GlobalStep(v)
+	b := ConstrainedMultisearch(v, in, graph.Secondary, maxPart2, steps)
+	return []CMSStats{a, b}
+}
+
+// MultisearchAlpha solves the multisearch problem on an α-partitionable
+// directed graph (Theorem 5): Prime once, then iterate Algorithm 2
+// log-phases until every search path has ended. maxPhases guards against
+// inputs violating the partitionability contract (0 = derive from the
+// worst case of one step of progress per phase).
+func MultisearchAlpha(v mesh.View, in *Instance, maxPart, maxPhases int) PhaseStats {
+	return runLogPhases(v, in, maxPhases, func() []CMSStats {
+		return LogPhaseAlpha(v, in, maxPart)
+	})
+}
+
+// MultisearchAlphaBeta solves the multisearch problem on an
+// α-β-partitionable undirected graph (Theorem 7) by iterating Algorithm 3.
+func MultisearchAlphaBeta(v mesh.View, in *Instance, maxPart1, maxPart2, maxPhases int) PhaseStats {
+	return runLogPhases(v, in, maxPhases, func() []CMSStats {
+		return LogPhaseAlphaBeta(v, in, maxPart1, maxPart2)
+	})
+}
+
+func runLogPhases(v mesh.View, in *Instance, maxPhases int, phase func() []CMSStats) PhaseStats {
+	var st PhaseStats
+	in.Prime(v)
+	for in.Unfinished(v) > 0 {
+		if maxPhases > 0 && st.LogPhases >= maxPhases {
+			panic(fmt.Sprintf("core: multisearch did not finish within %d log-phases; "+
+				"check the splitter properties of the input graph", maxPhases))
+		}
+		st.CMS = append(st.CMS, phase()...)
+		st.LogPhases++
+		st.GlobalSteps += 2
+	}
+	return st
+}
+
+// SynchronousMultisearch is the baseline the paper argues against for
+// meshes (§1, the [DR90] hypercube strategy): advance all queries
+// synchronously, one full-mesh random-access read per search step, Θ(r·√n)
+// total. Returns the number of multisteps executed.
+func SynchronousMultisearch(v mesh.View, in *Instance, maxSteps int) int {
+	in.Prime(v)
+	steps := 0
+	for in.Unfinished(v) > 0 {
+		if maxSteps > 0 && steps >= maxSteps {
+			panic(fmt.Sprintf("core: synchronous multisearch exceeded %d multisteps", maxSteps))
+		}
+		in.GlobalStep(v)
+		steps++
+	}
+	return steps
+}

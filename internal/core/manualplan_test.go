@@ -1,0 +1,120 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+// Multi-block Algorithm 1 runs: automatic plans never reach S ≥ 2 at
+// realizable sizes, so the step-2 union cascade (pushUnionDown) is
+// exercised through manual plans.
+
+func TestManualPlanTwoBlocks(t *testing.T) {
+	d := graph.CompleteTreeHDag(2, 9) // 1023 vertices
+	plan, err := core.ManualPlan(d, 32, 6, []core.HDagBlock{
+		{Lo: 0, Hi: 2, Grid: 8},
+		{Lo: 3, Hi: 5, Grid: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.S != 2 || plan.GridOf(0) != 8 || plan.GridOf(1) != 4 || plan.GridOf(2) != 1 {
+		t.Fatalf("plan: %+v", plan)
+	}
+	m := mesh.New(32)
+	qs := workload.KeySearchQueries(512, 1<<9, d.Root(), 3, rand.New(rand.NewSource(40)))
+	want := core.Oracle(d.Graph, qs, workload.KeySearchSuccessor, 0)
+	in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+	st := core.MultisearchHDag(m.Root(), in, plan)
+	if st.Blocks != 2 {
+		t.Fatalf("blocks=%d", st.Blocks)
+	}
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualPlanThreeBlocks(t *testing.T) {
+	d := graph.CompleteTreeHDag(2, 11) // 4095 vertices, side 64
+	plan, err := core.ManualPlan(d, 64, 8, []core.HDagBlock{
+		{Lo: 0, Hi: 2, Grid: 16},
+		{Lo: 3, Hi: 5, Grid: 8},
+		{Lo: 6, Hi: 7, Grid: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mesh.New(64)
+	qs := workload.KeySearchQueries(2048, 1<<11, d.Root(), 1, rand.New(rand.NewSource(41)))
+	want := core.Oracle(d.Graph, qs, workload.KeySearchSuccessor, 0)
+	in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManualPlanValidation(t *testing.T) {
+	d := graph.CompleteTreeHDag(2, 9)
+	cases := []struct {
+		name   string
+		starLo int
+		blocks []core.HDagBlock
+	}{
+		{"gap", 6, []core.HDagBlock{{Lo: 0, Hi: 2, Grid: 8}, {Lo: 4, Hi: 5, Grid: 4}}},
+		{"empty block", 6, []core.HDagBlock{{Lo: 0, Hi: -1, Grid: 8}}},
+		{"bad grid", 6, []core.HDagBlock{{Lo: 0, Hi: 5, Grid: 3}}},
+		{"grid grows", 6, []core.HDagBlock{{Lo: 0, Hi: 2, Grid: 4}, {Lo: 3, Hi: 5, Grid: 8}}},
+		{"overflow", 6, []core.HDagBlock{{Lo: 0, Hi: 5, Grid: 32}}},
+		{"star mismatch", 7, []core.HDagBlock{{Lo: 0, Hi: 2, Grid: 8}}},
+		{"star empty", 10, []core.HDagBlock{{Lo: 0, Hi: 9, Grid: 8}}},
+	}
+	for _, tc := range cases {
+		if _, err := core.ManualPlan(d, 32, tc.starLo, tc.blocks); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+	// Mesh too small.
+	if _, err := core.ManualPlan(d, 16, 6, nil); err == nil {
+		t.Error("mesh overflow: expected error")
+	}
+}
+
+func TestManualPlanMatchesAutomaticCostOrder(t *testing.T) {
+	// Ablation sanity: on the same DAG and queries, a deeper manual
+	// recursion must still produce correct results and cost within 3× of
+	// the automatic plan.
+	d := graph.CompleteTreeHDag(2, 11)
+	qs := workload.KeySearchQueries(2048, 1<<11, d.Root(), 2, rand.New(rand.NewSource(42)))
+
+	mAuto := mesh.New(64)
+	auto, err := core.PlanHDag(d, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inA := core.NewInstance(mAuto, d.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchHDag(mAuto.Root(), inA, auto)
+
+	mMan := mesh.New(64)
+	manual, err := core.ManualPlan(d, 64, 6, []core.HDagBlock{
+		{Lo: 0, Hi: 2, Grid: 16},
+		{Lo: 3, Hi: 5, Grid: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inM := core.NewInstance(mMan, d.Graph, qs, workload.KeySearchSuccessor)
+	core.MultisearchHDag(mMan.Root(), inM, manual)
+
+	if err := core.SameOutcome(inA.ResultQueries(), inM.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	if mMan.Steps() > 3*mAuto.Steps() {
+		t.Fatalf("manual plan cost %d vs automatic %d", mMan.Steps(), mAuto.Steps())
+	}
+}

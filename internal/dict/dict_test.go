@@ -1,0 +1,188 @@
+package dict_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/graph"
+	"repro/internal/mesh"
+)
+
+func randomKeys(n int, span int64, rng *rand.Rand) []int64 {
+	seen := map[int64]bool{}
+	ks := make([]int64, 0, n)
+	for len(ks) < n {
+		k := rng.Int63n(span)
+		if !seen[k] {
+			seen[k] = true
+			ks = append(ks, k)
+		}
+	}
+	return ks
+}
+
+func TestBTreeBuildAndValidate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct{ n, a, b int }{
+		{1, 2, 3}, {2, 2, 3}, {7, 2, 3}, {100, 2, 3}, {1000, 2, 3},
+		{500, 2, 4}, {500, 3, 7}, {777, 2, 5},
+	} {
+		keys := randomKeys(tc.n, 1<<30, rng)
+		bt := dict.New(keys, tc.a, tc.b)
+		if err := bt.Validate(); err != nil {
+			t.Fatalf("n=%d (a,b)=(%d,%d): %v", tc.n, tc.a, tc.b, err)
+		}
+		if err := bt.G.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+	}
+}
+
+func TestBTreeRejectsBadParams(t *testing.T) {
+	for _, f := range []func(){
+		func() { dict.New(nil, 2, 3) },
+		func() { dict.New([]int64{1}, 1, 3) },
+		func() { dict.New([]int64{1}, 3, 4) },  // a > (b+1)/2
+		func() { dict.New([]int64{1}, 2, 99) }, // b too large for payload
+		func() { dict.New([]int64{5, 5}, 2, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestLookupsAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	keys := randomKeys(800, 10000, rng)
+	bt := dict.New(keys, 2, 3)
+	present := map[int64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	needles := make([]int64, 1500)
+	for i := range needles {
+		if i%2 == 0 {
+			needles[i] = keys[rng.Intn(len(keys))]
+		} else {
+			needles[i] = rng.Int63n(10000)
+		}
+	}
+	out := core.Oracle(bt.G, bt.NewQueries(needles), dict.Successor, 0)
+	for i, q := range out {
+		if dict.Member(q) != present[needles[i]] {
+			t.Fatalf("needle %d: member=%v want %v", needles[i], dict.Member(q), present[needles[i]])
+		}
+	}
+}
+
+func TestBatchedLookupsOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	keys := randomKeys(1200, 1<<20, rng)
+	bt := dict.New(keys, 2, 3)
+	maxPart := bt.InstallSplitter()
+	if err := graph.ValidateAlphaPartitionable(bt.G); err != nil {
+		t.Fatal(err)
+	}
+	side := 4
+	for side*side < bt.G.N() {
+		side *= 2
+	}
+	needles := make([]int64, side*side/2)
+	present := map[int64]bool{}
+	for _, k := range keys {
+		present[k] = true
+	}
+	for i := range needles {
+		if i%3 == 0 {
+			needles[i] = keys[rng.Intn(len(keys))]
+		} else {
+			needles[i] = rng.Int63n(1 << 20)
+		}
+	}
+	qs := bt.NewQueries(needles)
+	want := core.Oracle(bt.G, qs, dict.Successor, 0)
+	m := mesh.New(side)
+	in := core.NewInstance(m, bt.G, qs, dict.Successor)
+	core.MultisearchAlpha(m.Root(), in, maxPart, 0)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range in.ResultQueries() {
+		if dict.Member(q) != present[needles[i]] {
+			t.Fatalf("mesh needle %d wrong membership", i)
+		}
+	}
+}
+
+func TestBTreeHeightLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{10, 100, 1000, 10000} {
+		bt := dict.New(randomKeys(n, 1<<40, rng), 2, 3)
+		// height ≤ log₂ n + 1 for a 2-3 tree.
+		bound := 1
+		for x := n; x > 1; x /= 2 {
+			bound++
+		}
+		if bt.Height > bound {
+			t.Fatalf("n=%d: height %d > %d", n, bt.Height, bound)
+		}
+	}
+}
+
+// Property: every inserted key is a member, arbitrary (valid) key sets.
+func TestQuickBTreeMembership(t *testing.T) {
+	f := func(raw []int16, abSel uint8) bool {
+		seen := map[int64]bool{}
+		var keys []int64
+		for _, r := range raw {
+			k := int64(r)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		ab := [][2]int{{2, 3}, {2, 4}, {3, 7}}[int(abSel)%3]
+		bt := dict.New(keys, ab[0], ab[1])
+		if bt.Validate() != nil {
+			return false
+		}
+		out := core.Oracle(bt.G, bt.NewQueries(keys), dict.Successor, 0)
+		for _, q := range out {
+			if !dict.Member(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthSplitterOnIrregularTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	bt := dict.New(randomKeys(700, 1<<30, rng), 2, 3)
+	s := graph.InstallDepthSplitter(bt.G, bt.Root, bt.Depth, (bt.Height+1)/2, graph.Primary)
+	total := 0
+	for _, sz := range s.Sizes {
+		total += sz
+	}
+	if total != bt.G.N() {
+		t.Fatalf("splitter covers %d of %d", total, bt.G.N())
+	}
+	if err := graph.ValidateAlphaPartitionable(bt.G); err != nil {
+		t.Fatal(err)
+	}
+}

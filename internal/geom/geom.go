@@ -1,0 +1,135 @@
+// Package geom provides the exact computational-geometry substrate for the
+// §5 applications: integer points, exact orientation predicates (int64 fast
+// path with big.Int fallback), 2-D convex hulls, planar triangulations, and
+// 3-D convex hulls. All predicates are exact for coordinates bounded by
+// MaxCoord, so the structures built on top (Kirkpatrick hierarchies,
+// Dobkin–Kirkpatrick hierarchies) are combinatorially sound.
+package geom
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// MaxCoord bounds |X|, |Y|, |Z| of all inputs. Orient2D is then exact in
+// int64; Orient3D uses a big.Int fallback when the int64 computation could
+// overflow.
+const MaxCoord = 1 << 29
+
+// Point2 is an exact 2-D point.
+type Point2 struct{ X, Y int64 }
+
+// Point3 is an exact 3-D point.
+type Point3 struct{ X, Y, Z int64 }
+
+// CheckCoord panics if a coordinate exceeds MaxCoord.
+func CheckCoord(vs ...int64) {
+	for _, v := range vs {
+		if v > MaxCoord || v < -MaxCoord {
+			panic(fmt.Sprintf("geom: coordinate %d exceeds ±%d", v, int64(MaxCoord)))
+		}
+	}
+}
+
+// Orient2D returns the sign of the cross product (b−a)×(c−a):
+// +1 if a,b,c make a left (counter-clockwise) turn, −1 for a right turn,
+// 0 for collinear. Exact: |coords| ≤ 2^29 keeps the computation in int64.
+func Orient2D(a, b, c Point2) int {
+	det := (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	switch {
+	case det > 0:
+		return 1
+	case det < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Orient3D returns the sign of the determinant
+//
+//	| b−a |
+//	| c−a |
+//	| d−a |
+//
+// +1 when d lies on the positive side of the plane through a,b,c oriented
+// counter-clockwise (right-hand rule), −1 on the negative side, 0 when
+// coplanar. The products can reach 3·2^93, so the exact value is computed
+// with big.Int whenever the float64 estimate is within its error bound.
+func Orient3D(a, b, c, d Point3) int {
+	ax, ay, az := float64(b.X-a.X), float64(b.Y-a.Y), float64(b.Z-a.Z)
+	bx, by, bz := float64(c.X-a.X), float64(c.Y-a.Y), float64(c.Z-a.Z)
+	cx, cy, cz := float64(d.X-a.X), float64(d.Y-a.Y), float64(d.Z-a.Z)
+	det := ax*(by*cz-bz*cy) - ay*(bx*cz-bz*cx) + az*(bx*cy-by*cx)
+	// Forward error bound: |det| computed with ~7 flops per term; a crude
+	// but safe bound is 16·ε·M where M bounds the term magnitudes.
+	absTerm := abs3(ax*(by*cz), ax*(bz*cy), ay*(bx*cz)) + abs3(ay*(bz*cx), az*(bx*cy), az*(by*cx))
+	err := 1e-14 * absTerm
+	if det > err {
+		return 1
+	}
+	if det < -err {
+		return -1
+	}
+	return orient3DExact(a, b, c, d)
+}
+
+func abs3(a, b, c float64) float64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if c < 0 {
+		c = -c
+	}
+	return a + b + c
+}
+
+func orient3DExact(a, b, c, d Point3) int {
+	bi := func(v int64) *big.Int { return big.NewInt(v) }
+	ax, ay, az := bi(b.X-a.X), bi(b.Y-a.Y), bi(b.Z-a.Z)
+	bx, by, bz := bi(c.X-a.X), bi(c.Y-a.Y), bi(c.Z-a.Z)
+	cx, cy, cz := bi(d.X-a.X), bi(d.Y-a.Y), bi(d.Z-a.Z)
+	t := new(big.Int)
+	u := new(big.Int)
+	det := new(big.Int)
+	// ax·(by·cz − bz·cy)
+	det.Mul(ax, u.Sub(t.Mul(by, cz), u.Mul(bz, cy)))
+	// − ay·(bx·cz − bz·cx)
+	t2 := new(big.Int)
+	t2.Mul(ay, u.Sub(t.Mul(bx, cz), u.Mul(bz, cx)))
+	det.Sub(det, t2)
+	// + az·(bx·cy − by·cx)
+	t2.Mul(az, u.Sub(t.Mul(bx, cy), u.Mul(by, cx)))
+	det.Add(det, t2)
+	return det.Sign()
+}
+
+// InTriangle reports whether p lies inside or on the triangle a,b,c
+// (any orientation).
+func InTriangle(p, a, b, c Point2) bool {
+	d1 := Orient2D(a, b, p)
+	d2 := Orient2D(b, c, p)
+	d3 := Orient2D(c, a, p)
+	hasNeg := d1 < 0 || d2 < 0 || d3 < 0
+	hasPos := d1 > 0 || d2 > 0 || d3 > 0
+	return !(hasNeg && hasPos)
+}
+
+// Dot3 returns the dot product d·p.
+func Dot3(d, p Point3) int64 { return d.X*p.X + d.Y*p.Y + d.Z*p.Z }
+
+// Sub3 returns a − b.
+func Sub3(a, b Point3) Point3 { return Point3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Cross3 returns a × b. Inputs must be difference vectors of bounded
+// points; the result may exceed MaxCoord (it is not a point).
+func Cross3(a, b Point3) Point3 {
+	return Point3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}

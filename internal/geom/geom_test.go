@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrient2D(t *testing.T) {
+	a, b := Point2{0, 0}, Point2{4, 0}
+	if Orient2D(a, b, Point2{2, 1}) != 1 {
+		t.Fatal("left turn")
+	}
+	if Orient2D(a, b, Point2{2, -1}) != -1 {
+		t.Fatal("right turn")
+	}
+	if Orient2D(a, b, Point2{8, 0}) != 0 {
+		t.Fatal("collinear")
+	}
+}
+
+func TestOrient3DMatchesExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		p := func() Point3 {
+			return Point3{rng.Int63n(2*MaxCoord+1) - MaxCoord,
+				rng.Int63n(2*MaxCoord+1) - MaxCoord,
+				rng.Int63n(2*MaxCoord+1) - MaxCoord}
+		}
+		a, b, c, d := p(), p(), p(), p()
+		if Orient3D(a, b, c, d) != orient3DExact(a, b, c, d) {
+			t.Fatalf("filter disagrees with exact on %v %v %v %v", a, b, c, d)
+		}
+	}
+}
+
+func TestOrient3DDegenerate(t *testing.T) {
+	a := Point3{0, 0, 0}
+	b := Point3{1 << 28, 0, 0}
+	c := Point3{0, 1 << 28, 0}
+	if Orient3D(a, b, c, Point3{5, 7, 0}) != 0 {
+		t.Fatal("coplanar must be 0")
+	}
+	if Orient3D(a, b, c, Point3{5, 7, 1}) == 0 {
+		t.Fatal("off-plane must be nonzero")
+	}
+	// Near-degenerate: tiny height over huge base forces the exact path.
+	if Orient3D(a, b, c, Point3{(1 << 28) - 1, (1 << 28) - 1, 1}) == 0 {
+		t.Fatal("height-1 point must be nonzero")
+	}
+}
+
+func TestInTriangle(t *testing.T) {
+	a, b, c := Point2{0, 0}, Point2{10, 0}, Point2{0, 10}
+	if !InTriangle(Point2{1, 1}, a, b, c) || !InTriangle(Point2{0, 0}, a, b, c) ||
+		!InTriangle(Point2{5, 5}, a, b, c) {
+		t.Fatal("inside/boundary")
+	}
+	if InTriangle(Point2{6, 6}, a, b, c) || InTriangle(Point2{-1, 0}, a, b, c) {
+		t.Fatal("outside")
+	}
+	// Works for CW orientation too.
+	if !InTriangle(Point2{1, 1}, a, c, b) {
+		t.Fatal("CW triangle")
+	}
+}
+
+func TestConvexHull2DSquare(t *testing.T) {
+	pts := []Point2{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {2, 0}}
+	hull := ConvexHull2D(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull size %d want 4 (collinear (2,0) dropped)", len(hull))
+	}
+	poly := make([]Point2, len(hull))
+	for i, id := range hull {
+		poly[i] = pts[id]
+	}
+	for _, p := range pts {
+		if !PointInConvexCCW(poly, p) {
+			t.Fatalf("point %v outside its hull", p)
+		}
+	}
+}
+
+func TestConvexHull2DDegenerate(t *testing.T) {
+	if h := ConvexHull2D([]Point2{{1, 1}}); len(h) != 1 {
+		t.Fatal("single point")
+	}
+	if h := ConvexHull2D([]Point2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}); len(h) != 2 {
+		t.Fatalf("collinear: %d", len(h))
+	}
+	if h := ConvexHull2D([]Point2{{5, 5}, {5, 5}, {5, 5}}); len(h) != 1 {
+		t.Fatal("duplicates")
+	}
+}
+
+func TestQuickHull2DContainsAll(t *testing.T) {
+	f := func(raw [24][2]int16) bool {
+		pts := make([]Point2, len(raw))
+		for i, r := range raw {
+			pts[i] = Point2{int64(r[0]), int64(r[1])}
+		}
+		hull := ConvexHull2D(pts)
+		if len(hull) < 3 {
+			return true // degenerate draws
+		}
+		poly := make([]Point2, len(hull))
+		for i, id := range hull {
+			poly[i] = pts[id]
+		}
+		// CCW and containing everything.
+		for i := range poly {
+			j, k := (i+1)%len(poly), (i+2)%len(poly)
+			if Orient2D(poly[i], poly[j], poly[k]) <= 0 {
+				return false
+			}
+		}
+		for _, p := range pts {
+			if !PointInConvexCCW(poly, p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomPoints2(n int, span int64, rng *rand.Rand) []Point2 {
+	seen := map[Point2]bool{}
+	pts := make([]Point2, 0, n)
+	for len(pts) < n {
+		p := Point2{rng.Int63n(span), rng.Int63n(span)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestTriangulateValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{3, 4, 10, 100, 1000} {
+		pts := randomPoints2(n, 10000, rng)
+		tr, err := Triangulate(pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestTriangulateWithCollinearRuns(t *testing.T) {
+	// Grid points: many collinear triples and a collinear prefix.
+	var pts []Point2
+	for x := int64(0); x < 8; x++ {
+		for y := int64(0); y < 8; y++ {
+			pts = append(pts, Point2{x * 3, y * 3})
+		}
+	}
+	tr, err := Triangulate(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Tris) != 2*49 { // (m-1)(n-1) squares × 2 triangles
+		t.Fatalf("triangles %d want %d", len(tr.Tris), 2*49)
+	}
+}
+
+func TestTriangulateErrors(t *testing.T) {
+	if _, err := Triangulate([]Point2{{0, 0}, {1, 1}}); err == nil {
+		t.Fatal("too few")
+	}
+	if _, err := Triangulate([]Point2{{0, 0}, {1, 1}, {2, 2}, {3, 3}}); err == nil {
+		t.Fatal("collinear")
+	}
+	if _, err := Triangulate([]Point2{{0, 0}, {0, 0}, {1, 2}}); err == nil {
+		t.Fatal("duplicate")
+	}
+}
+
+func TestQuickTriangulateValid(t *testing.T) {
+	f := func(raw [12][2]uint8) bool {
+		seen := map[Point2]bool{}
+		var pts []Point2
+		for _, r := range raw {
+			p := Point2{int64(r[0] % 32), int64(r[1] % 32)}
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
+			}
+		}
+		tr, err := Triangulate(pts)
+		if err != nil {
+			return true // degenerate input
+		}
+		return tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvexHull3DCube(t *testing.T) {
+	var pts []Point3
+	for x := int64(0); x <= 1; x++ {
+		for y := int64(0); y <= 1; y++ {
+			for z := int64(0); z <= 1; z++ {
+				pts = append(pts, Point3{x * 10, y * 10, z * 10})
+			}
+		}
+	}
+	pts = append(pts, Point3{5, 5, 5}) // interior
+	p, err := ConvexHull3D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Verts) != 8 {
+		t.Fatalf("hull vertices %d want 8", len(p.Verts))
+	}
+	if len(p.Faces) != 12 { // cube = 6 quads = 12 triangles
+		t.Fatalf("faces %d want 12", len(p.Faces))
+	}
+}
+
+func TestConvexHull3DRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{4, 16, 64, 256} {
+		pts := RandomSpherePoints(n, 1<<20, rng)
+		p, err := ConvexHull3D(pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Sphere points: (almost) all on hull.
+		if len(p.Verts) < n*9/10 {
+			t.Fatalf("n=%d: only %d hull vertices", n, len(p.Verts))
+		}
+	}
+}
+
+func TestConvexHull3DDegenerateErrors(t *testing.T) {
+	if _, err := ConvexHull3D([]Point3{{0, 0, 0}, {1, 1, 1}, {2, 2, 2}, {3, 3, 3}}); err == nil {
+		t.Fatal("collinear")
+	}
+	if _, err := ConvexHull3D([]Point3{{0, 0, 0}, {1, 0, 0}, {0, 1, 0}, {1, 1, 0}}); err == nil {
+		t.Fatal("coplanar")
+	}
+	if _, err := ConvexHull3D([]Point3{{1, 1, 1}, {1, 1, 1}, {1, 1, 1}, {1, 1, 1}}); err == nil {
+		t.Fatal("identical")
+	}
+}
+
+func TestPolyhedronNeighborsSymmetric(t *testing.T) {
+	pts := RandomSpherePoints(50, 1<<16, rand.New(rand.NewSource(4)))
+	p, err := ConvexHull3D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adj := p.Neighbors()
+	for u, ns := range adj {
+		for _, v := range ns {
+			found := false
+			for _, w := range adj[v] {
+				if w == u {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("adjacency asymmetric: %d-%d", u, v)
+			}
+		}
+	}
+}
+
+func TestExtremeBrute(t *testing.T) {
+	pts := RandomSpherePoints(100, 1<<16, rand.New(rand.NewSource(5)))
+	p, err := ConvexHull3D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Point3{3, -7, 2}
+	best := p.Extreme(d)
+	for _, v := range p.Verts {
+		if Dot3(d, p.Pts[v]) > Dot3(d, p.Pts[best]) {
+			t.Fatal("Extreme not maximal")
+		}
+	}
+}
+
+func TestMergeHulls(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := RandomSpherePoints(60, 1<<16, rng)
+	b := RandomSpherePoints(60, 1<<16, rng)
+	for i := range b {
+		b[i].X += 3 << 16 // overlapping-but-offset union
+	}
+	pa, err := ConvexHull3D(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := ConvexHull3D(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeHulls(pa, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Every input point lies inside the merged hull.
+	for _, p := range append(append([]Point3{}, a...), b...) {
+		for _, f := range merged.Faces {
+			if Orient3D(merged.Pts[f[0]], merged.Pts[f[1]], merged.Pts[f[2]], p) > 0 {
+				t.Fatalf("point %v outside merged hull", p)
+			}
+		}
+	}
+	// Interior vertices of the union (the facing caps) must vanish.
+	if len(merged.Verts) >= len(pa.Verts)+len(pb.Verts) {
+		t.Fatalf("merge kept all %d+%d vertices", len(pa.Verts), len(pb.Verts))
+	}
+}
+
+func TestCheckCoord(t *testing.T) {
+	CheckCoord(0, MaxCoord, -MaxCoord)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CheckCoord(MaxCoord + 1)
+}

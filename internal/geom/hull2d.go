@@ -1,0 +1,69 @@
+package geom
+
+import "sort"
+
+// ConvexHull2D returns the convex hull of the points in counter-clockwise
+// order (Andrew's monotone chain). Collinear points on the hull boundary
+// are dropped; duplicates are ignored. Returns indices into pts.
+func ConvexHull2D(pts []Point2) []int32 {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(i, j int) bool {
+		a, b := pts[idx[i]], pts[idx[j]]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	// Dedupe.
+	uniq := idx[:0]
+	for i, id := range idx {
+		if i == 0 || pts[id] != pts[uniq[len(uniq)-1]] {
+			uniq = append(uniq, id)
+		}
+	}
+	idx = uniq
+	n = len(idx)
+	if n == 1 {
+		return []int32{idx[0]}
+	}
+	build := func(order []int32) []int32 {
+		var h []int32
+		for _, id := range order {
+			for len(h) >= 2 && Orient2D(pts[h[len(h)-2]], pts[h[len(h)-1]], pts[id]) <= 0 {
+				h = h[:len(h)-1]
+			}
+			h = append(h, id)
+		}
+		return h
+	}
+	lower := build(idx)
+	rev := make([]int32, n)
+	for i, id := range idx {
+		rev[n-1-i] = id
+	}
+	upper := build(rev)
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	if len(hull) == 0 { // all collinear
+		return []int32{idx[0], idx[n-1]}
+	}
+	return hull
+}
+
+// PointInConvexCCW reports whether p lies inside or on the convex polygon
+// given by hull vertex positions in CCW order.
+func PointInConvexCCW(poly []Point2, p Point2) bool {
+	for i := range poly {
+		j := (i + 1) % len(poly)
+		if Orient2D(poly[i], poly[j], p) < 0 {
+			return false
+		}
+	}
+	return true
+}

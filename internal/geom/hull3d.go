@@ -1,0 +1,252 @@
+package geom
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Polyhedron is a convex polyhedron: hull faces over a point array, CCW as
+// seen from outside.
+type Polyhedron struct {
+	Pts   []Point3
+	Verts []int32    // hull vertex indices (sorted, unique)
+	Faces [][3]int32 // outward-oriented faces
+}
+
+// ConvexHull3D computes the convex hull of pts by the incremental
+// algorithm with exact predicates: for each point, the visible faces are
+// removed and the horizon is coned to the new point. Points coplanar with a
+// face are treated as not outside it (degenerate inputs yield a hull of a
+// subset — still convex and containing all points). O(n·F) time.
+func ConvexHull3D(pts []Point3) (*Polyhedron, error) {
+	n := len(pts)
+	if n < 4 {
+		return nil, fmt.Errorf("geom: 3-D hull needs ≥ 4 points, got %d", n)
+	}
+	// Initial simplex: four affinely independent points.
+	i0 := 0
+	i1 := -1
+	for i := 1; i < n; i++ {
+		if pts[i] != pts[i0] {
+			i1 = i
+			break
+		}
+	}
+	if i1 < 0 {
+		return nil, fmt.Errorf("geom: all points identical")
+	}
+	i2 := -1
+	for i := i1 + 1; i < n; i++ {
+		c := Cross3(Sub3(pts[i1], pts[i0]), Sub3(pts[i], pts[i0]))
+		if c != (Point3{}) {
+			i2 = i
+			break
+		}
+	}
+	if i2 < 0 {
+		return nil, fmt.Errorf("geom: all points collinear")
+	}
+	i3 := -1
+	for i := i2 + 1; i < n; i++ {
+		if Orient3D(pts[i0], pts[i1], pts[i2], pts[i]) != 0 {
+			i3 = i
+			break
+		}
+	}
+	if i3 < 0 {
+		return nil, fmt.Errorf("geom: all points coplanar")
+	}
+	a, b, c, d := int32(i0), int32(i1), int32(i2), int32(i3)
+	if Orient3D(pts[a], pts[b], pts[c], pts[d]) > 0 {
+		b, c = c, b // make d lie on the negative side of (a,b,c)
+	}
+	faces := [][3]int32{{a, b, c}, {a, d, b}, {b, d, c}, {c, d, a}}
+
+	used := map[int32]bool{a: true, b: true, c: true, d: true}
+	for i := 0; i < n; i++ {
+		p := int32(i)
+		if used[p] {
+			continue
+		}
+		visible := make([]bool, len(faces))
+		any := false
+		for fi, f := range faces {
+			if Orient3D(pts[f[0]], pts[f[1]], pts[f[2]], pts[p]) > 0 {
+				visible[fi] = true
+				any = true
+			}
+		}
+		if !any {
+			continue // inside (or on) the current hull
+		}
+		// Horizon: directed edges of non-visible faces whose twin lies in a
+		// visible face.
+		type edge struct{ u, v int32 }
+		inVisible := map[edge]bool{}
+		for fi, f := range faces {
+			if visible[fi] {
+				for e := 0; e < 3; e++ {
+					inVisible[edge{f[e], f[(e+1)%3]}] = true
+				}
+			}
+		}
+		var next [][3]int32
+		for fi, f := range faces {
+			if !visible[fi] {
+				next = append(next, f)
+			}
+		}
+		for fi, f := range faces {
+			if !visible[fi] {
+				continue
+			}
+			for e := 0; e < 3; e++ {
+				u, v := f[e], f[(e+1)%3]
+				if !inVisible[edge{v, u}] { // twin belongs to a hidden face
+					next = append(next, [3]int32{u, v, p})
+				}
+			}
+		}
+		faces = next
+		used[p] = true
+	}
+
+	poly := &Polyhedron{Pts: pts, Faces: faces}
+	onHull := map[int32]bool{}
+	for _, f := range faces {
+		onHull[f[0]] = true
+		onHull[f[1]] = true
+		onHull[f[2]] = true
+	}
+	for v := range onHull {
+		poly.Verts = append(poly.Verts, v)
+	}
+	sortInt32(poly.Verts)
+	return poly, nil
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Validate checks convexity (no input point strictly outside any face),
+// edge pairing (every directed edge has exactly one twin), and Euler's
+// formula.
+func (p *Polyhedron) Validate() error {
+	type edge struct{ u, v int32 }
+	edges := map[edge]int{}
+	for _, f := range p.Faces {
+		if f[0] == f[1] || f[1] == f[2] || f[0] == f[2] {
+			return fmt.Errorf("geom: degenerate face %v", f)
+		}
+		for e := 0; e < 3; e++ {
+			edges[edge{f[e], f[(e+1)%3]}]++
+		}
+	}
+	und := map[edge]int{}
+	for e, c := range edges {
+		if c != 1 {
+			return fmt.Errorf("geom: directed edge %v in %d faces", e, c)
+		}
+		if edges[edge{e.v, e.u}] != 1 {
+			return fmt.Errorf("geom: edge %v missing twin", e)
+		}
+		u, v := e.u, e.v
+		if u > v {
+			u, v = v, u
+		}
+		und[edge{u, v}]++
+	}
+	v, ee, f := len(p.Verts), len(und), len(p.Faces)
+	if v-ee+f != 2 {
+		return fmt.Errorf("geom: Euler V−E+F = %d−%d+%d ≠ 2", v, ee, f)
+	}
+	for _, face := range p.Faces {
+		for i := range p.Pts {
+			if Orient3D(p.Pts[face[0]], p.Pts[face[1]], p.Pts[face[2]], p.Pts[i]) > 0 {
+				return fmt.Errorf("geom: point %d outside face %v", i, face)
+			}
+		}
+	}
+	return nil
+}
+
+// Neighbors returns the 1-skeleton adjacency lists, keyed by vertex index.
+func (p *Polyhedron) Neighbors() map[int32][]int32 {
+	seen := map[[2]int32]bool{}
+	adj := map[int32][]int32{}
+	add := func(u, v int32) {
+		k := [2]int32{u, v}
+		if !seen[k] {
+			seen[k] = true
+			adj[u] = append(adj[u], v)
+		}
+	}
+	for _, f := range p.Faces {
+		for e := 0; e < 3; e++ {
+			u, v := f[e], f[(e+1)%3]
+			add(u, v)
+			add(v, u)
+		}
+	}
+	return adj
+}
+
+// Extreme returns the hull vertex maximizing the dot product with d
+// (brute force reference).
+func (p *Polyhedron) Extreme(d Point3) int32 {
+	best := p.Verts[0]
+	bestDot := Dot3(d, p.Pts[best])
+	for _, v := range p.Verts[1:] {
+		if dot := Dot3(d, p.Pts[v]); dot > bestDot ||
+			(dot == bestDot && v < best) {
+			best = v
+			bestDot = dot
+		}
+	}
+	return best
+}
+
+// MergeHulls computes the convex hull of the union of two polyhedra
+// (the "merging 3-d convex hulls" operation of Theorem 8.3). Only hull
+// vertices of the inputs are considered; the result owns a fresh point
+// array.
+func MergeHulls(p, q *Polyhedron) (*Polyhedron, error) {
+	pts := make([]Point3, 0, len(p.Verts)+len(q.Verts))
+	for _, v := range p.Verts {
+		pts = append(pts, p.Pts[v])
+	}
+	for _, v := range q.Verts {
+		pts = append(pts, q.Pts[v])
+	}
+	return ConvexHull3D(pts)
+}
+
+// RandomSpherePoints draws n integer points near a sphere of the given
+// radius — in strong general position with overwhelming probability, so
+// every point is a hull vertex.
+func RandomSpherePoints(n int, radius int64, rng *rand.Rand) []Point3 {
+	if radius > MaxCoord {
+		panic("geom: radius exceeds MaxCoord")
+	}
+	pts := make([]Point3, 0, n)
+	seen := map[Point3]bool{}
+	for len(pts) < n {
+		x := rng.NormFloat64()
+		y := rng.NormFloat64()
+		z := rng.NormFloat64()
+		norm := x*x + y*y + z*z
+		if norm < 1e-9 {
+			continue
+		}
+		s := float64(radius) / math.Sqrt(norm)
+		p := Point3{int64(x * s), int64(y * s), int64(z * s)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}

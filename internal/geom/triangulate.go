@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Triangulation is a triangulation of the convex hull of a point set:
+// triangles are CCW index triples, pairwise interior-disjoint, covering the
+// hull.
+type Triangulation struct {
+	Points []Point2
+	Tris   [][3]int32
+}
+
+// Triangulate builds a triangulation of the convex hull of pts by the
+// incremental sweep: points are inserted in lexicographic order, each new
+// point fanning triangles to the hull edges it sees. Duplicate points are
+// rejected. Runs in O(n log n) amortized (each hull vertex is buried once).
+func Triangulate(pts []Point2) (*Triangulation, error) {
+	n := len(pts)
+	if n < 3 {
+		return nil, fmt.Errorf("geom: triangulation needs ≥ 3 points, got %d", n)
+	}
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := pts[order[i]], pts[order[j]]
+		if a.X != b.X {
+			return a.X < b.X
+		}
+		return a.Y < b.Y
+	})
+	for i := 1; i < n; i++ {
+		if pts[order[i]] == pts[order[i-1]] {
+			return nil, fmt.Errorf("geom: duplicate point %v", pts[order[i]])
+		}
+	}
+
+	t := &Triangulation{Points: pts}
+	// Collinear prefix: grow a chain until a non-collinear point arrives.
+	chain := []int32{order[0], order[1]}
+	k := 2
+	for ; k < n; k++ {
+		p := order[k]
+		if Orient2D(pts[chain[0]], pts[chain[1]], pts[p]) != 0 {
+			break
+		}
+		chain = append(chain, p)
+	}
+	if k == n {
+		return nil, fmt.Errorf("geom: all %d points are collinear", n)
+	}
+	apex := order[k]
+	// Fan from the apex to every chain edge, oriented CCW.
+	for i := 0; i+1 < len(chain); i++ {
+		a, b := chain[i], chain[i+1]
+		if Orient2D(pts[a], pts[b], pts[apex]) > 0 {
+			t.Tris = append(t.Tris, [3]int32{a, b, apex})
+		} else {
+			t.Tris = append(t.Tris, [3]int32{b, a, apex})
+		}
+	}
+	// Hull in CCW order: chain then apex on the correct side.
+	var hull []int32
+	if Orient2D(pts[chain[0]], pts[chain[len(chain)-1]], pts[apex]) > 0 {
+		hull = append(append([]int32{}, chain...), apex)
+	} else {
+		for i := len(chain) - 1; i >= 0; i-- {
+			hull = append(hull, chain[i])
+		}
+		hull = append(hull, apex)
+	}
+
+	// Doubly linked hull with amortized visibility walks from the newest
+	// vertex.
+	next := make(map[int32]int32, n)
+	prev := make(map[int32]int32, n)
+	for i := range hull {
+		j := (i + 1) % len(hull)
+		next[hull[i]] = hull[j]
+		prev[hull[j]] = hull[i]
+	}
+	last := apex
+	for k++; k < n; k++ {
+		p := order[k]
+		// Find the start of the contiguous visible arc: first walk backward
+		// until some outgoing edge is visible, then rewind over any earlier
+		// visible edges.
+		v := last
+		for Orient2D(pts[v], pts[next[v]], pts[p]) >= 0 {
+			v = prev[v]
+		}
+		for Orient2D(pts[prev[v]], pts[v], pts[p]) < 0 {
+			v = prev[v]
+		}
+		// v starts the visible arc; triangulate the run [v, ..., w].
+		w := v
+		for Orient2D(pts[w], pts[next[w]], pts[p]) < 0 {
+			t.Tris = append(t.Tris, [3]int32{next[w], w, p})
+			w = next[w]
+		}
+		// Replace the run (v..w) by (v, p, w).
+		next[v] = p
+		prev[p] = v
+		next[p] = w
+		prev[w] = p
+		last = p
+	}
+	return t, nil
+}
+
+// Hull returns the CCW hull cycle of the triangulation (edges used by
+// exactly one triangle).
+func (t *Triangulation) Hull() []int32 {
+	return ConvexHull2D(t.Points)
+}
+
+// Validate checks structural soundness: CCW triangles, every interior edge
+// shared by exactly two triangles with opposite orientations, hull edges by
+// one, and total area equal to the hull area.
+func (t *Triangulation) Validate() error {
+	type edge struct{ a, b int32 }
+	count := map[edge]int{}
+	var area2 int64
+	for ti, tr := range t.Tris {
+		a, b, c := t.Points[tr[0]], t.Points[tr[1]], t.Points[tr[2]]
+		if Orient2D(a, b, c) <= 0 {
+			return fmt.Errorf("geom: triangle %d not CCW", ti)
+		}
+		area2 += (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+		for e := 0; e < 3; e++ {
+			u, v := tr[e], tr[(e+1)%3]
+			count[edge{u, v}]++
+		}
+	}
+	for e, c := range count {
+		rev := count[edge{e.b, e.a}]
+		if c != 1 {
+			return fmt.Errorf("geom: directed edge %v used %d times", e, c)
+		}
+		if rev != 0 && rev != 1 {
+			return fmt.Errorf("geom: edge %v/%v mismatch", e, edge{e.b, e.a})
+		}
+	}
+	hull := ConvexHull2D(t.Points)
+	var hullArea2 int64
+	for i := 1; i+1 < len(hull); i++ {
+		a, b, c := t.Points[hull[0]], t.Points[hull[i]], t.Points[hull[i+1]]
+		hullArea2 += (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+	}
+	if area2 != hullArea2 {
+		return fmt.Errorf("geom: triangulated area %d ≠ hull area %d", area2, hullArea2)
+	}
+	return nil
+}

@@ -1,0 +1,74 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// InstallDepthSplitter installs the depth-cut splitting on an arbitrary
+// rooted tree (not necessarily complete or of uniform arity): removing all
+// edges between depths cut-1 and cut leaves the top tree (part 0) and one
+// part per subtree rooted at depth cut. depths must give each vertex's
+// distance from the root; for directed trees arcs must point away from the
+// root. This generalizes InstallTreeSplitter to the (a,b)-trees and other
+// irregular structures of §6.
+func InstallDepthSplitter(g *Graph, root VertexID, depths []int32, cut int, slot Slot) Splitting {
+	if cut < 1 {
+		panic("graph: depth splitter cut must be ≥ 1")
+	}
+	if len(depths) != g.N() {
+		panic("graph: depths length mismatch")
+	}
+	next := int32(1)
+	sizes := []int{0}
+	// BFS from the root assigning parts: the part changes exactly when the
+	// BFS crosses the cut depth.
+	part := make([]int32, g.N())
+	for i := range part {
+		part[i] = NoPart
+	}
+	queue := []VertexID{root}
+	part[root] = 0
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		sizes[part[u]]++
+		v := &g.Verts[u]
+		for j := 0; j < int(v.Deg); j++ {
+			w := v.Adj[j]
+			if depths[w] != depths[u]+1 {
+				continue // ignore parent arcs in undirected trees
+			}
+			if part[w] != NoPart {
+				continue
+			}
+			if int(depths[w]) == cut {
+				part[w] = next
+				next++
+				sizes = append(sizes, 0)
+			} else {
+				part[w] = part[u]
+			}
+			queue = append(queue, w)
+		}
+	}
+	maxPart := 0
+	total := 0
+	for _, s := range sizes {
+		total += s
+		if s > maxPart {
+			maxPart = s
+		}
+	}
+	if total != g.N() {
+		panic(fmt.Sprintf("graph: depth splitter covered %d of %d vertices (unreachable vertices?)", total, g.N()))
+	}
+	for i := range g.Verts {
+		slot.set(&g.Verts[i], part[i])
+	}
+	g.RefreshAdjParts()
+	return Splitting{
+		Slot: slot, K: len(sizes), Sizes: sizes, MaxPart: maxPart,
+		Delta: math.Log(float64(maxPart)) / math.Log(float64(g.N())),
+	}
+}

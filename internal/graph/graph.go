@@ -1,0 +1,179 @@
+// Package graph provides the search-structure side of the multisearch
+// problem: constant-degree directed and undirected graphs, hierarchical
+// DAGs (§3 of the paper), and δ-splitters with the α-partitionable and
+// α-β-partitionable machinery of §4.
+//
+// A graph is represented host-side as a slice of fixed-size Vertex records;
+// the multisearch algorithms in internal/core load these records onto mesh
+// processors. Every record is O(1) machine words, matching the paper's
+// "O(1) memory per processor" model: adjacency is a bounded array, and
+// application payloads are packed into a fixed number of words.
+package graph
+
+import "fmt"
+
+// VertexID identifies a vertex. IDs are dense: 0..n-1.
+type VertexID int32
+
+// Nil is the absent vertex.
+const Nil VertexID = -1
+
+// MaxDegree bounds the (out-)degree of every vertex. The paper requires a
+// constant bound; 8 accommodates every structure built here (k-ary trees up
+// to k=7 with parent pointer, triangulation DAG nodes, DK hierarchy links).
+const MaxDegree = 8
+
+// PayloadWords is the number of application payload words per vertex.
+const PayloadWords = 8
+
+// NoPart marks a vertex that belongs to no subgraph of a splitting.
+const NoPart int32 = -1
+
+// Payload is the fixed-size application data carried by a vertex
+// (search keys, triangle corners, polyhedron face planes, ...).
+type Payload [PayloadWords]int64
+
+// Vertex is the record stored at one mesh processor: identity, adjacency,
+// level index (hierarchical DAGs), splitting membership for itself and for
+// each neighbour, and the application payload. Neighbour membership
+// (AdjPart/AdjPart2) is what lets a query decide locally, in O(1) time,
+// whether its next step leaves the current subgraph — the unmark test in
+// step 6(b) of Constrained-Multisearch.
+type Vertex struct {
+	ID    VertexID
+	Level int32 // level index in a hierarchical DAG; -1 otherwise
+	Part  int32 // subgraph index in the primary (α) splitting; NoPart if none
+	Part2 int32 // subgraph index in the secondary (β) splitting; NoPart if none
+	Deg   int8
+
+	Adj      [MaxDegree]VertexID
+	AdjPart  [MaxDegree]int32
+	AdjPart2 [MaxDegree]int32
+
+	Data Payload
+	// ExtIdx indexes the graph's extended-payload table (-1 if unused).
+	// The referenced block is immutable, O(1)-sized per-vertex data that
+	// conceptually travels with the record; the simulator stores it
+	// out-of-line only to avoid bloating every Vertex copy (see Graph.Ext).
+	ExtIdx int32
+}
+
+// Graph is a host-side constant-degree graph. Verts[i].ID == i.
+type Graph struct {
+	Directed bool
+	Verts    []Vertex
+	// Ext holds immutable extended payload blocks (each O(1) words),
+	// referenced by Vertex.ExtIdx. On the physical machine these words are
+	// part of the vertex record — every block must stay constant-size.
+	Ext [][]int64
+}
+
+// AddExt registers an extended payload block and returns its index.
+func (g *Graph) AddExt(block []int64) int32 {
+	g.Ext = append(g.Ext, block)
+	return int32(len(g.Ext) - 1)
+}
+
+// ExtOf returns the vertex's extended payload block (nil if none).
+func (g *Graph) ExtOf(v *Vertex) []int64 {
+	if v.ExtIdx < 0 {
+		return nil
+	}
+	return g.Ext[v.ExtIdx]
+}
+
+// New creates a graph with n isolated vertices.
+func New(n int, directed bool) *Graph {
+	g := &Graph{Directed: directed, Verts: make([]Vertex, n)}
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		v.ID = VertexID(i)
+		v.Level = -1
+		v.Part = NoPart
+		v.Part2 = NoPart
+		v.ExtIdx = -1
+		for j := range v.Adj {
+			v.Adj[j] = Nil
+			v.AdjPart[j] = NoPart
+			v.AdjPart2[j] = NoPart
+		}
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.Verts) }
+
+// Size returns |V| + |E| with undirected edges counted once.
+func (g *Graph) Size() int {
+	e := 0
+	for i := range g.Verts {
+		e += int(g.Verts[i].Deg)
+	}
+	if !g.Directed {
+		e /= 2
+	}
+	return len(g.Verts) + e
+}
+
+// AddArc adds the directed arc u→v (for undirected graphs use AddEdge).
+func (g *Graph) AddArc(u, v VertexID) {
+	vu := &g.Verts[u]
+	if int(vu.Deg) >= MaxDegree {
+		panic(fmt.Sprintf("graph: vertex %d exceeds MaxDegree", u))
+	}
+	vu.Adj[vu.Deg] = v
+	vu.Deg++
+}
+
+// AddEdge adds the undirected edge {u, v} (arcs in both directions).
+func (g *Graph) AddEdge(u, v VertexID) {
+	g.AddArc(u, v)
+	g.AddArc(v, u)
+}
+
+// EdgeIndex returns the adjacency slot of arc u→v, or -1.
+func (g *Graph) EdgeIndex(u, v VertexID) int {
+	vu := &g.Verts[u]
+	for j := 0; j < int(vu.Deg); j++ {
+		if vu.Adj[j] == v {
+			return j
+		}
+	}
+	return -1
+}
+
+// Validate checks structural invariants: dense IDs, in-range adjacency, and
+// (for undirected graphs) arc symmetry.
+func (g *Graph) Validate() error {
+	n := VertexID(len(g.Verts))
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		if v.ID != VertexID(i) {
+			return fmt.Errorf("graph: vertex %d has ID %d", i, v.ID)
+		}
+		for j := 0; j < int(v.Deg); j++ {
+			w := v.Adj[j]
+			if w < 0 || w >= n {
+				return fmt.Errorf("graph: vertex %d arc %d out of range: %d", i, j, w)
+			}
+			if !g.Directed && g.EdgeIndex(w, v.ID) < 0 {
+				return fmt.Errorf("graph: arc %d->%d missing its reverse", i, w)
+			}
+		}
+	}
+	return nil
+}
+
+// RefreshAdjParts recomputes AdjPart and AdjPart2 from the current Part and
+// Part2 assignments. Call after installing or changing a splitting.
+func (g *Graph) RefreshAdjParts() {
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		for j := 0; j < int(v.Deg); j++ {
+			w := &g.Verts[v.Adj[j]]
+			v.AdjPart[j] = w.Part
+			v.AdjPart2[j] = w.Part2
+		}
+	}
+}

@@ -1,0 +1,358 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewGraphZeroState(t *testing.T) {
+	g := New(5, true)
+	if g.N() != 5 || g.Size() != 5 {
+		t.Fatalf("N=%d Size=%d", g.N(), g.Size())
+	}
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		if v.ID != VertexID(i) || v.Deg != 0 || v.Part != NoPart || v.Adj[0] != Nil {
+			t.Fatalf("vertex %d not initialized: %+v", i, v)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddArcAndEdgeIndex(t *testing.T) {
+	g := New(3, true)
+	g.AddArc(0, 1)
+	g.AddArc(0, 2)
+	if g.EdgeIndex(0, 2) != 1 || g.EdgeIndex(0, 1) != 0 || g.EdgeIndex(1, 0) != -1 {
+		t.Fatal("EdgeIndex")
+	}
+	if g.Size() != 3+2 {
+		t.Fatalf("Size=%d", g.Size())
+	}
+}
+
+func TestAddEdgeSymmetric(t *testing.T) {
+	g := New(2, false)
+	g.AddEdge(0, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Size() != 2+1 {
+		t.Fatalf("Size=%d (undirected edges count once)", g.Size())
+	}
+}
+
+func TestValidateCatchesAsymmetry(t *testing.T) {
+	g := New(2, false)
+	g.AddArc(0, 1) // missing reverse
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestDegreeBoundPanics(t *testing.T) {
+	g := New(MaxDegree+2, true)
+	for i := 1; i <= MaxDegree; i++ {
+		g.AddArc(0, VertexID(i))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.AddArc(0, MaxDegree+1)
+}
+
+func TestRefreshAdjParts(t *testing.T) {
+	g := New(3, true)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.Verts[0].Part = 0
+	g.Verts[1].Part = 1
+	g.Verts[2].Part = 1
+	g.Verts[0].Part2 = 5
+	g.Verts[1].Part2 = 5
+	g.Verts[2].Part2 = 6
+	g.RefreshAdjParts()
+	if g.Verts[0].AdjPart[0] != 1 || g.Verts[1].AdjPart[0] != 1 {
+		t.Fatal("AdjPart")
+	}
+	if g.Verts[0].AdjPart2[0] != 5 || g.Verts[1].AdjPart2[0] != 6 {
+		t.Fatal("AdjPart2")
+	}
+}
+
+func TestCompleteTreeHDagStructure(t *testing.T) {
+	d := CompleteTreeHDag(2, 5)
+	if d.Height() != 5 || d.N() != 63 {
+		t.Fatalf("height=%d n=%d", d.Height(), d.N())
+	}
+	if err := d.Validate(0.99, 1.01); err != nil {
+		t.Fatal(err)
+	}
+	if d.Root() != 0 || d.LevelOf(0) != 0 {
+		t.Fatal("root")
+	}
+	// Spans at each level tile [0, 2^5) exactly.
+	for lvl := 0; lvl <= 5; lvl++ {
+		total := int64(0)
+		for j := 0; j < d.LevelSizes[lvl]; j++ {
+			v := &d.Verts[d.LevelStart[lvl]+j]
+			if v.Data[HDagSpanStart] != total {
+				t.Fatalf("level %d vertex %d span start %d want %d", lvl, j, v.Data[HDagSpanStart], total)
+			}
+			total += v.Data[HDagSpanWidth]
+		}
+		if total != 32 {
+			t.Fatalf("level %d spans cover %d", lvl, total)
+		}
+	}
+}
+
+func TestCompleteTreeHDagChildSpans(t *testing.T) {
+	d := CompleteTreeHDag(3, 4)
+	if err := d.Validate(0.99, 1.01); err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Verts {
+		v := &d.Verts[i]
+		if v.Deg == 0 {
+			continue
+		}
+		// Children partition the parent's span.
+		start := v.Data[HDagSpanStart]
+		for j := 0; j < int(v.Deg); j++ {
+			c := &d.Verts[v.Adj[j]]
+			if c.Data[HDagSpanStart] != start {
+				t.Fatalf("vertex %d child %d span start %d want %d", i, j, c.Data[HDagSpanStart], start)
+			}
+			start += c.Data[HDagSpanWidth]
+		}
+		if start != v.Data[HDagSpanStart]+v.Data[HDagSpanWidth] {
+			t.Fatalf("vertex %d children cover to %d", i, start)
+		}
+	}
+}
+
+func TestRandomHDagValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, mu := range []int{2, 3} {
+		d := RandomHDag(mu, 8, rng)
+		if err := d.Validate(0.6, 1.4); err != nil {
+			t.Fatalf("mu=%d: %v", mu, err)
+		}
+		// Every non-root vertex has a parent (reachable level by level).
+		hasParent := make([]bool, d.N())
+		for i := range d.Verts {
+			v := &d.Verts[i]
+			for j := 0; j < int(v.Deg); j++ {
+				hasParent[v.Adj[j]] = true
+			}
+		}
+		for i := 1; i < d.N(); i++ {
+			if !hasParent[i] {
+				t.Fatalf("mu=%d: vertex %d unreachable", mu, i)
+			}
+		}
+	}
+}
+
+func TestRandomHDagRejectsBadMu(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RandomHDag(5, 4, rand.New(rand.NewSource(1)))
+}
+
+func TestBalancedTreeDirected(t *testing.T) {
+	tr := NewBalancedTree(2, 6, true)
+	if tr.N() != 127 {
+		t.Fatalf("n=%d", tr.N())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Parent/Depth consistency.
+	for i := 1; i < tr.N(); i++ {
+		p := tr.Parent[i]
+		if tr.Depth[i] != tr.Depth[p]+1 {
+			t.Fatalf("depth inconsistency at %d", i)
+		}
+		if tr.EdgeIndex(p, VertexID(i)) < 0 {
+			t.Fatalf("parent %d has no arc to %d", p, i)
+		}
+	}
+}
+
+func TestBalancedTreeUndirected(t *testing.T) {
+	tr := NewBalancedTree(3, 4, false)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Non-root slot 0 is the parent edge; ChildSlot skips it.
+	for i := 1; i < tr.N(); i++ {
+		if tr.Verts[i].Adj[0] != tr.Parent[i] {
+			t.Fatalf("vertex %d slot 0 = %d, want parent %d", i, tr.Verts[i].Adj[0], tr.Parent[i])
+		}
+	}
+	internal := VertexID(1)
+	if got := tr.Verts[internal].Adj[tr.ChildSlot(internal, 0)]; tr.Parent[got] != internal {
+		t.Fatal("ChildSlot does not address a child")
+	}
+}
+
+func TestSubtreeSize(t *testing.T) {
+	tr := NewBalancedTree(2, 4, true)
+	if tr.SubtreeSize(0) != tr.N() {
+		t.Fatal("SubtreeSize(0)")
+	}
+	if tr.SubtreeSize(4) != 1 {
+		t.Fatal("SubtreeSize(leaf)")
+	}
+	if tr.SubtreeSize(2) != 7 {
+		t.Fatalf("SubtreeSize(2)=%d", tr.SubtreeSize(2))
+	}
+}
+
+func TestInstallTreeSplitterFigure2(t *testing.T) {
+	// Figure 2: directed balanced binary tree, α = 1/2 via a cut at h/2.
+	tr := NewBalancedTree(2, 8, true)
+	s := InstallTreeSplitter(tr, 4, Primary)
+	if s.K != 1+16 {
+		t.Fatalf("parts=%d", s.K)
+	}
+	if s.Sizes[0] != 15 { // top tree of height 3
+		t.Fatalf("top size=%d", s.Sizes[0])
+	}
+	for p := 1; p < s.K; p++ {
+		if s.Sizes[p] != 31 { // subtrees of height 4
+			t.Fatalf("subtree %d size=%d", p, s.Sizes[p])
+		}
+	}
+	if err := ValidateAlphaPartitionable(tr.Graph); err != nil {
+		t.Fatal(err)
+	}
+	if s.Delta <= 0 || s.Delta >= 1 {
+		t.Fatalf("delta=%g", s.Delta)
+	}
+}
+
+func TestAlphaBetaSplitterDistance(t *testing.T) {
+	// Figure 3: undirected tree with S1 and S2 at different depths; the
+	// border distance must be the depth gap minus one.
+	tr := NewBalancedTree(2, 9, false)
+	InstallTreeSplitter(tr, 3, Primary)
+	InstallTreeSplitter(tr, 7, Secondary)
+	// Borders: S1 touches depths {2,3}; S2 touches {6,7}; distance 6-3 = 3.
+	if d := SplitterDistance(tr.Graph); d != 3 {
+		t.Fatalf("distance=%d want 3", d)
+	}
+}
+
+func TestBorderVertices(t *testing.T) {
+	tr := NewBalancedTree(2, 4, false)
+	InstallTreeSplitter(tr, 2, Primary)
+	b := BorderVertices(tr.Graph, Primary)
+	// Depth-1 vertices (2) and depth-2 vertices (4).
+	if len(b) != 6 {
+		t.Fatalf("border size %d want 6", len(b))
+	}
+	for _, v := range b {
+		if d := tr.Depth[v]; d != 1 && d != 2 {
+			t.Fatalf("border vertex %d at depth %d", v, d)
+		}
+	}
+}
+
+func TestValidateAlphaPartitionableRejectsBidirectionalCross(t *testing.T) {
+	g := New(4, true)
+	g.AddArc(0, 1)
+	g.AddArc(1, 2)
+	g.AddArc(2, 3)
+	// Parts: {0,1} -> part 0, {2,3} -> part 1, but add a back arc 2->1.
+	g.AddArc(2, 1)
+	g.Verts[0].Part, g.Verts[1].Part = 0, 0
+	g.Verts[2].Part, g.Verts[3].Part = 1, 1
+	g.RefreshAdjParts()
+	if err := ValidateAlphaPartitionable(g); err == nil {
+		t.Fatal("expected rejection")
+	}
+}
+
+func TestNormalizeParts(t *testing.T) {
+	// Cut deep: many tiny subtrees that need grouping.
+	tr := NewBalancedTree(2, 10, true)
+	s := InstallTreeSplitter(tr, 8, Primary)
+	if s.K != 1+256 {
+		t.Fatalf("pre-normalize parts=%d", s.K)
+	}
+	target := 64
+	ns := NormalizeParts(tr.Graph, s, target, func(p int32) int {
+		if p == 0 {
+			return 0 // H class
+		}
+		return 1 // T class
+	})
+	if ns.K >= s.K/4 {
+		t.Fatalf("normalization did not shrink part count: %d -> %d", s.K, ns.K)
+	}
+	// All groups within [target, 2*target) except possibly the last of each
+	// class and the (already large) H part.
+	small := 0
+	for p, sz := range ns.Sizes {
+		if sz >= 2*target+tr.SubtreeSize(8) && p != 0 {
+			t.Fatalf("group %d oversized: %d", p, sz)
+		}
+		if sz < target {
+			small++
+		}
+	}
+	if small > 2 {
+		t.Fatalf("%d undersized groups", small)
+	}
+	if err := ValidateAlphaPartitionable(tr.Graph); err != nil {
+		t.Fatalf("normalization broke H/T property: %v", err)
+	}
+	// Sizes consistent with assignment.
+	count := make([]int, ns.K)
+	for i := range tr.Verts {
+		count[tr.Verts[i].Part]++
+	}
+	for p := range count {
+		if count[p] != ns.Sizes[p] {
+			t.Fatalf("part %d size mismatch %d != %d", p, count[p], ns.Sizes[p])
+		}
+	}
+}
+
+// Property: for arbitrary cut depths, the tree splitter yields parts whose
+// sizes sum to n and the α-partitionable property holds.
+func TestQuickTreeSplitterInvariants(t *testing.T) {
+	tr := NewBalancedTree(2, 10, true)
+	f := func(rawCut uint8) bool {
+		cut := 1 + int(rawCut)%tr.Height
+		s := InstallTreeSplitter(tr, cut, Primary)
+		total := 0
+		for _, sz := range s.Sizes {
+			total += sz
+		}
+		if total != tr.N() {
+			return false
+		}
+		return ValidateAlphaPartitionable(tr.Graph) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPow(t *testing.T) {
+	if pow(2, 10) != 1024 || pow(3, 0) != 1 || pow(5, 3) != 125 {
+		t.Fatal("pow")
+	}
+}

@@ -1,0 +1,186 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// HDag is a hierarchical DAG (§3): vertices partitioned into levels
+// L_0..L_h, every arc from L_i to L_{i+1}, |L_0| = 1, and |L_i| within
+// constant factors of μ^i for some μ > 1. Vertex IDs are level-major:
+// level i occupies IDs [LevelStart[i], LevelStart[i]+LevelSizes[i]).
+type HDag struct {
+	*Graph
+	Mu         float64
+	LevelSizes []int
+	LevelStart []int
+}
+
+// Height returns h, the index of the deepest level.
+func (d *HDag) Height() int { return len(d.LevelSizes) - 1 }
+
+// LevelOf returns the level of vertex id.
+func (d *HDag) LevelOf(id VertexID) int { return int(d.Verts[id].Level) }
+
+// Root returns the single vertex of L_0.
+func (d *HDag) Root() VertexID { return VertexID(d.LevelStart[0]) }
+
+// Validate checks the hierarchical-DAG conditions on top of Graph.Validate:
+// level-respecting arcs, |L_0| = 1, and geometric level growth within
+// [c1, c2]·μ^i factors.
+func (d *HDag) Validate(c1, c2 float64) error {
+	if err := d.Graph.Validate(); err != nil {
+		return err
+	}
+	if !d.Directed {
+		return fmt.Errorf("hdag: must be directed")
+	}
+	if d.LevelSizes[0] != 1 {
+		return fmt.Errorf("hdag: |L_0| = %d, want 1", d.LevelSizes[0])
+	}
+	mu := 1.0
+	for i, sz := range d.LevelSizes {
+		if i > 0 {
+			mu *= d.Mu
+		}
+		if float64(sz) < c1*mu || float64(sz) > c2*mu {
+			return fmt.Errorf("hdag: |L_%d| = %d outside [%g, %g]·μ^i", i, sz, c1, c2)
+		}
+	}
+	for i := range d.Verts {
+		v := &d.Verts[i]
+		for j := 0; j < int(v.Deg); j++ {
+			w := &d.Verts[v.Adj[j]]
+			if w.Level != v.Level+1 {
+				return fmt.Errorf("hdag: arc %d(L%d)->%d(L%d) skips levels",
+					v.ID, v.Level, w.ID, w.Level)
+			}
+		}
+	}
+	return nil
+}
+
+// Payload word layout for search-tree hierarchical DAGs: Data[0] is the
+// start of the key span covered by the vertex and Data[1] the span width.
+// A query for key x at an internal vertex descends into the child whose
+// sub-span contains x.
+const (
+	HDagSpanStart = 0
+	HDagSpanWidth = 1
+)
+
+// CompleteTreeHDag builds the complete μ-ary search tree of height h as a
+// hierarchical DAG: |L_i| = μ^i, each internal vertex has μ children
+// partitioning its key span [0, μ^h) evenly. This is the canonical G of
+// Figure 1.
+func CompleteTreeHDag(mu, h int) *HDag {
+	if mu < 2 || mu > MaxDegree {
+		panic(fmt.Sprintf("graph: CompleteTreeHDag arity %d out of range [2,%d]", mu, MaxDegree))
+	}
+	sizes := make([]int, h+1)
+	start := make([]int, h+1)
+	n := 0
+	p := 1
+	for i := 0; i <= h; i++ {
+		sizes[i] = p
+		start[i] = n
+		n += p
+		p *= mu
+	}
+	g := New(n, true)
+	// The key space is [0, μ^h); the vertex (lvl, j) covers the span of
+	// width μ^(h-lvl) starting at j·μ^(h-lvl).
+	for lvl := 0; lvl <= h; lvl++ {
+		width := int64(pow(mu, h-lvl))
+		for j := 0; j < sizes[lvl]; j++ {
+			id := VertexID(start[lvl] + j)
+			v := &g.Verts[id]
+			v.Level = int32(lvl)
+			v.Data[HDagSpanStart] = int64(j) * width
+			v.Data[HDagSpanWidth] = width
+			if lvl < h {
+				for t := 0; t < mu; t++ {
+					g.AddArc(id, VertexID(start[lvl+1]+j*mu+t))
+				}
+			}
+		}
+	}
+	return &HDag{Graph: g, Mu: float64(mu), LevelSizes: sizes, LevelStart: start}
+}
+
+// RandomHDag builds a hierarchical DAG with jittered level sizes
+// |L_i| ∈ [⌈2μ^i/3⌉, ⌈4μ^i/3⌉] (the paper's generalized c1·μ^i ≤ |L_i| ≤
+// c2·μ^i condition) and random level-respecting arcs: every vertex of
+// L_{i+1} has at least one parent, and out-degrees stay ≤ MaxDegree. True
+// DAG sharing arises when several arcs point to one child. μ must be 2 or 3
+// so that the degree budget always suffices.
+func RandomHDag(mu, h int, rng *rand.Rand) *HDag {
+	if mu < 2 || mu > 3 {
+		panic("graph: RandomHDag supports mu in {2, 3}")
+	}
+	sizes := make([]int, h+1)
+	start := make([]int, h+1)
+	n := 0
+	p := 1
+	for i := 0; i <= h; i++ {
+		if i == 0 {
+			sizes[i] = 1
+		} else {
+			lo := (2*p + 2) / 3
+			hi := (4*p + 2) / 3
+			if hi <= lo {
+				hi = lo + 1
+			}
+			sizes[i] = lo + rng.Intn(hi-lo)
+		}
+		start[i] = n
+		n += sizes[i]
+		if p <= (1<<30)/mu {
+			p *= mu
+		}
+	}
+	g := New(n, true)
+	for lvl := 0; lvl <= h; lvl++ {
+		for j := 0; j < sizes[lvl]; j++ {
+			g.Verts[start[lvl]+j].Level = int32(lvl)
+		}
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		// Give every child one parent, chosen proportionally so parent
+		// out-degrees stay bounded; then sprinkle extra arcs up to the
+		// degree budget.
+		np, nc := sizes[lvl], sizes[lvl+1]
+		for j := 0; j < nc; j++ {
+			parent := VertexID(start[lvl] + j*np/nc)
+			if int(g.Verts[parent].Deg) >= MaxDegree {
+				// Fall back to any parent with room (exists: total child
+				// count nc ≤ 3μ/2·np ≤ MaxDegree·np for μ ≤ 5).
+				for t := 0; t < np; t++ {
+					cand := VertexID(start[lvl] + (j*np/nc+t)%np)
+					if int(g.Verts[cand].Deg) < MaxDegree {
+						parent = cand
+						break
+					}
+				}
+			}
+			g.AddArc(parent, VertexID(start[lvl+1]+j))
+		}
+		extras := np / 2
+		for e := 0; e < extras; e++ {
+			u := VertexID(start[lvl] + rng.Intn(np))
+			if int(g.Verts[u].Deg) >= MaxDegree {
+				continue
+			}
+			g.AddArc(u, VertexID(start[lvl+1]+rng.Intn(nc)))
+		}
+	}
+	return &HDag{Graph: g, Mu: float64(mu), LevelSizes: sizes, LevelStart: start}
+}
+
+func pow(b, e int) int {
+	r := 1
+	for ; e > 0; e-- {
+		r *= b
+	}
+	return r
+}

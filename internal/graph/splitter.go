@@ -1,0 +1,245 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+)
+
+// δ-splitters (§4.1). A splitting is installed on a graph by assigning
+// Part (primary/α) or Part2 (secondary/β) indices to vertices; the edges
+// of the splitter S are exactly the edges whose endpoints carry different
+// part indices. RefreshAdjParts must run after installation so queries can
+// detect border crossings locally.
+
+// Slot selects which of the two part registers a splitting occupies.
+type Slot int
+
+const (
+	// Primary is the α-splitting, stored in Vertex.Part.
+	Primary Slot = iota
+	// Secondary is the β-splitting, stored in Vertex.Part2.
+	Secondary
+)
+
+func (s Slot) get(v *Vertex) int32 {
+	if s == Primary {
+		return v.Part
+	}
+	return v.Part2
+}
+
+// PartOf returns the vertex's part index in this splitting slot.
+func (s Slot) PartOf(v *Vertex) int32 { return s.get(v) }
+
+// AdjPartOf returns the part index (in this slot) of the neighbour at
+// adjacency slot j.
+func (s Slot) AdjPartOf(v *Vertex, j int) int32 {
+	if s == Primary {
+		return v.AdjPart[j]
+	}
+	return v.AdjPart2[j]
+}
+
+func (s Slot) set(v *Vertex, p int32) {
+	if s == Primary {
+		v.Part = p
+	} else {
+		v.Part2 = p
+	}
+}
+
+// Splitting summarizes an installed δ-splitting.
+type Splitting struct {
+	Slot    Slot
+	K       int   // number of parts
+	Sizes   []int // vertices per part
+	MaxPart int
+	// Delta is the achieved exponent: MaxPart = n^Delta.
+	Delta float64
+}
+
+// InstallTreeSplitter installs on t the splitting obtained by removing all
+// tree edges between depths cut-1 and cut: part 0 is the top tree (depths
+// < cut) and part 1+j is the j-th subtree rooted at depth cut. For directed
+// (downward) trees this is an α-splitter with H = {top} and T = {subtrees}:
+// every removed edge leads from the top tree into a subtree (Figure 2).
+func InstallTreeSplitter(t *Tree, cut int, slot Slot) Splitting {
+	if cut < 1 || cut > t.Height {
+		panic(fmt.Sprintf("graph: cut depth %d outside [1, %d]", cut, t.Height))
+	}
+	nTop := t.LevelStart[cut]
+	roots := t.LevelSizes[cut]
+	sizes := make([]int, 1+roots)
+	for i := range t.Verts {
+		v := &t.Verts[i]
+		d := int(t.Depth[i])
+		var p int32
+		if d < cut {
+			p = 0
+		} else {
+			// Ancestor of i at depth cut indexes the subtree part.
+			anc := VertexID(i)
+			for int(t.Depth[anc]) > cut {
+				anc = t.Parent[anc]
+			}
+			p = 1 + int32(anc) - int32(t.LevelStart[cut])
+		}
+		slot.set(v, p)
+		sizes[p]++
+	}
+	t.RefreshAdjParts()
+	maxPart := nTop
+	sub := t.SubtreeSize(cut)
+	if sub > maxPart {
+		maxPart = sub
+	}
+	n := float64(t.N())
+	return Splitting{
+		Slot: slot, K: len(sizes), Sizes: sizes, MaxPart: maxPart,
+		Delta: math.Log(float64(maxPart)) / math.Log(n),
+	}
+}
+
+// NormalizeParts regroups an installed splitting so every resulting part
+// has between target and groupCap ≥ 2·target vertices (except possibly one
+// smaller leftover group per class), making the splitting normalized:
+// k = O(n/target). classOf assigns each original part a class label; only
+// parts of the same class are grouped together, which preserves the H/T
+// bipartition of α-partitionable graphs. Returns the new Splitting.
+func NormalizeParts(g *Graph, s Splitting, target int, classOf func(part int32) int) Splitting {
+	if target < 1 {
+		panic("graph: NormalizeParts target must be ≥ 1")
+	}
+	// Greedy first-fit by class: parts arrive in index order; a group closes
+	// once it reaches target vertices.
+	type group struct {
+		id   int32
+		size int
+	}
+	open := map[int]*group{}
+	remap := make([]int32, s.K)
+	var newSizes []int
+	next := int32(0)
+	for p := 0; p < s.K; p++ {
+		cls := classOf(int32(p))
+		gr := open[cls]
+		if gr == nil {
+			gr = &group{id: next}
+			next++
+			newSizes = append(newSizes, 0)
+			open[cls] = gr
+		}
+		remap[p] = gr.id
+		gr.size += s.Sizes[p]
+		newSizes[gr.id] += s.Sizes[p]
+		if gr.size >= target {
+			delete(open, cls)
+		}
+	}
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		if old := s.Slot.get(v); old >= 0 {
+			s.Slot.set(v, remap[old])
+		}
+	}
+	g.RefreshAdjParts()
+	maxPart := 0
+	for _, sz := range newSizes {
+		if sz > maxPart {
+			maxPart = sz
+		}
+	}
+	return Splitting{
+		Slot: s.Slot, K: len(newSizes), Sizes: newSizes, MaxPart: maxPart,
+		Delta: math.Log(float64(maxPart)) / math.Log(float64(g.N())),
+	}
+}
+
+// ValidateAlphaPartitionable checks the §4.2 property on the installed
+// primary splitting of a directed graph: the parts admit a bipartition
+// {H...} ∪ {T...} with every cross-part arc leading from an H-part to a
+// T-part. Equivalently, no part has both an outgoing and an incoming
+// cross-part arc.
+func ValidateAlphaPartitionable(g *Graph) error {
+	if !g.Directed {
+		return fmt.Errorf("graph: α-partitionable applies to directed graphs")
+	}
+	hasOut := map[int32]bool{}
+	hasIn := map[int32]bool{}
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		for j := 0; j < int(v.Deg); j++ {
+			if v.AdjPart[j] != v.Part {
+				hasOut[v.Part] = true
+				hasIn[v.AdjPart[j]] = true
+			}
+		}
+	}
+	for p := range hasOut {
+		if hasIn[p] {
+			return fmt.Errorf("graph: part %d has both incoming and outgoing splitter arcs", p)
+		}
+	}
+	return nil
+}
+
+// BorderVertices returns the vertices incident to a splitter edge of the
+// given slot (the §4.1 "border" of S).
+func BorderVertices(g *Graph, slot Slot) []VertexID {
+	var out []VertexID
+	for i := range g.Verts {
+		v := &g.Verts[i]
+		adj := v.AdjPart
+		if slot == Secondary {
+			adj = v.AdjPart2
+		}
+		for j := 0; j < int(v.Deg); j++ {
+			if adj[j] != slot.get(v) {
+				out = append(out, v.ID)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// SplitterDistance returns the minimum graph distance between the borders
+// of the primary and secondary splitters (∞ is reported as -1 when either
+// border is empty). BFS over the host representation; used to validate the
+// Ω(log n) distance condition of α-β-partitionable graphs (§4.3).
+func SplitterDistance(g *Graph) int {
+	b1 := BorderVertices(g, Primary)
+	b2 := BorderVertices(g, Secondary)
+	if len(b1) == 0 || len(b2) == 0 {
+		return -1
+	}
+	inB2 := make([]bool, g.N())
+	for _, v := range b2 {
+		inB2[v] = true
+	}
+	dist := make([]int32, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	queue := make([]VertexID, 0, len(b1))
+	for _, v := range b1 {
+		dist[v] = 0
+		queue = append(queue, v)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if inB2[u] {
+			return int(dist[u])
+		}
+		vu := &g.Verts[u]
+		for j := 0; j < int(vu.Deg); j++ {
+			w := vu.Adj[j]
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return -1
+}

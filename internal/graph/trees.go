@@ -1,0 +1,106 @@
+package graph
+
+import "fmt"
+
+// Tree is a complete balanced k-ary search tree, the running example of §4
+// (Figures 2 and 3). Vertex IDs are level-major (BFS order). Leaves carry
+// consecutive key spans; internal vertices route by span, so the successor
+// function of a key search descends without any linear order on queries
+// being needed (only span comparisons).
+type Tree struct {
+	*Graph
+	K      int
+	Height int
+	Depth  []int32
+	Parent []VertexID
+	// LevelStart[d] is the first ID at depth d.
+	LevelStart []int
+	LevelSizes []int
+}
+
+// Payload layout shared with hierarchical DAGs: Data[0] span start,
+// Data[1] span width (see HDagSpanStart/HDagSpanWidth).
+
+// NewBalancedTree builds the complete k-ary tree of the given height.
+// If down is true the tree is directed with arcs root→leaves (the
+// α-partitionable case, Figure 2); otherwise it is undirected (the
+// α-β-partitionable case, Figure 3; degree k+1 must stay ≤ MaxDegree).
+func NewBalancedTree(k, height int, down bool) *Tree {
+	if k < 2 {
+		panic("graph: tree arity must be ≥ 2")
+	}
+	if down && k > MaxDegree || !down && k+1 > MaxDegree {
+		panic(fmt.Sprintf("graph: arity %d exceeds degree budget", k))
+	}
+	sizes := make([]int, height+1)
+	start := make([]int, height+1)
+	n := 0
+	p := 1
+	for d := 0; d <= height; d++ {
+		sizes[d] = p
+		start[d] = n
+		n += p
+		p *= k
+	}
+	g := New(n, down)
+	t := &Tree{
+		Graph: g, K: k, Height: height,
+		Depth:      make([]int32, n),
+		Parent:     make([]VertexID, n),
+		LevelStart: start, LevelSizes: sizes,
+	}
+	for d := 0; d <= height; d++ {
+		width := int64(pow(k, height-d))
+		for j := 0; j < sizes[d]; j++ {
+			id := VertexID(start[d] + j)
+			v := &g.Verts[id]
+			v.Level = int32(d)
+			v.Data[HDagSpanStart] = int64(j) * width
+			v.Data[HDagSpanWidth] = width
+			t.Depth[id] = int32(d)
+			if d == 0 {
+				t.Parent[id] = Nil
+			} else {
+				t.Parent[id] = VertexID(start[d-1] + j/k)
+			}
+			if d < height {
+				for c := 0; c < k; c++ {
+					child := VertexID(start[d+1] + j*k + c)
+					if down {
+						g.AddArc(id, child)
+					} else {
+						g.AddEdge(id, child)
+					}
+				}
+			}
+		}
+	}
+	return t
+}
+
+// Root returns the tree root.
+func (t *Tree) Root() VertexID { return 0 }
+
+// SubtreeSize returns the number of vertices in the subtree rooted at depth
+// d (all subtrees at one depth of a complete tree have equal size).
+func (t *Tree) SubtreeSize(d int) int {
+	s := 0
+	p := 1
+	for i := d; i <= t.Height; i++ {
+		s += p
+		p *= t.K
+	}
+	return s
+}
+
+// ChildSlot returns the adjacency slot of the c-th child at an internal
+// vertex: slot c for directed-down trees; for undirected non-root vertices
+// the first slot is the parent edge, children follow.
+func (t *Tree) ChildSlot(id VertexID, c int) int {
+	if t.Directed || id == t.Root() {
+		return c
+	}
+	// Undirected non-root: AddEdge(parent, child) ran parent-first, so this
+	// vertex's slot 0 is its parent.
+	return c + 1
+}

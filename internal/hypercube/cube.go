@@ -1,0 +1,216 @@
+// Package hypercube simulates the network [DR90] ran multisearch on — the
+// d-dimensional hypercube with N = 2^d processors — with the same
+// operation-level/step-exact philosophy as internal/mesh. §1 of the paper
+// contrasts its mesh algorithms with the hypercube strategy of [DR90]
+// ("moving the search queries synchronously through G", one
+// diameter-proportional multistep per search step); this package provides
+// that comparator on its native topology (experiment E18).
+//
+// Machine model: one step = every processor does O(1) work and may
+// exchange O(1) words with its neighbour across ONE dimension (the normal,
+// SIMD hypercube model). Costs charged:
+//
+//	broadcast / reduce      d            (dimension sweep)
+//	prefix scan             2d           (up + down sweeps)
+//	bitonic sort            d(d+1)/2     (the full bitonic network;
+//	                                      CostCounted, default)
+//	sort, CostTheoretical   3d           (Reif–Valiant flashsort class,
+//	                                      mirroring the mesh's optimal-sort
+//	                                      model)
+//
+// Random-access reads compose from sorts and scans exactly as on the mesh.
+package hypercube
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+)
+
+// CostModel mirrors mesh.CostModel for the cube's sorter.
+type CostModel int
+
+const (
+	// CostCounted charges the bitonic sorting network its true depth.
+	CostCounted CostModel = iota
+	// CostTheoretical charges O(d) sorting (randomized flashsort class).
+	CostTheoretical
+)
+
+func (c CostModel) String() string {
+	if c == CostTheoretical {
+		return "theoretical"
+	}
+	return "counted"
+}
+
+// Cube is a 2^d-processor hypercube.
+type Cube struct {
+	dim   int
+	n     int
+	model CostModel
+	steps int64
+}
+
+// New creates a hypercube with n = 2^d processors (n must be a power of
+// two).
+func New(n int, model CostModel) *Cube {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("hypercube: size must be a power of two, got %d", n))
+	}
+	return &Cube{dim: bits.Len(uint(n)) - 1, n: n, model: model}
+}
+
+// N returns the processor count.
+func (c *Cube) N() int { return c.n }
+
+// Dim returns d = log₂ N, the diameter.
+func (c *Cube) Dim() int { return c.dim }
+
+// Model returns the active cost model.
+func (c *Cube) Model() CostModel { return c.model }
+
+// Steps returns accumulated simulated hypercube time.
+func (c *Cube) Steps() int64 { return c.steps }
+
+// ResetSteps zeroes the clock.
+func (c *Cube) ResetSteps() { c.steps = 0 }
+
+// Charge adds explicit steps (for O(1)-local passes).
+func (c *Cube) Charge(s int64) {
+	if s < 0 {
+		panic("hypercube: negative charge")
+	}
+	c.steps += s
+}
+
+func (c *Cube) sortCost() int64 {
+	if c.model == CostTheoretical {
+		return int64(3 * c.dim)
+	}
+	return int64(c.dim * (c.dim + 1) / 2)
+}
+
+func (c *Cube) scanCost() int64 { return int64(2 * c.dim) }
+
+func (c *Cube) broadcastCost() int64 { return int64(c.dim) }
+
+// Reg is one register: one value of type T per processor.
+type Reg[T any] struct {
+	c    *Cube
+	data []T
+}
+
+// NewReg allocates a register.
+func NewReg[T any](c *Cube) *Reg[T] { return &Reg[T]{c: c, data: make([]T, c.n)} }
+
+// At reads processor i's value.
+func At[T any](r *Reg[T], i int) T { return r.data[i] }
+
+// Set writes processor i's value.
+func Set[T any](r *Reg[T], i int, v T) { r.data[i] = v }
+
+// Fill stores v everywhere. One step.
+func Fill[T any](r *Reg[T], v T) {
+	for i := range r.data {
+		r.data[i] = v
+	}
+	r.c.Charge(1)
+}
+
+// Apply runs an O(1) local update everywhere. One step.
+func Apply[T any](r *Reg[T], f func(i int, cur T) T) {
+	for i := range r.data {
+		r.data[i] = f(i, r.data[i])
+	}
+	r.c.Charge(1)
+}
+
+// Load writes xs into processors 0..len(xs)-1 (initialization; no charge).
+func Load[T any](r *Reg[T], xs []T) {
+	if len(xs) > len(r.data) {
+		panic("hypercube: Load overflow")
+	}
+	copy(r.data, xs)
+}
+
+// Snapshot copies the register (inspection; no charge).
+func Snapshot[T any](r *Reg[T]) []T { return append([]T(nil), r.data...) }
+
+// Sort sorts the register ascending by less (stable). Cost: one bitonic
+// sort under CostCounted.
+func Sort[T any](r *Reg[T], less func(a, b T) bool) {
+	sort.SliceStable(r.data, func(i, j int) bool { return less(r.data[i], r.data[j]) })
+	r.c.Charge(r.c.sortCost())
+}
+
+// Scan replaces each cell with the inclusive prefix combination in
+// processor order. Cost: 2d.
+func Scan[T any](r *Reg[T], op func(a, b T) T) {
+	for i := 1; i < len(r.data); i++ {
+		r.data[i] = op(r.data[i-1], r.data[i])
+	}
+	r.c.Charge(r.c.scanCost())
+}
+
+// Broadcast copies processor src's value everywhere. Cost: d.
+func Broadcast[T any](r *Reg[T], src int) {
+	v := r.data[src]
+	for i := range r.data {
+		r.data[i] = v
+	}
+	r.c.Charge(r.c.broadcastCost())
+}
+
+// Reduce combines all values. Cost: d.
+func Reduce[T any](r *Reg[T], op func(a, b T) T) T {
+	acc := r.data[0]
+	for _, x := range r.data[1:] {
+		acc = op(acc, x)
+	}
+	r.c.Charge(r.c.broadcastCost())
+	return acc
+}
+
+// Count counts values satisfying pred. Cost: d.
+func Count[T any](r *Reg[T], pred func(T) bool) int {
+	n := 0
+	for _, x := range r.data {
+		if pred(x) {
+			n++
+		}
+	}
+	r.c.Charge(r.c.broadcastCost())
+	return n
+}
+
+// sortSlice sorts a scratch bank of ≤ perProc records per processor,
+// charging perProc sorts (multi-record sorts pay per record, as on the
+// mesh).
+func sortSlice[T any](c *Cube, xs []T, perProc int, less func(a, b T) bool) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*c.n {
+		panic("hypercube: sortSlice overflow")
+	}
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	c.Charge(int64(perProc) * c.sortCost())
+}
+
+// scanSlice performs a segmented scan over a scratch bank, charging perProc
+// scans.
+func scanSlice[T any](c *Cube, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*c.n {
+		panic("hypercube: scanSlice overflow")
+	}
+	for i := 1; i < len(xs); i++ {
+		if !head(i) {
+			xs[i] = op(xs[i-1], xs[i])
+		}
+	}
+	c.Charge(int64(perProc) * c.scanCost())
+}

@@ -1,0 +1,280 @@
+package interval_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/interval"
+	"repro/internal/mesh"
+)
+
+func randomSet(n int, span int64, rng *rand.Rand) []interval.Interval {
+	set := make([]interval.Interval, n)
+	for i := range set {
+		lo := rng.Int63n(span)
+		hi := lo + rng.Int63n(span/4+1)
+		set[i] = interval.Interval{Lo: lo, Hi: hi, ID: int32(i)}
+	}
+	return set
+}
+
+func randomRanges(m int, span int64, rng *rand.Rand) [][2]int64 {
+	rs := make([][2]int64, m)
+	for i := range rs {
+		lo := rng.Int63n(span)
+		rs[i] = [2]int64{lo, lo + rng.Int63n(span/8+1)}
+	}
+	return rs
+}
+
+func TestSearchTreeOracleMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	set := randomSet(200, 1000, rng)
+	st := interval.NewSearchTree(set)
+	ranges := randomRanges(100, 1000, rng)
+	qs := st.NewQueries(ranges)
+	out := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+	for i, q := range out {
+		want := interval.BruteCount(set, ranges[i][0], ranges[i][1])
+		if got := interval.Count(q); got != want {
+			t.Fatalf("query %d [%d,%d]: count %d want %d", i, ranges[i][0], ranges[i][1], got, want)
+		}
+		if !q.Done {
+			t.Fatalf("query %d did not finish", i)
+		}
+	}
+}
+
+func TestSearchTreeWalkLengthIsLogPlusOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	set := randomSet(500, 100000, rng)
+	st := interval.NewSearchTree(set)
+	ranges := randomRanges(200, 100000, rng)
+	qs := st.NewQueries(ranges)
+	out := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+	h := st.Tree.Height
+	for i, q := range out {
+		k := interval.Count(q)
+		// The pruned DFS visits O((k+1)·log n) vertices.
+		if int64(q.Steps) > (k+2)*int64(4*h+4) {
+			t.Fatalf("query %d: %d steps for k=%d (h=%d)", i, q.Steps, k, h)
+		}
+	}
+}
+
+func TestSearchTreeOnMeshMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	set := randomSet(180, 5000, rng)
+	st := interval.NewSearchTree(set)
+	s1, s2 := st.InstallSplitters()
+	ranges := randomRanges(250, 5000, rng)
+	qs := st.NewQueries(ranges)
+	want := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+
+	m := mesh.New(16)
+	in := core.NewInstance(m, st.Tree.Graph, qs, interval.Successor)
+	core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 2000)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range in.ResultQueries() {
+		if got, want := interval.Count(q), interval.BruteCount(set, ranges[i][0], ranges[i][1]); got != want {
+			t.Fatalf("query %d count %d want %d", i, got, want)
+		}
+	}
+}
+
+func TestSearchTreeSplitterDistance(t *testing.T) {
+	set := randomSet(300, 1000, rand.New(rand.NewSource(4)))
+	st := interval.NewSearchTree(set)
+	st.InstallSplitters()
+	if d := graph.SplitterDistance(st.Tree.Graph); d < 1 {
+		t.Fatalf("splitter distance %d", d)
+	}
+}
+
+func TestCountTreeMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	set := randomSet(300, 2000, rng)
+	ct := interval.NewCountTree(set)
+	if err := ct.G.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ranges := randomRanges(150, 2000, rng)
+	qs := ct.NewQueries(ranges)
+	out := core.Oracle(ct.G, qs, interval.CountSuccessor, 0)
+	counts := ct.Counts(out, len(ranges))
+	for i, r := range ranges {
+		if want := interval.BruteCount(set, r[0], r[1]); counts[i] != want {
+			t.Fatalf("query %d [%d,%d]: %d want %d", i, r[0], r[1], counts[i], want)
+		}
+	}
+}
+
+func TestCountTreeOnMeshMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	set := randomSet(120, 3000, rng)
+	ct := interval.NewCountTree(set)
+	maxPart := ct.InstallSplitter()
+	if err := graph.ValidateAlphaPartitionable(ct.G); err != nil {
+		t.Fatal(err)
+	}
+	ranges := randomRanges(120, 3000, rng)
+	qs := ct.NewQueries(ranges)
+	want := core.Oracle(ct.G, qs, interval.CountSuccessor, 0)
+
+	m := mesh.New(32)
+	in := core.NewInstance(m, ct.G, qs, interval.CountSuccessor)
+	core.MultisearchAlpha(m.Root(), in, maxPart, 500)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	counts := ct.Counts(in.ResultQueries(), len(ranges))
+	for i, r := range ranges {
+		if wantC := interval.BruteCount(set, r[0], r[1]); counts[i] != wantC {
+			t.Fatalf("query %d: %d want %d", i, counts[i], wantC)
+		}
+	}
+}
+
+func TestBoundedReportingMatchesReportAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	set := randomSet(300, 2000, rng)
+	st := interval.NewSearchTree(set)
+	ranges := randomRanges(200, 2000, rng)
+	qs := st.NewQueries(ranges)
+	out := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+	for i, q := range out {
+		full := st.ReportAll(ranges[i][0], ranges[i][1])
+		if int64(len(full)) != interval.Count(q) {
+			t.Fatalf("query %d: ReportAll %d vs count %d", i, len(full), interval.Count(q))
+		}
+		rep := interval.Reported(q)
+		wantRep := len(full)
+		if wantRep > interval.MaxReported {
+			wantRep = interval.MaxReported
+		}
+		if len(rep) != wantRep {
+			t.Fatalf("query %d: %d reported want %d", i, len(rep), wantRep)
+		}
+		for j, id := range rep {
+			if id != full[j] {
+				t.Fatalf("query %d: reported[%d]=%d want %d (DFS order)", i, j, id, full[j])
+			}
+		}
+		// Every reported ID genuinely intersects.
+		for _, id := range rep {
+			if !setByID(set, id).Intersects(ranges[i][0], ranges[i][1]) {
+				t.Fatalf("query %d: reported non-intersecting interval %d", i, id)
+			}
+		}
+	}
+}
+
+func setByID(set []interval.Interval, id int32) interval.Interval {
+	for _, iv := range set {
+		if iv.ID == id {
+			return iv
+		}
+	}
+	panic("unknown id")
+}
+
+func TestBoundedReportingOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	set := randomSet(150, 3000, rng)
+	st := interval.NewSearchTree(set)
+	s1, s2 := st.InstallSplitters()
+	ranges := randomRanges(200, 3000, rng)
+	qs := st.NewQueries(ranges)
+	want := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+	m := mesh.New(16)
+	in := core.NewInstance(m, st.Tree.Graph, qs, interval.Successor)
+	core.MultisearchAlphaBeta(m.Root(), in, s1.MaxPart, s2.MaxPart, 0)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range in.ResultQueries() {
+		full := st.ReportAll(ranges[i][0], ranges[i][1])
+		rep := interval.Reported(q)
+		for j, id := range rep {
+			if id != full[j] {
+				t.Fatalf("mesh query %d: reported[%d]=%d want %d", i, j, id, full[j])
+			}
+		}
+	}
+}
+
+func TestIntervalIntersects(t *testing.T) {
+	iv := interval.Interval{Lo: 5, Hi: 10}
+	cases := []struct {
+		lo, hi int64
+		want   bool
+	}{
+		{0, 4, false}, {0, 5, true}, {10, 20, true}, {11, 20, false},
+		{6, 7, true}, {0, 20, true}, {5, 5, true}, {10, 10, true},
+	}
+	for _, c := range cases {
+		if iv.Intersects(c.lo, c.hi) != c.want {
+			t.Fatalf("[5,10] vs [%d,%d]", c.lo, c.hi)
+		}
+	}
+}
+
+func TestNewQueriesRejectsInverted(t *testing.T) {
+	set := randomSet(10, 100, rand.New(rand.NewSource(7)))
+	st := interval.NewSearchTree(set)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.NewQueries([][2]int64{{5, 3}})
+}
+
+func TestSearchTreeSingleInterval(t *testing.T) {
+	st := interval.NewSearchTree([]interval.Interval{{Lo: 3, Hi: 7, ID: 0}})
+	qs := st.NewQueries([][2]int64{{0, 2}, {4, 5}, {8, 9}})
+	out := core.Oracle(st.Tree.Graph, qs, interval.Successor, 0)
+	wants := []int64{0, 1, 0}
+	for i, q := range out {
+		if interval.Count(q) != wants[i] {
+			t.Fatalf("query %d count %d want %d", i, interval.Count(q), wants[i])
+		}
+	}
+}
+
+// Property: for arbitrary small interval sets and queries, the tree count
+// equals brute force (both data structures).
+func TestQuickBothTreesMatchBrute(t *testing.T) {
+	f := func(rawSet [15][2]uint8, rawQ [8][2]uint8) bool {
+		set := make([]interval.Interval, len(rawSet))
+		for i, r := range rawSet {
+			lo := int64(r[0])
+			set[i] = interval.Interval{Lo: lo, Hi: lo + int64(r[1]%32), ID: int32(i)}
+		}
+		ranges := make([][2]int64, len(rawQ))
+		for i, r := range rawQ {
+			lo := int64(r[0])
+			ranges[i] = [2]int64{lo, lo + int64(r[1]%32)}
+		}
+		st := interval.NewSearchTree(set)
+		ct := interval.NewCountTree(set)
+		sq := core.Oracle(st.Tree.Graph, st.NewQueries(ranges), interval.Successor, 0)
+		cq := core.Oracle(ct.G, ct.NewQueries(ranges), interval.CountSuccessor, 0)
+		counts := ct.Counts(cq, len(ranges))
+		for i, r := range ranges {
+			want := interval.BruteCount(set, r[0], r[1])
+			if interval.Count(sq[i]) != want || counts[i] != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

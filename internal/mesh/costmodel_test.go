@@ -1,0 +1,65 @@
+package mesh
+
+import "testing"
+
+// The theoretical cost model (optimal O(√n) sorters) must never charge more
+// than the counted (shearsort) model for any operation at any size — the
+// invariant that makes E13's ablation meaningful.
+func TestTheoreticalNeverExceedsCounted(t *testing.T) {
+	for _, side := range []int{2, 4, 8, 16, 64, 256, 1024} {
+		mc := New(side)
+		mt := New(side, WithCostModel(CostTheoretical))
+		ops := []struct {
+			name string
+			run  func(m *Mesh) int64
+		}{
+			{"sort", func(m *Mesh) int64 {
+				r := NewReg[int](m)
+				Sort(m.Root(), r, func(a, b int) bool { return a < b })
+				return m.Steps()
+			}},
+			{"snake-sort", func(m *Mesh) int64 {
+				r := NewReg[int](m)
+				SortSnake(m.Root(), r, func(a, b int) bool { return a < b })
+				return m.Steps()
+			}},
+			{"rar", func(m *Mesh) int64 {
+				RAR(m.Root(),
+					func(i int) (int32, int, bool) { return int32(i), i, true },
+					func(i int) (int32, bool) { return int32(i), true },
+					func(i, v int, ok bool) {})
+				return m.Steps()
+			}},
+			{"raw", func(m *Mesh) int64 {
+				RAW(m.Root(),
+					func(i int) (int32, bool) { return int32(i), true },
+					func(i int) (int32, int, bool) { return int32(i), i, true },
+					func(a, b int) int { return a + b },
+					func(i, v int, ok bool) {})
+				return m.Steps()
+			}},
+			{"concentrate", func(m *Mesh) int64 {
+				r := NewReg[int](m)
+				Concentrate(m.Root(), r, -1, func(x int) bool { return x >= 0 })
+				return m.Steps()
+			}},
+			{"scan", func(m *Mesh) int64 {
+				r := NewReg[int](m)
+				Scan(m.Root(), r, func(a, b int) int { return a + b })
+				return m.Steps()
+			}},
+		}
+		for _, op := range ops {
+			mc.ResetSteps()
+			mt.ResetSteps()
+			cc := op.run(mc)
+			ct := op.run(mt)
+			if ct > cc {
+				t.Fatalf("side %d op %s: theoretical %d > counted %d", side, op.name, ct, cc)
+			}
+			if cc <= 0 || ct <= 0 {
+				t.Fatalf("side %d op %s: zero cost", side, op.name)
+			}
+		}
+	}
+}

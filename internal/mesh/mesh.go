@@ -1,0 +1,308 @@
+// Package mesh simulates a √n×√n mesh-connected computer with exact
+// parallel-step accounting.
+//
+// The machine model follows the SPAA'91 multisearch paper: n processors in a
+// square grid, each with O(1) registers, each able to exchange O(1) words
+// with its four grid neighbours per time step. The simulator is functional
+// at the operation level and exact at the step level: every standard mesh
+// operation (rotation, scan, sort, random-access read/write, concentration,
+// segmented broadcast) computes the machine state an actual mesh program
+// would produce, and charges the number of parallel steps the textbook mesh
+// implementation of that operation takes.
+//
+// Operations executed "independently and in parallel" on disjoint submeshes
+// (the paper's recurring phrase) are expressed through View values and
+// RunParallel, which executes the bodies concurrently on real goroutines and
+// charges the maximum cost across submeshes, exactly as wall-clock time on a
+// physical mesh would behave.
+//
+// Two cost models are provided. CostCounted (the default) charges shearsort
+// its true (⌈log₂ rows⌉+1)·(rows+cols) steps, so measured totals carry the
+// well-known log factor of the simple sorter. CostTheoretical charges the
+// 3·side steps of the optimal mesh sorters (Schnorr–Shamir, Thompson–Kung)
+// that the paper's "standard mesh operations" presuppose. See DESIGN.md §3.
+package mesh
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+)
+
+// CostModel selects how compound operations (sorting in particular) are
+// charged. See the package comment.
+type CostModel int
+
+const (
+	// CostCounted charges shearsort its real phase-by-phase step count.
+	CostCounted CostModel = iota
+	// CostTheoretical charges sorting the 3·side steps of the optimal
+	// O(√n)-time mesh sorters assumed by the paper.
+	CostTheoretical
+)
+
+func (c CostModel) String() string {
+	switch c {
+	case CostCounted:
+		return "counted"
+	case CostTheoretical:
+		return "theoretical"
+	default:
+		return fmt.Sprintf("CostModel(%d)", int(c))
+	}
+}
+
+// Mesh is a Side×Side mesh-connected computer. The zero value is not usable;
+// call New.
+type Mesh struct {
+	side  int
+	n     int
+	model CostModel
+
+	root sink
+
+	// parallelism limits concurrent submesh bodies in RunParallel.
+	sem chan struct{}
+}
+
+// sink accumulates parallel steps. Each goroutine executing a submesh body
+// owns its sink exclusively; no locking is needed.
+type sink struct {
+	steps int64
+}
+
+// Option configures a Mesh.
+type Option func(*Mesh)
+
+// WithCostModel selects the cost model (default CostCounted).
+func WithCostModel(m CostModel) Option {
+	return func(ms *Mesh) { ms.model = m }
+}
+
+// WithParallelism bounds the number of goroutines used for concurrent
+// submesh execution (default runtime.GOMAXPROCS(0)).
+func WithParallelism(p int) Option {
+	return func(ms *Mesh) {
+		if p < 1 {
+			p = 1
+		}
+		ms.sem = make(chan struct{}, p)
+	}
+}
+
+// New creates a side×side mesh. side must be a positive power of two: the
+// recursive submesh partitionings of the multisearch algorithms require
+// every grid refinement to divide evenly.
+func New(side int, opts ...Option) *Mesh {
+	if side <= 0 || side&(side-1) != 0 {
+		panic(fmt.Sprintf("mesh: side must be a positive power of two, got %d", side))
+	}
+	m := &Mesh{side: side, n: side * side}
+	for _, o := range opts {
+		o(m)
+	}
+	if m.sem == nil {
+		m.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
+	}
+	return m
+}
+
+// Side returns the side length √n of the mesh.
+func (m *Mesh) Side() int { return m.side }
+
+// N returns the number of processors, Side².
+func (m *Mesh) N() int { return m.n }
+
+// Model returns the active cost model.
+func (m *Mesh) Model() CostModel { return m.model }
+
+// Steps returns the accumulated simulated parallel time, in mesh steps.
+func (m *Mesh) Steps() int64 { return m.root.steps }
+
+// ResetSteps zeroes the step clock (registers are untouched).
+func (m *Mesh) ResetSteps() { m.root.steps = 0 }
+
+// Root returns the View covering the whole mesh.
+func (m *Mesh) Root() View {
+	return View{m: m, sink: &m.root, r0: 0, c0: 0, h: m.side, w: m.side}
+}
+
+// View is a rectangular region of the mesh on which operations execute.
+// Local indices are row-major within the view: local index i corresponds to
+// view coordinates (i/w, i%w). All standard operations charge their step
+// cost to the view's cost sink.
+type View struct {
+	m    *Mesh
+	sink *sink
+	r0   int
+	c0   int
+	h, w int
+}
+
+// Mesh returns the underlying machine.
+func (v View) Mesh() *Mesh { return v.m }
+
+// Rows returns the number of rows in the view.
+func (v View) Rows() int { return v.h }
+
+// Cols returns the number of columns in the view.
+func (v View) Cols() int { return v.w }
+
+// Size returns the number of processors in the view.
+func (v View) Size() int { return v.h * v.w }
+
+// Origin returns the global (row, col) of the view's top-left processor.
+func (v View) Origin() (row, col int) { return v.r0, v.c0 }
+
+// Global converts a local row-major index to the global row-major processor
+// index.
+func (v View) Global(local int) int {
+	r, c := local/v.w, local%v.w
+	return (v.r0+r)*v.m.side + (v.c0 + c)
+}
+
+// Local converts a global processor index to a local row-major index and
+// reports whether the processor lies in the view.
+func (v View) Local(global int) (int, bool) {
+	r, c := global/v.m.side, global%v.m.side
+	r -= v.r0
+	c -= v.c0
+	if r < 0 || r >= v.h || c < 0 || c >= v.w {
+		return 0, false
+	}
+	return r*v.w + c, true
+}
+
+// Sub returns the sub-view at local offset (r0, c0) with h rows and w cols.
+func (v View) Sub(r0, c0, h, w int) View {
+	if r0 < 0 || c0 < 0 || r0+h > v.h || c0+w > v.w || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("mesh: Sub(%d,%d,%d,%d) out of %dx%d view", r0, c0, h, w, v.h, v.w))
+	}
+	return View{m: v.m, sink: v.sink, r0: v.r0 + r0, c0: v.c0 + c0, h: h, w: w}
+}
+
+// Partition splits the view into a gr×gc grid of equal sub-views, returned
+// in row-major grid order. gr must divide Rows and gc must divide Cols.
+func (v View) Partition(gr, gc int) []View {
+	if gr <= 0 || gc <= 0 || v.h%gr != 0 || v.w%gc != 0 {
+		panic(fmt.Sprintf("mesh: Partition(%d,%d) does not divide %dx%d view", gr, gc, v.h, v.w))
+	}
+	sh, sw := v.h/gr, v.w/gc
+	subs := make([]View, 0, gr*gc)
+	for r := 0; r < gr; r++ {
+		for c := 0; c < gc; c++ {
+			subs = append(subs, v.Sub(r*sh, c*sw, sh, sw))
+		}
+	}
+	return subs
+}
+
+// charge adds steps to the view's cost sink.
+func (v View) charge(steps int64) {
+	if steps < 0 {
+		panic("mesh: negative charge")
+	}
+	v.sink.steps += steps
+}
+
+// Charge adds an explicit step cost to the view's clock. It is exported for
+// algorithm code that performs a locally-computed O(1) update on every
+// processor (one parallel step).
+func (v View) Charge(steps int64) { v.charge(steps) }
+
+// RunParallel executes body on each sub-view concurrently and charges the
+// parent view the maximum cost incurred by any sub-view, which is the
+// elapsed parallel time when disjoint submeshes run independently.
+// The sub-views must be disjoint regions (not checked); bodies must only
+// touch register cells inside their own sub-view.
+func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
+	if len(subs) == 0 {
+		return
+	}
+	sinks := make([]sink, len(subs))
+	var wg sync.WaitGroup
+	for i := range subs {
+		sub := subs[i]
+		sub.sink = &sinks[i]
+		// Spawn if a worker slot is free; otherwise run inline. Running
+		// inline keeps nested RunParallel calls deadlock-free: a body that
+		// itself fans out never waits on slots held by blocked ancestors.
+		select {
+		case v.m.sem <- struct{}{}:
+			wg.Add(1)
+			go func(i int, sub View) {
+				defer func() {
+					<-v.m.sem
+					wg.Done()
+				}()
+				body(i, sub)
+			}(i, sub)
+		default:
+			body(i, sub)
+		}
+	}
+	wg.Wait()
+	var max int64
+	for i := range sinks {
+		if sinks[i].steps > max {
+			max = sinks[i].steps
+		}
+	}
+	v.charge(max)
+}
+
+// RunSequential executes body on each sub-view one after another, charging
+// the sum of their costs (the paper's "processing some pieces in sequence").
+func (v View) RunSequential(subs []View, body func(idx int, sub View)) {
+	for i := range subs {
+		s := sink{}
+		subs[i].sink = &s
+		body(i, subs[i])
+		v.charge(s.steps)
+	}
+}
+
+// --- cost formulas -----------------------------------------------------
+
+// log2Ceil returns ⌈log₂ x⌉ for x ≥ 1.
+func log2Ceil(x int) int {
+	if x <= 1 {
+		return 0
+	}
+	return bits.Len(uint(x - 1))
+}
+
+// sortCost is the charge for sorting one record per processor within the
+// view into snake order.
+func (v View) sortCost() int64 {
+	switch v.m.model {
+	case CostTheoretical:
+		// Schnorr–Shamir / Thompson–Kung class sorters: 3·side + o(side).
+		s := v.h
+		if v.w > s {
+			s = v.w
+		}
+		return int64(3 * s)
+	default:
+		// Shearsort: ⌈log₂ rows⌉+1 phases; each phase sorts all rows by
+		// odd-even transposition (w steps) and all columns (h steps).
+		phases := int64(log2Ceil(v.h) + 1)
+		return phases * int64(v.h+v.w)
+	}
+}
+
+// rowMajorSortCost adds the odd-row reversal that converts snake order to
+// row-major order.
+func (v View) rowMajorSortCost() int64 { return v.sortCost() + int64(v.w) }
+
+// scanCost is the charge for a prefix scan in row-major order: scan each
+// row, scan the column of row totals, then add offsets back across rows.
+func (v View) scanCost() int64 { return int64(2*v.w + 2*v.h) }
+
+// broadcastCost is the charge for one processor's value reaching all others
+// (a row sweep then a column sweep).
+func (v View) broadcastCost() int64 { return int64(v.h + v.w) }
+
+// reduceCost mirrors broadcastCost in the opposite direction.
+func (v View) reduceCost() int64 { return int64(v.h + v.w) }

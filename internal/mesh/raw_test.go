@@ -1,0 +1,116 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRAWCombinesWrites(t *testing.T) {
+	m := New(4)
+	v := m.Root()
+	// Record cells 0..3 expose keys 0..3; every processor i writes value
+	// 1<<i to key i%4. Combined with OR, record k collects all i ≡ k (4).
+	got := make(map[int]int)
+	RAW(v,
+		func(i int) (int32, bool) { return int32(i), i < 4 },
+		func(i int) (int32, int, bool) { return int32(i % 4), 1 << i, true },
+		func(a, b int) int { return a | b },
+		func(i int, combined int, any bool) {
+			if !any {
+				t.Fatalf("record %d got nothing", i)
+			}
+			got[i] = combined
+		})
+	for k := 0; k < 4; k++ {
+		want := 0
+		for i := k; i < 16; i += 4 {
+			want |= 1 << i
+		}
+		if got[k] != want {
+			t.Fatalf("record %d combined %x want %x", k, got[k], want)
+		}
+	}
+}
+
+func TestRAWNoWriters(t *testing.T) {
+	m := New(2)
+	v := m.Root()
+	RAW(v,
+		func(i int) (int32, bool) { return int32(i), true },
+		func(i int) (int32, int, bool) { return 0, 0, false },
+		func(a, b int) int { return a + b },
+		func(i int, combined int, any bool) {
+			if any {
+				t.Fatal("delivery without writers")
+			}
+		})
+}
+
+func TestRAWDroppedWrites(t *testing.T) {
+	// Writes to keys with no record cell are dropped silently.
+	m := New(2)
+	v := m.Root()
+	deliveries := 0
+	RAW(v,
+		func(i int) (int32, bool) { return 99, i == 0 },
+		func(i int) (int32, int, bool) { return int32(i), i, true }, // keys 0..3, no record
+		func(a, b int) int { return a + b },
+		func(i int, combined int, any bool) {
+			deliveries++
+			if any {
+				t.Fatal("record 99 should receive nothing")
+			}
+		})
+	if deliveries != 1 {
+		t.Fatalf("deliveries=%d", deliveries)
+	}
+}
+
+// Property: RAW with + equals a reference map-based scatter-add.
+func TestQuickRAWMatchesReference(t *testing.T) {
+	m := New(4)
+	v := m.Root()
+	f := func(recMask uint16, keys [16]uint8, vals [16]int8) bool {
+		ref := map[int32]int{}
+		refAny := map[int32]bool{}
+		for i := 0; i < 16; i++ {
+			k := int32(keys[i] % 8)
+			ref[k] += int(vals[i])
+			refAny[k] = true
+		}
+		ok := true
+		seen := 0
+		RAW(v,
+			func(i int) (int32, bool) { return int32(i % 8), recMask&(1<<i) != 0 && i < 8 },
+			func(i int) (int32, int, bool) { return int32(keys[i] % 8), int(vals[i]), true },
+			func(a, b int) int { return a + b },
+			func(i int, combined int, any bool) {
+				seen++
+				k := int32(i % 8)
+				if any != refAny[k] {
+					ok = false
+				}
+				if any && combined != ref[k] {
+					ok = false
+				}
+			})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRAWCost(t *testing.T) {
+	m := New(8)
+	v := m.Root()
+	RAW(v,
+		func(i int) (int32, bool) { return int32(i), true },
+		func(i int) (int32, int, bool) { return int32(i), i, true },
+		func(a, b int) int { return a + b },
+		func(i int, combined int, any bool) {})
+	want := v.doubleSortCost() + 2*v.scanCost() + v.rowMajorSortCost() + 1
+	if m.Steps() != want {
+		t.Fatalf("RAW cost %d want %d", m.Steps(), want)
+	}
+}

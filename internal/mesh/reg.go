@@ -1,0 +1,95 @@
+package mesh
+
+// Reg is one named machine register: every processor holds exactly one value
+// of type T. Algorithms allocate a fixed, O(1) set of registers, matching
+// the paper's "O(1) memory per processor" model; tests assert that no
+// algorithm needs a per-processor register count that grows with n.
+type Reg[T any] struct {
+	m    *Mesh
+	data []T
+}
+
+// NewReg allocates a register on m, zero-valued everywhere.
+func NewReg[T any](m *Mesh) *Reg[T] {
+	return &Reg[T]{m: m, data: make([]T, m.n)}
+}
+
+// At returns the value held by the view-local processor i.
+func At[T any](v View, r *Reg[T], i int) T { return r.data[v.Global(i)] }
+
+// Set stores val into the view-local processor i.
+func Set[T any](v View, r *Reg[T], i int, val T) { r.data[v.Global(i)] = val }
+
+// Fill stores val into every processor of the view. One parallel step.
+func Fill[T any](v View, r *Reg[T], val T) {
+	for i, n := 0, v.Size(); i < n; i++ {
+		r.data[v.Global(i)] = val
+	}
+	v.charge(1)
+}
+
+// Apply runs a locally-computed O(1) update on every processor of the view.
+// One parallel step.
+func Apply[T any](v View, r *Reg[T], f func(local int, cur T) T) {
+	for i, n := 0, v.Size(); i < n; i++ {
+		g := v.Global(i)
+		r.data[g] = f(i, r.data[g])
+	}
+	v.charge(1)
+}
+
+// Apply2 runs a locally-computed O(1) update reading register a and updating
+// register b on every processor of the view. One parallel step.
+func Apply2[A, B any](v View, a *Reg[A], b *Reg[B], f func(local int, av A, bv B) B) {
+	for i, n := 0, v.Size(); i < n; i++ {
+		g := v.Global(i)
+		b.data[g] = f(i, a.data[g], b.data[g])
+	}
+	v.charge(1)
+}
+
+// gather copies the view's contents of r into a fresh slice in view-local
+// row-major order. Simulation bookkeeping; carries no step charge itself.
+func gather[T any](v View, r *Reg[T]) []T {
+	out := make([]T, v.Size())
+	if v.w == v.m.side && v.c0 == 0 {
+		copy(out, r.data[v.r0*v.m.side:(v.r0+v.h)*v.m.side])
+		return out
+	}
+	for row := 0; row < v.h; row++ {
+		base := (v.r0+row)*v.m.side + v.c0
+		copy(out[row*v.w:(row+1)*v.w], r.data[base:base+v.w])
+	}
+	return out
+}
+
+// scatter writes xs (view-local row-major) back into the view's cells of r.
+func scatter[T any](v View, r *Reg[T], xs []T) {
+	if len(xs) != v.Size() {
+		panic("mesh: scatter length mismatch")
+	}
+	if v.w == v.m.side && v.c0 == 0 {
+		copy(r.data[v.r0*v.m.side:(v.r0+v.h)*v.m.side], xs)
+		return
+	}
+	for row := 0; row < v.h; row++ {
+		base := (v.r0+row)*v.m.side + v.c0
+		copy(r.data[base:base+v.w], xs[row*v.w:(row+1)*v.w])
+	}
+}
+
+// Snapshot returns a copy of the view's contents of r in view-local
+// row-major order, for inspection by tests and harness code (no charge).
+func Snapshot[T any](v View, r *Reg[T]) []T { return gather(v, r) }
+
+// Load writes xs into the view starting at local index 0 in row-major
+// order, for test and harness initialization (no charge). Cells past
+// len(xs) are untouched.
+func Load[T any](v View, r *Reg[T], xs []T) {
+	if len(xs) > v.Size() {
+		panic("mesh: Load overflow")
+	}
+	for i, x := range xs {
+		r.data[v.Global(i)] = x
+	}
+}

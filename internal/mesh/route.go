@@ -1,0 +1,331 @@
+package mesh
+
+import "cmp"
+
+// Data movement operations: random-access read, routing, concentration, and
+// block replication. These are the "standard mesh operations" the paper
+// composes; all are built from sorts and scans so their charges follow from
+// the primitive cost formulas.
+//
+// Scratch-slice variants (SortScratch, ScanScratch) model a bank of perProc
+// registers per processor — perProc must remain O(1), which is how the
+// physical machine sorts 2m items on m processors (two words per link per
+// transposition round, doubling the phase time).
+
+// SortScratch stable-sorts xs, a scratch bank holding up to perProc records
+// per processor of the view, charging perProc row-major sorts.
+func SortScratch[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
+	sortSlice(v, xs, perProc, less)
+}
+
+// ScanScratch performs a segmented inclusive scan over scratch bank xs in
+// index order, restarting wherever head reports true, charging perProc
+// scans.
+func ScanScratch[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	scanSlice(v, xs, perProc, head, op)
+}
+
+// ScanScratchRev is ScanScratch running in reverse index order: segment
+// heads are tested in reverse order (head(i) true restarts the scan at i,
+// moving from high indices to low). Mesh scans run equally well along the
+// reversed snake; same cost.
+func ScanScratchRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*v.Size() {
+		panic("mesh: ScanScratchRev overflow")
+	}
+	for i := len(xs) - 2; i >= 0; i-- {
+		if !head(i) {
+			xs[i] = op(xs[i+1], xs[i])
+		}
+	}
+	v.charge(int64(perProc) * v.scanCost())
+}
+
+// RouteTo moves selected records of src into computed destination cells of
+// dst (a different register). Destinations must be distinct; cells of dst
+// that receive no record are untouched. Cost: one sort.
+func RouteTo[T any](v View, src, dst *Reg[T], sel func(local int, val T) (dest int, ok bool)) {
+	m := v.Size()
+	type move struct {
+		dest int
+		val  T
+	}
+	moves := make([]move, 0, m)
+	taken := make(map[int]struct{}, m)
+	for i := 0; i < m; i++ {
+		val := src.data[v.Global(i)]
+		if d, ok := sel(i, val); ok {
+			if d < 0 || d >= m {
+				panic("mesh: RouteTo destination out of view")
+			}
+			if _, dup := taken[d]; dup {
+				panic("mesh: RouteTo destination collision")
+			}
+			taken[d] = struct{}{}
+			moves = append(moves, move{d, val})
+		}
+	}
+	sortSlice(v, moves, 1, func(a, b move) bool { return a.dest < b.dest })
+	for _, mv := range moves {
+		dst.data[v.Global(mv.dest)] = mv.val
+	}
+	v.charge(1)
+}
+
+// RouteScratch routes the items of src into a fresh scratch bank of dstLen
+// cells (≤ perProc per processor): src[i] lands at dest(i). Destinations
+// must be distinct. occupied reports which cells received an item. Cost:
+// perProc sorts.
+func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) int) (dst []T, occupied []bool) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if dstLen > perProc*v.Size() {
+		panic("mesh: RouteScratch overflow")
+	}
+	dst = make([]T, dstLen)
+	occupied = make([]bool, dstLen)
+	for i := range src {
+		d := dest(i)
+		if d < 0 || d >= dstLen {
+			panic("mesh: RouteScratch destination out of range")
+		}
+		if occupied[d] {
+			panic("mesh: RouteScratch destination collision")
+		}
+		dst[d] = src[i]
+		occupied[d] = true
+	}
+	v.charge(int64(perProc) * v.rowMajorSortCost())
+	return dst, occupied
+}
+
+// RAR is the random-access read of Nassimi–Sahni: every processor may issue
+// one keyed request, every processor may hold one keyed record, and each
+// request receives the value of the record with its key. Concurrent reads
+// of one record by many requests are supported (the duplication happens in
+// the segmented copy-scan, not by magic). Record keys are expected to be
+// unique within the view (the algorithms guarantee this; if violated, the
+// last record in sorted order wins). Requests whose key has no record
+// receive found=false.
+//
+// Mesh realization charged here: sort the 2m-item bank by (key, records
+// first); copy-scan record values across the requests that follow them;
+// sort the requests back by origin. Cost: 1 double-sort + 1 double-scan +
+// 1 single sort.
+func RAR[K cmp.Ordered, V any](v View,
+	record func(local int) (key K, val V, ok bool),
+	request func(local int) (key K, ok bool),
+	deliver func(local int, val V, found bool),
+) {
+	type item struct {
+		key    K
+		isReq  bool
+		found  bool
+		val    V
+		origin int32
+	}
+	m := v.Size()
+	items := make([]item, 0, 2*m)
+	for i := 0; i < m; i++ {
+		if k, val, ok := record(i); ok {
+			items = append(items, item{key: k, val: val, found: true, origin: int32(i)})
+		}
+		if k, ok := request(i); ok {
+			items = append(items, item{key: k, isReq: true, origin: int32(i)})
+		}
+	}
+	sortSlice(v, items, 2, func(a, b item) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return !a.isReq && b.isReq
+	})
+	scanSlice(v, items, 2,
+		func(i int) bool { return i == 0 || items[i].key != items[i-1].key },
+		func(a, b item) item {
+			if b.isReq {
+				b.val = a.val
+				b.found = a.found
+			}
+			return b
+		})
+	// Keep only the requests, route them back to their origins.
+	reqs := items[:0]
+	for _, it := range items {
+		if it.isReq {
+			reqs = append(reqs, it)
+		}
+	}
+	sortSlice(v, reqs, 1, func(a, b item) bool { return a.origin < b.origin })
+	for _, it := range reqs {
+		deliver(int(it.origin), it.val, it.found)
+	}
+	v.charge(1)
+}
+
+// RAW is the combining random-access write, the dual of RAR: every
+// processor may issue one keyed write, every processor may expose one keyed
+// record cell, and each record cell receives the combination (under the
+// associative, commutative combine) of all values written to its key.
+// Record keys must be unique within the view. Cells nobody writes to are
+// not delivered. Writes to keys with no record cell are dropped.
+//
+// Mesh realization charged here: sort the 2m-item bank by (key, record
+// first); a reverse segmented copy-scan folds each key's writes together
+// onto its record; sort the records back by origin. Cost: 1 double-sort +
+// 1 double-scan + 1 single sort.
+func RAW[K cmp.Ordered, V any](v View,
+	record func(local int) (key K, ok bool),
+	write func(local int) (key K, val V, ok bool),
+	combine func(a, b V) V,
+	deliver func(local int, combined V, any bool),
+) {
+	type item struct {
+		key    K
+		isRec  bool
+		has    bool
+		val    V
+		origin int32
+	}
+	m := v.Size()
+	items := make([]item, 0, 2*m)
+	for i := 0; i < m; i++ {
+		if k, ok := record(i); ok {
+			items = append(items, item{key: k, isRec: true, origin: int32(i)})
+		}
+		if k, val, ok := write(i); ok {
+			items = append(items, item{key: k, val: val, has: true, origin: int32(i)})
+		}
+	}
+	sortSlice(v, items, 2, func(a, b item) bool {
+		if a.key != b.key {
+			return a.key < b.key
+		}
+		return a.isRec && !b.isRec
+	})
+	// Reverse scan: fold write values toward the record at the front of
+	// each key segment.
+	scanSliceRev(v, items, 2,
+		func(i int) bool { return i == len(items)-1 || items[i].key != items[i+1].key },
+		func(a, b item) item {
+			if a.has {
+				if b.has {
+					b.val = combine(b.val, a.val)
+				} else {
+					b.val = a.val
+					b.has = true
+				}
+			}
+			return b
+		})
+	recs := items[:0]
+	for _, it := range items {
+		if it.isRec {
+			recs = append(recs, it)
+		}
+	}
+	sortSlice(v, recs, 1, func(a, b item) bool { return a.origin < b.origin })
+	for _, it := range recs {
+		deliver(int(it.origin), it.val, it.has)
+	}
+	v.charge(1)
+}
+
+// scanSliceRev mirrors scanSlice in reverse index order.
+func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*v.Size() {
+		panic("mesh: scanSliceRev overflow")
+	}
+	for i := len(xs) - 2; i >= 0; i-- {
+		if !head(i) {
+			xs[i] = op(xs[i+1], xs[i])
+		}
+	}
+	v.charge(int64(perProc) * v.scanCost())
+}
+
+// Route moves selected records of r to computed destination local indices.
+// Destinations must be distinct (panic otherwise: a routing collision is a
+// program bug in the calling algorithm — the paper's routings are always
+// collision-free by construction). Source cells of moved records that do
+// not themselves receive a record are set to clear. Cost: one sort.
+func Route[T any](v View, r *Reg[T], clear T, sel func(local int, val T) (dest int, ok bool)) {
+	m := v.Size()
+	type move struct {
+		dest int
+		val  T
+	}
+	moves := make([]move, 0, m)
+	taken := make(map[int]struct{}, m)
+	cleared := make([]int, 0, m)
+	for i := 0; i < m; i++ {
+		val := r.data[v.Global(i)]
+		if d, ok := sel(i, val); ok {
+			if d < 0 || d >= m {
+				panic("mesh: Route destination out of view")
+			}
+			if _, dup := taken[d]; dup {
+				panic("mesh: Route destination collision")
+			}
+			taken[d] = struct{}{}
+			moves = append(moves, move{d, val})
+			cleared = append(cleared, i)
+		}
+	}
+	sortSlice(v, moves, 1, func(a, b move) bool { return a.dest < b.dest })
+	for _, i := range cleared {
+		r.data[v.Global(i)] = clear
+	}
+	for _, mv := range moves {
+		r.data[v.Global(mv.dest)] = mv.val
+	}
+	v.charge(1)
+}
+
+// Concentrate moves the records satisfying pred to local indices 0..k-1,
+// preserving their order, sets every other cell to clear, and returns k.
+// Cost: one sort (stable sort by the predicate).
+func Concentrate[T any](v View, r *Reg[T], clear T, pred func(T) bool) int {
+	xs := gather(v, r)
+	kept := make([]T, 0, len(xs))
+	for _, x := range xs {
+		if pred(x) {
+			kept = append(kept, x)
+		}
+	}
+	out := make([]T, len(xs))
+	for i := range out {
+		if i < len(kept) {
+			out[i] = kept[i]
+		} else {
+			out[i] = clear
+		}
+	}
+	scatter(v, r, out)
+	v.charge(v.rowMajorSortCost())
+	return len(kept)
+}
+
+// BroadcastBlock writes block into local indices 0..len(block)-1 of every
+// listed sub-view of parent. On the machine this is the pipelined submesh
+// replication sweep: the block travels across the top row of submeshes and
+// down every submesh column, words pipelined, in ≤ 2·(rows+cols) steps of
+// the parent. block must fit in each sub-view.
+func BroadcastBlock[T any](parent View, r *Reg[T], block []T, subs []View) {
+	for _, s := range subs {
+		if len(block) > s.Size() {
+			panic("mesh: BroadcastBlock block larger than sub-view")
+		}
+		for i, x := range block {
+			r.data[s.Global(i)] = x
+		}
+	}
+	parent.charge(int64(2 * (parent.h + parent.w)))
+}

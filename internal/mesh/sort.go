@@ -1,0 +1,81 @@
+package mesh
+
+import "sort"
+
+// Sort sorts the view's record per processor into row-major order by less.
+// The sort is stable. Cost: shearsort into snake order plus one row sweep to
+// flip the odd rows into row-major order (see mesh.go cost formulas).
+func Sort[T any](v View, r *Reg[T], less func(a, b T) bool) {
+	xs := gather(v, r)
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	scatter(v, r, xs)
+	v.charge(v.rowMajorSortCost())
+}
+
+// SortSnake sorts into snake-like order: even rows run left-to-right, odd
+// rows right-to-left. This is the native output order of shearsort and is
+// what scan-based algorithms on the physical machine consume. Cost: one
+// shearsort.
+func SortSnake[T any](v View, r *Reg[T], less func(a, b T) bool) {
+	xs := gather(v, r)
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	// Lay the sorted sequence out in snake order.
+	out := make([]T, len(xs))
+	k := 0
+	for row := 0; row < v.h; row++ {
+		if row%2 == 0 {
+			for c := 0; c < v.w; c++ {
+				out[row*v.w+c] = xs[k]
+				k++
+			}
+		} else {
+			for c := v.w - 1; c >= 0; c-- {
+				out[row*v.w+c] = xs[k]
+				k++
+			}
+		}
+	}
+	scatter(v, r, out)
+	v.charge(v.sortCost())
+}
+
+// SortCost reports, without executing anything, the charge of one row-major
+// Sort on the view under the active cost model. Harness code uses it to
+// annotate tables.
+func (v View) SortCost() int64 { return v.rowMajorSortCost() }
+
+// doubleSortCost is the charge for sorting two records per processor (2m
+// items on m processors): each transposition round moves two words per link,
+// doubling the time of every phase.
+func (v View) doubleSortCost() int64 { return 2 * v.rowMajorSortCost() }
+
+// sortSlice stable-sorts a scratch slice holding up to perProc records per
+// processor and charges the corresponding multi-record sort cost. Compound
+// operations (RAR, RAW, Route) build on this single source of cost truth.
+func sortSlice[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*v.Size() {
+		panic("mesh: sortSlice overflow")
+	}
+	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	v.charge(int64(perProc) * v.rowMajorSortCost())
+}
+
+// scanSlice charges one scan on the view and performs a segmented inclusive
+// scan over a scratch slice (up to perProc records per processor).
+func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	if perProc < 1 {
+		perProc = 1
+	}
+	if len(xs) > perProc*v.Size() {
+		panic("mesh: scanSlice overflow")
+	}
+	for i := 1; i < len(xs); i++ {
+		if !head(i) {
+			xs[i] = op(xs[i-1], xs[i])
+		}
+	}
+	v.charge(int64(perProc) * v.scanCost())
+}

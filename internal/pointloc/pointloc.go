@@ -1,0 +1,322 @@
+// Package pointloc implements the subdivision-hierarchy application of §5:
+// Kirkpatrick's planar point-location search DAG [Kir83], built over a
+// triangulation and searched in parallel with the hierarchical-DAG
+// multisearch of Theorem 2.
+//
+// Construction (host side, [DK87] notes the parallel version; the paper's
+// mesh construction is [DSS88] — here construction is a preprocessing step
+// and the multisearch is what runs on the mesh):
+//
+//  1. The input points are wrapped in a huge super-triangle and the whole
+//     set is triangulated (geom.Triangulate).
+//  2. Rounds of coarsening: an independent set of non-super vertices of
+//     degree ≤ 8 is removed; each star polygon is re-triangulated by ear
+//     clipping; every new triangle is linked to the removed triangles it
+//     overlaps (exact SAT test).
+//  3. The rounds end with the bare super-triangle. DAG level i holds the
+//     triangles of coarsening stage (last−i): level 0 is the single
+//     super-triangle, the deepest level is the input triangulation.
+//     Surviving triangles get per-level copy nodes, keeping every arc
+//     between consecutive levels (the hierarchical-DAG shape of §3).
+//
+// Each DAG vertex carries its triangle in the payload and its children's
+// triangles in the extended payload, so a point-location query descends
+// with O(1) local work per level.
+package pointloc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/graph"
+)
+
+// maxIndepDegree bounds the degree of removed vertices; it must not exceed
+// graph.MaxDegree so that DAG out-degrees (≤ star size) stay within the
+// adjacency budget.
+const maxIndepDegree = graph.MaxDegree
+
+// Hierarchy is the point-location search DAG.
+type Hierarchy struct {
+	Dag *graph.HDag
+	// Tri is the input triangulation (including the super-triangle wrap);
+	// leaf answers are indices into Tri.Tris.
+	Tri    *geom.Triangulation
+	Levels int
+}
+
+// Payload layout: triangle corners (x,y)×3 and the answer index.
+const (
+	dataAX = iota
+	dataAY
+	dataBX
+	dataBY
+	dataCX
+	dataCY
+	dataAnswer // index into Tri.Tris at the deepest level, else -1
+)
+
+// Query state layout.
+const (
+	StateX = 0
+	StateY = 1
+	// StateAnswer receives the located triangle index.
+	StateAnswer = 2
+	stateDigest = 3
+)
+
+type tri struct {
+	v [3]int32
+}
+
+type stageTri struct {
+	t        tri
+	children []int // indices into the previous (finer) stage
+}
+
+// Build wraps pts in a super-triangle, triangulates, and builds the
+// hierarchy.
+func Build(pts []geom.Point2) (*Hierarchy, error) {
+	var minX, minY, maxX, maxY int64 = math.MaxInt64, math.MaxInt64, math.MinInt64, math.MinInt64
+	for _, p := range pts {
+		geom.CheckCoord(p.X, p.Y)
+		minX, minY = min64(minX, p.X), min64(minY, p.Y)
+		maxX, maxY = max64(maxX, p.X), max64(maxY, p.Y)
+	}
+	span := max64(maxX-minX, maxY-minY) + 2
+	if span*8 > geom.MaxCoord {
+		return nil, fmt.Errorf("pointloc: point spread %d too large for the super-triangle", span)
+	}
+	// A triangle comfortably containing the bounding box.
+	sup := []geom.Point2{
+		{X: minX - 4*span, Y: minY - 2*span},
+		{X: maxX + 4*span, Y: minY - 2*span},
+		{X: (minX + maxX) / 2, Y: maxY + 4*span},
+	}
+	all := append(append([]geom.Point2{}, pts...), sup...)
+	tr, err := geom.Triangulate(all)
+	if err != nil {
+		return nil, err
+	}
+	superBase := int32(len(pts))
+
+	// Stage 0 = the full triangulation.
+	stages := [][]stageTri{}
+	cur := make([]stageTri, len(tr.Tris))
+	for i, t := range tr.Tris {
+		cur[i] = stageTri{t: tri{t}}
+	}
+	stages = append(stages, cur)
+
+	for len(cur) > 1 {
+		next, err := coarsen(all, cur, superBase)
+		if err != nil {
+			return nil, err
+		}
+		if len(next) >= len(cur) {
+			return nil, fmt.Errorf("pointloc: coarsening stalled at %d triangles", len(cur))
+		}
+		stages = append(stages, next)
+		cur = next
+	}
+
+	return assemble(tr, stages)
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// coarsen removes one independent set and returns the next (coarser) stage
+// with child links into the current one.
+func coarsen(pts []geom.Point2, cur []stageTri, superBase int32) ([]stageTri, error) {
+	// Vertex incidences.
+	inc := map[int32][]int{}
+	var order []int32
+	for ti, t := range cur {
+		for _, v := range t.t.v {
+			if inc[v] == nil {
+				order = append(order, v)
+			}
+			inc[v] = append(inc[v], ti)
+		}
+	}
+	sortInt32(order)
+	// Greedy independent set of low-degree non-super vertices (scanned in
+	// vertex order for determinism).
+	var removed []int32
+	blocked := map[int32]bool{}
+	for _, v := range order {
+		ts := inc[v]
+		if v >= superBase || len(ts) > maxIndepDegree || blocked[v] {
+			continue
+		}
+		removed = append(removed, v)
+		for _, ti := range ts {
+			for _, u := range cur[ti].t.v {
+				blocked[u] = true
+			}
+		}
+	}
+	if len(removed) == 0 {
+		return nil, fmt.Errorf("pointloc: no removable vertex among %d triangles", len(cur))
+	}
+
+	var next []stageTri
+	usedByHole := make([]bool, len(cur))
+	for _, v := range removed {
+		star := inc[v]
+		for _, ti := range star {
+			usedByHole[ti] = true
+		}
+		hole, err := starPolygon(cur, star, v)
+		if err != nil {
+			return nil, err
+		}
+		newTris, err := earClip(pts, hole)
+		if err != nil {
+			return nil, err
+		}
+		for _, nt := range newTris {
+			st := stageTri{t: nt}
+			for _, ti := range star {
+				if trianglesOverlap(pts, nt, cur[ti].t) {
+					st.children = append(st.children, ti)
+				}
+			}
+			if len(st.children) == 0 || len(st.children) > graph.MaxDegree {
+				return nil, fmt.Errorf("pointloc: new triangle links to %d old ones", len(st.children))
+			}
+			next = append(next, st)
+		}
+	}
+	// Survivors keep a single child link to themselves.
+	for ti := range cur {
+		if !usedByHole[ti] {
+			next = append(next, stageTri{t: cur[ti].t, children: []int{ti}})
+		}
+	}
+	return next, nil
+}
+
+// starPolygon returns the boundary cycle of the union of the star triangles
+// around the removed vertex v, in CCW order.
+func starPolygon(cur []stageTri, star []int, v int32) ([]int32, error) {
+	// Each star triangle contributes its edge opposite to v, oriented CCW.
+	succ := map[int32]int32{}
+	var start int32 = -1
+	for _, ti := range star {
+		t := cur[ti].t.v
+		// Rotate so that t[0] == v.
+		var a, b int32
+		switch v {
+		case t[0]:
+			a, b = t[1], t[2]
+		case t[1]:
+			a, b = t[2], t[0]
+		case t[2]:
+			a, b = t[0], t[1]
+		default:
+			return nil, fmt.Errorf("pointloc: star triangle missing its vertex")
+		}
+		succ[a] = b
+		start = a
+	}
+	cycle := make([]int32, 0, len(star))
+	u := start
+	for range succ {
+		cycle = append(cycle, u)
+		nxt, ok := succ[u]
+		if !ok {
+			return nil, fmt.Errorf("pointloc: star boundary is not a cycle")
+		}
+		u = nxt
+	}
+	if u != start || len(cycle) != len(succ) {
+		return nil, fmt.Errorf("pointloc: star boundary is not a single cycle")
+	}
+	return cycle, nil
+}
+
+// earClip triangulates a simple polygon given in CCW order (the star
+// polygons here are star-shaped, for which ear clipping always succeeds).
+func earClip(pts []geom.Point2, poly []int32) ([]tri, error) {
+	if len(poly) < 3 {
+		return nil, fmt.Errorf("pointloc: polygon with %d vertices", len(poly))
+	}
+	idx := append([]int32{}, poly...)
+	var out []tri
+	for len(idx) > 3 {
+		clipped := false
+		for i := range idx {
+			a := idx[(i+len(idx)-1)%len(idx)]
+			b := idx[i]
+			c := idx[(i+1)%len(idx)]
+			if geom.Orient2D(pts[a], pts[b], pts[c]) <= 0 {
+				continue // reflex or degenerate corner
+			}
+			ear := true
+			for _, o := range idx {
+				if o == a || o == b || o == c {
+					continue
+				}
+				if geom.InTriangle(pts[o], pts[a], pts[b], pts[c]) {
+					ear = false
+					break
+				}
+			}
+			if !ear {
+				continue
+			}
+			out = append(out, tri{[3]int32{a, b, c}})
+			idx = append(idx[:i], idx[i+1:]...)
+			clipped = true
+			break
+		}
+		if !clipped {
+			return nil, fmt.Errorf("pointloc: no ear found (polygon not simple?)")
+		}
+	}
+	out = append(out, tri{[3]int32{idx[0], idx[1], idx[2]}})
+	return out, nil
+}
+
+// trianglesOverlap reports whether two triangles intersect with positive
+// area (exact separating-axis test on the 6 directed edges): a CCW edge
+// (a,b) separates when every vertex of the other triangle lies on its
+// non-positive (outside) side.
+func trianglesOverlap(pts []geom.Point2, s, t tri) bool {
+	separates := func(a, b geom.Point2, other [3]int32) bool {
+		for _, v := range other {
+			if geom.Orient2D(a, b, pts[v]) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	for e := 0; e < 3; e++ {
+		if separates(pts[s.v[e]], pts[s.v[(e+1)%3]], t.v) {
+			return false
+		}
+		if separates(pts[t.v[e]], pts[t.v[(e+1)%3]], s.v) {
+			return false
+		}
+	}
+	return true
+}
+
+func sortInt32(xs []int32) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}

@@ -1,0 +1,146 @@
+package pointloc_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/pointloc"
+)
+
+func randomPoints(n int, span int64, rng *rand.Rand) []geom.Point2 {
+	seen := map[geom.Point2]bool{}
+	pts := make([]geom.Point2, 0, n)
+	for len(pts) < n {
+		p := geom.Point2{X: rng.Int63n(span), Y: rng.Int63n(span)}
+		if !seen[p] {
+			seen[p] = true
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestBuildHierarchySmall(t *testing.T) {
+	pts := []geom.Point2{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 5, Y: 8}, {X: 5, Y: 3}}
+	h, err := pointloc.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Dag.LevelSizes[0] != 1 {
+		t.Fatalf("root level size %d", h.Dag.LevelSizes[0])
+	}
+	if err := h.Dag.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLevelsLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{50, 200, 800} {
+		pts := randomPoints(n, 100000, rng)
+		h, err := pointloc.Build(pts)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		// Kirkpatrick: O(log n) levels. Constant-degree greedy IS removal
+		// gives roughly log_{1/(1-c)} regimes; anything under ~8·log₂ n is
+		// healthy.
+		maxLv := 1
+		for x := 2 * n; x > 1; x /= 2 {
+			maxLv++
+		}
+		if h.Levels > 8*maxLv {
+			t.Fatalf("n=%d: %d levels (log bound %d)", n, h.Levels, maxLv)
+		}
+		// Level sizes must shrink monotonically toward the root.
+		for i := 1; i < h.Levels; i++ {
+			if h.Dag.LevelSizes[i-1] > h.Dag.LevelSizes[i] {
+				t.Fatalf("n=%d: level %d size %d > level %d size %d",
+					n, i-1, h.Dag.LevelSizes[i-1], i, h.Dag.LevelSizes[i])
+			}
+		}
+	}
+}
+
+func TestLocateOracleAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := randomPoints(300, 50000, rng)
+	h, err := pointloc.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomPoints(500, 50000, rng)
+	qs := h.NewQueries(queries)
+	out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	for i, q := range out {
+		if !q.Done {
+			t.Fatalf("query %d unfinished", i)
+		}
+		ans := pointloc.Answer(q)
+		if !h.Contains(ans, queries[i]) {
+			t.Fatalf("query %d: answer triangle %d does not contain %v", i, ans, queries[i])
+		}
+		if b := h.LocateBrute(queries[i]); b < 0 {
+			t.Fatalf("query %d: brute found nothing", i)
+		}
+	}
+}
+
+func TestLocateVerticesAndEdgeMidpoints(t *testing.T) {
+	// Degenerate query positions: exactly on triangulation vertices.
+	rng := rand.New(rand.NewSource(3))
+	pts := randomPoints(100, 2000, rng)
+	h, err := pointloc.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := h.NewQueries(pts)
+	out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	for i, q := range out {
+		if !h.Contains(pointloc.Answer(q), pts[i]) {
+			t.Fatalf("vertex query %d misplaced", i)
+		}
+	}
+}
+
+func TestBatchedPointLocationOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	pts := randomPoints(400, 100000, rng)
+	h, err := pointloc.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	m := mesh.New(side)
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomPoints(side*side/2, 100000, rng)
+	qs := h.NewQueries(queries)
+	want := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+
+	in := core.NewInstance(m, h.Dag.Graph, qs, h.Successor())
+	core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range in.ResultQueries() {
+		if !h.Contains(pointloc.Answer(q), queries[i]) {
+			t.Fatalf("mesh query %d misplaced", i)
+		}
+	}
+}
+
+func TestBuildRejectsHugeSpread(t *testing.T) {
+	_, err := pointloc.Build([]geom.Point2{{X: 0, Y: 0}, {X: geom.MaxCoord / 2, Y: 0}, {X: 0, Y: geom.MaxCoord / 2}})
+	if err == nil {
+		t.Fatal("expected spread rejection")
+	}
+}

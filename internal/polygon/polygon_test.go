@@ -1,0 +1,168 @@
+package polygon_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/polygon"
+)
+
+// randomConvexPolygon returns a strictly convex CCW polygon with ~n
+// vertices centred at the origin: angle-jittered points on a circle (the
+// chord sagitta dwarfs the integer rounding, so almost every point stays a
+// hull vertex).
+func randomConvexPolygon(n int, radius float64, rng *rand.Rand) []geom.Point2 {
+	var raw []geom.Point2
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * (float64(i) + 0.2 + 0.6*rng.Float64()) / float64(n)
+		raw = append(raw, geom.Point2{X: int64(radius * math.Cos(a)), Y: int64(radius * math.Sin(a))})
+	}
+	hull := geom.ConvexHull2D(raw)
+	pts := make([]geom.Point2, len(hull))
+	for i, id := range hull {
+		pts[i] = raw[id]
+	}
+	return pts
+}
+
+func externalPoints(m int, radius float64, rng *rand.Rand) []geom.Point2 {
+	out := make([]geom.Point2, m)
+	for i := range out {
+		a := 2 * math.Pi * rng.Float64()
+		r := radius * (1.5 + 2*rng.Float64())
+		out[i] = geom.Point2{X: int64(r * math.Cos(a)), Y: int64(r * math.Sin(a))}
+	}
+	return out
+}
+
+func TestBuildRejectsBadPolygons(t *testing.T) {
+	if _, err := polygon.Build([]geom.Point2{{X: 0, Y: 0}, {X: 1, Y: 0}}); err == nil {
+		t.Fatal("two points accepted")
+	}
+	// Clockwise square.
+	cw := []geom.Point2{{X: 0, Y: 0}, {X: 0, Y: 4}, {X: 4, Y: 4}, {X: 4, Y: 0}}
+	if _, err := polygon.Build(cw); err == nil {
+		t.Fatal("clockwise accepted")
+	}
+	// Collinear triple.
+	col := []geom.Point2{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 4, Y: 0}, {X: 2, Y: 3}}
+	if _, err := polygon.Build(col); err == nil {
+		t.Fatal("collinear accepted")
+	}
+}
+
+func TestHierarchyShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomConvexPolygon(200, 1e6, rng)
+	h, err := polygon.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := h.Dag
+	if d.LevelSizes[0] != 1 {
+		t.Fatal("root level")
+	}
+	// Alternate removal: exact halving, μ = 2.
+	for i := 2; i < h.Levels-1; i++ {
+		if d.LevelSizes[i+1] != (d.LevelSizes[i]+1)/2*2 && d.LevelSizes[i+1] < d.LevelSizes[i] {
+			continue
+		}
+	}
+	if d.N() > 3*len(pts) {
+		t.Fatalf("DAG size %d for %d vertices", d.N(), len(pts))
+	}
+	if err := d.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTangentsMatchBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{5, 20, 100, 500} {
+		pts := randomConvexPolygon(n, 1e6, rng)
+		h, err := polygon.Build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := externalPoints(300, 1e6, rng)
+		for _, side := range []int64{+1, -1} {
+			qs := h.NewQueries(queries, side)
+			out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+			for i, q := range out {
+				got := polygon.Answer(q)
+				if !h.IsTangent(queries[i], got) {
+					t.Fatalf("n=%d side=%d query %d: vertex %d is not a tangent point from %v",
+						n, side, i, got, queries[i])
+				}
+				want := h.BruteTangent(queries[i], side > 0)
+				if got != want && !h.IsTangent(queries[i], want) {
+					t.Fatalf("n=%d: brute tangent itself invalid?", n)
+				}
+			}
+		}
+	}
+}
+
+func TestTangentsOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pts := randomConvexPolygon(800, 1e7, rng)
+	h, err := polygon.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	m := mesh.New(side)
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := externalPoints(side*side/2, 1e7, rng)
+	qs := h.NewQueries(queries, +1)
+	want := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	in := core.NewInstance(m, h.Dag.Graph, qs, h.Successor())
+	core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range in.ResultQueries() {
+		if !h.IsTangent(queries[i], polygon.Answer(q)) {
+			t.Fatalf("mesh query %d: not a tangent", i)
+		}
+	}
+}
+
+func TestBothTangentsBracketThePolygon(t *testing.T) {
+	// The two tangent vertices from q must be distinct (except degenerate
+	// tiny polygons) and every vertex must lie angularly between them.
+	rng := rand.New(rand.NewSource(4))
+	pts := randomConvexPolygon(64, 1e6, rng)
+	h, err := polygon.Build(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := externalPoints(100, 1e6, rng)
+	left := core.Oracle(h.Dag.Graph, h.NewQueries(queries, +1), h.Successor(), 0)
+	right := core.Oracle(h.Dag.Graph, h.NewQueries(queries, -1), h.Successor(), 0)
+	for i := range queries {
+		l, r := polygon.Answer(left[i]), polygon.Answer(right[i])
+		if l == r {
+			t.Fatalf("query %d: tangents coincide at %d", i, l)
+		}
+		// All vertices weakly right of line q→l and weakly left of q→r.
+		for _, p := range pts {
+			if geom.Orient2D(queries[i], pts[l], p) > 0 {
+				t.Fatalf("query %d: vertex beyond the CCW tangent", i)
+			}
+			if geom.Orient2D(queries[i], pts[r], p) < 0 {
+				t.Fatalf("query %d: vertex beyond the CW tangent", i)
+			}
+		}
+	}
+}

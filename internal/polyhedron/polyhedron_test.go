@@ -1,0 +1,229 @@
+package polyhedron_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/mesh"
+	"repro/internal/polyhedron"
+)
+
+func buildHierarchy(t *testing.T, n int, seed int64) *polyhedron.Hierarchy {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pts := geom.RandomSpherePoints(n, 1<<20, rng)
+	p, err := geom.ConvexHull3D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := polyhedron.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func randomDirs(m int, rng *rand.Rand) []geom.Point3 {
+	dirs := make([]geom.Point3, m)
+	for i := range dirs {
+		for dirs[i] == (geom.Point3{}) {
+			dirs[i] = geom.Point3{
+				X: rng.Int63n(1<<20) - 1<<19,
+				Y: rng.Int63n(1<<20) - 1<<19,
+				Z: rng.Int63n(1<<20) - 1<<19,
+			}
+		}
+	}
+	return dirs
+}
+
+func TestHierarchyShape(t *testing.T) {
+	h := buildHierarchy(t, 300, 1)
+	d := h.Dag
+	if d.LevelSizes[0] != 1 {
+		t.Fatal("root level")
+	}
+	// Geometric growth: total DAG size O(n).
+	if d.N() > 8*len(h.Poly.Verts) {
+		t.Fatalf("DAG size %d vs %d hull vertices", d.N(), len(h.Poly.Verts))
+	}
+	if err := d.Graph.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Levels logarithmic-ish.
+	lg := 1
+	for x := len(h.Poly.Verts); x > 1; x /= 2 {
+		lg++
+	}
+	if h.Levels > 8*lg {
+		t.Fatalf("%d levels for %d vertices", h.Levels, len(h.Poly.Verts))
+	}
+}
+
+func TestExtremeQueriesMatchBruteForce(t *testing.T) {
+	for _, n := range []int{20, 100, 500} {
+		h := buildHierarchy(t, n, int64(n))
+		rng := rand.New(rand.NewSource(int64(n) + 7))
+		dirs := randomDirs(300, rng)
+		qs := h.NewQueries(dirs)
+		out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+		for i, q := range out {
+			if !q.Done {
+				t.Fatalf("n=%d query %d unfinished", n, i)
+			}
+			got := polyhedron.Answer(q)
+			want := h.Poly.Extreme(dirs[i])
+			gd := geom.Dot3(dirs[i], h.Poly.Pts[got])
+			wd := geom.Dot3(dirs[i], h.Poly.Pts[want])
+			if gd != wd {
+				t.Fatalf("n=%d dir %v: descent found %d (dot %d), brute %d (dot %d)",
+					n, dirs[i], got, gd, want, wd)
+			}
+		}
+	}
+}
+
+func TestExtremeAxisDirections(t *testing.T) {
+	// Degenerate directions (axis-aligned, likely dot ties).
+	h := buildHierarchy(t, 150, 9)
+	var dirs []geom.Point3
+	for _, s := range []int64{1, -1} {
+		dirs = append(dirs, geom.Point3{X: s}, geom.Point3{Y: s}, geom.Point3{Z: s})
+	}
+	qs := h.NewQueries(dirs)
+	out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	for i, q := range out {
+		gd := geom.Dot3(dirs[i], h.Poly.Pts[polyhedron.Answer(q)])
+		wd := geom.Dot3(dirs[i], h.Poly.Pts[h.Poly.Extreme(dirs[i])])
+		if gd != wd {
+			t.Fatalf("dir %v: dot %d want %d", dirs[i], gd, wd)
+		}
+	}
+}
+
+func TestExtremeQueriesOnMesh(t *testing.T) {
+	h := buildHierarchy(t, 400, 11)
+	side := 4
+	for side*side < h.Dag.N() {
+		side *= 2
+	}
+	m := mesh.New(side)
+	plan, err := core.PlanHDag(h.Dag, side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	dirs := randomDirs(side*side/2, rng)
+	qs := h.NewQueries(dirs)
+	want := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	in := core.NewInstance(m, h.Dag.Graph, qs, h.Successor())
+	core.MultisearchHDag(m.Root(), in, plan)
+	if err := core.SameOutcome(want, in.ResultQueries()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTangentPlaneSupportsHull(t *testing.T) {
+	h := buildHierarchy(t, 120, 13)
+	rng := rand.New(rand.NewSource(14))
+	dirs := randomDirs(50, rng)
+	qs := h.NewQueries(dirs)
+	out := core.Oracle(h.Dag.Graph, qs, h.Successor(), 0)
+	for i, q := range out {
+		normal, off := h.TangentPlane(dirs[i], q)
+		for _, v := range h.Poly.Verts {
+			if geom.Dot3(normal, h.Poly.Pts[v]) > off {
+				t.Fatalf("dir %v: vertex %d above the tangent plane", dirs[i], v)
+			}
+		}
+	}
+}
+
+func translate(pts []geom.Point3, d geom.Point3) []geom.Point3 {
+	out := make([]geom.Point3, len(pts))
+	for i, p := range pts {
+		out[i] = geom.Point3{X: p.X + d.X, Y: p.Y + d.Y, Z: p.Z + d.Z}
+	}
+	return out
+}
+
+func TestSeparationDisjoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := geom.RandomSpherePoints(80, 1<<18, rng)
+	b := translate(geom.RandomSpherePoints(80, 1<<18, rng), geom.Point3{X: 5 << 18})
+	hp := mustHierarchy(t, a)
+	hq := mustHierarchy(t, b)
+	axes := polyhedron.CandidateAxes(hp.Poly, hq.Poly, 50, rng)
+	res := polyhedron.Separate(hp, hq, axes, nil, nil)
+	if !res.Separated {
+		t.Fatal("disjoint hulls not separated")
+	}
+	// Certify the witness axis exactly.
+	d := res.Axis
+	maxP := geom.Dot3(d, hp.Poly.Pts[hp.Poly.Extreme(d)])
+	minQ := -geom.Dot3(geom.Point3{X: -d.X, Y: -d.Y, Z: -d.Z},
+		hq.Poly.Pts[hq.Poly.Extreme(geom.Point3{X: -d.X, Y: -d.Y, Z: -d.Z})])
+	maxQ := geom.Dot3(d, hq.Poly.Pts[hq.Poly.Extreme(d)])
+	minP := -geom.Dot3(geom.Point3{X: -d.X, Y: -d.Y, Z: -d.Z},
+		hp.Poly.Pts[hp.Poly.Extreme(geom.Point3{X: -d.X, Y: -d.Y, Z: -d.Z})])
+	if !(maxP < minQ || maxQ < minP) {
+		t.Fatal("witness axis does not certify separation")
+	}
+}
+
+func TestSeparationOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := geom.RandomSpherePoints(60, 1<<18, rng)
+	b := geom.RandomSpherePoints(60, 1<<18, rng) // same center: overlap
+	hp := mustHierarchy(t, a)
+	hq := mustHierarchy(t, b)
+	// Both contain the origin.
+	if !polyhedron.ContainsPoint(hp.Poly, geom.Point3{}) || !polyhedron.ContainsPoint(hq.Poly, geom.Point3{}) {
+		t.Skip("sphere hulls unexpectedly miss the origin")
+	}
+	axes := polyhedron.CandidateAxes(hp.Poly, hq.Poly, 100, rng)
+	res := polyhedron.Separate(hp, hq, axes, nil, nil)
+	if res.Separated {
+		t.Fatal("overlapping hulls reported separated")
+	}
+}
+
+func TestSeparationOnMesh(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := geom.RandomSpherePoints(100, 1<<18, rng)
+	b := translate(geom.RandomSpherePoints(100, 1<<18, rng), geom.Point3{Y: 5 << 18})
+	hp := mustHierarchy(t, a)
+	hq := mustHierarchy(t, b)
+	axes := polyhedron.CandidateAxes(hp.Poly, hq.Poly, 20, rng)
+	side := 4
+	for side*side < max(hp.Dag.N(), hq.Dag.N()) || side*side < 4*len(axes) {
+		side *= 2
+	}
+	res := polyhedron.Separate(hp, hq, axes, mesh.New(side), mesh.New(side))
+	if !res.Separated {
+		t.Fatal("disjoint hulls not separated on mesh")
+	}
+	if res.MeshSteps <= 0 {
+		t.Fatal("no mesh cost recorded")
+	}
+	// Host run agrees.
+	host := polyhedron.Separate(hp, hq, axes, nil, nil)
+	if host.Separated != res.Separated {
+		t.Fatal("host and mesh disagree")
+	}
+}
+
+func mustHierarchy(t *testing.T, pts []geom.Point3) *polyhedron.Hierarchy {
+	t.Helper()
+	p, err := geom.ConvexHull3D(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := polyhedron.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
