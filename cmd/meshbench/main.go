@@ -9,6 +9,7 @@
 //	meshbench -run E2,E5      # selected experiments
 //	meshbench -model theoretical
 //	meshbench -seed 7
+//	meshbench -profile        # per-operation step breakdowns (E1–E5)
 package main
 
 import (
@@ -30,6 +31,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload seed")
 	verbose := flag.Bool("v", false, "progress to stderr")
 	list := flag.Bool("list", false, "list experiments and exit")
+	profile := flag.Bool("profile", false, "append per-operation step breakdowns (sorts, scans, RAR/RAW, ...) to each table")
 	flag.Parse()
 
 	if *list {
@@ -39,7 +41,7 @@ func main() {
 		return
 	}
 
-	cfg := bench.Config{Quick: *quick, Seed: *seed}
+	cfg := bench.Config{Quick: *quick, Seed: *seed, Profile: *profile}
 	switch *model {
 	case "counted":
 		cfg.Model = mesh.CostCounted
@@ -47,6 +49,15 @@ func main() {
 		cfg.Model = mesh.CostTheoretical
 	default:
 		fmt.Fprintf(os.Stderr, "meshbench: unknown cost model %q\n", *model)
+		os.Exit(2)
+	}
+	// Validate -format before any experiment runs: a full experiment can
+	// take minutes, and the seed only rejected an unknown format inside the
+	// per-experiment output loop, after that work was already spent.
+	switch *format {
+	case "text", "csv":
+	default:
+		fmt.Fprintf(os.Stderr, "meshbench: unknown format %q (want text | csv)\n", *format)
 		os.Exit(2)
 	}
 	if *verbose {
@@ -80,9 +91,6 @@ func main() {
 		case "text":
 			t.Print(os.Stdout)
 			fmt.Printf("  (%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
-		default:
-			fmt.Fprintf(os.Stderr, "meshbench: unknown format %q\n", *format)
-			os.Exit(2)
 		}
 	}
 }

@@ -18,6 +18,9 @@ type Config struct {
 	Seed     int64
 	Model    mesh.CostModel
 	Progress io.Writer
+	// Profile attaches per-operation step breakdowns (Mesh.Profile) to the
+	// tables of the experiments that expose their meshes (E1–E5).
+	Profile bool
 }
 
 func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
@@ -26,6 +29,16 @@ func (c Config) log(format string, args ...any) {
 	if c.Progress != nil {
 		fmt.Fprintf(c.Progress, format+"\n", args...)
 	}
+}
+
+// profile records the mesh's per-operation breakdown on the table when
+// profiling is enabled. Call it right after reading m.Steps(), before the
+// mesh is discarded.
+func (c Config) profile(t *Table, label string, m *mesh.Mesh) {
+	if !c.Profile {
+		return
+	}
+	t.AddProfile(label, m.Profile())
 }
 
 // Experiment is one reproducible experiment.
@@ -102,6 +115,7 @@ func runE1(c Config) *Table {
 		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(st.Marked)), fi(int64(st.TotalGamma)),
 			ff(float64(st.CopyVolume)/float64(n)), fi(steps),
 			ff(perSqrtN(steps, n)), ff(perSqrtNLogN(steps, n)))
+		c.profile(t, fmt.Sprintf("side=%d", side), m)
 		c.log("E1 side=%d done", side)
 	}
 	return t
@@ -144,6 +158,7 @@ func runE2(c Config) *Table {
 		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(d.Height())), fi(int64(plan.S)),
 			fi(int64(st.StarLevels)), fi(steps),
 			ff(perSqrtN(steps, n)), ff(perSqrtNLogN(steps, n)))
+		c.profile(t, fmt.Sprintf("side=%d", side), m)
 		c.log("E2 side=%d done", side)
 	}
 	return t
@@ -178,6 +193,7 @@ func runE3(c Config) *Table {
 		rTerm := float64(r) * math.Sqrt(float64(m0)) / lg
 		t.Add(fi(int64(r)), ff(float64(r)/lg), fi(int64(st.LogPhases)), fi(steps),
 			ff(perSqrtN(steps, m0)), ff(float64(steps)/rTerm))
+		c.profile(t, fmt.Sprintf("r=%d", r), m)
 		c.log("E3 r=%d done", r)
 	}
 	return t
@@ -214,6 +230,7 @@ func runE4(c Config) *Table {
 		rTerm := float64(r) * math.Sqrt(float64(n)) / lg
 		t.Add(fi(int64(bounces)), fi(int64(r)), fi(int64(st.LogPhases)), fi(steps),
 			ff(perSqrtN(steps, n)), ff(float64(steps)/rTerm))
+		c.profile(t, fmt.Sprintf("bounces=%d", bounces), m)
 		c.log("E4 bounces=%d done", bounces)
 	}
 	return t
@@ -251,6 +268,8 @@ func runE5(c Config) *Table {
 		}
 		t.Add(fi(int64(n)), fi(int64(side)), fi(int64(r)), fi(m1.Steps()), fi(m2.Steps()),
 			ff(float64(m2.Steps())/float64(m1.Steps())), ff(lg))
+		c.profile(t, fmt.Sprintf("side=%d multisearch", side), m1)
+		c.profile(t, fmt.Sprintf("side=%d synchronous", side), m2)
 		c.log("E5 side=%d done", side)
 	}
 	return t

@@ -9,6 +9,8 @@ import (
 	"io"
 	"math"
 	"strings"
+
+	"repro/internal/mesh"
 )
 
 // Table is one experiment's output: a titled, aligned text table.
@@ -19,11 +21,26 @@ type Table struct {
 	Note   string
 	Header []string
 	Rows   [][]string
+
+	// Profiles holds optional per-operation step breakdowns, one per
+	// labelled mesh run (meshbench -profile).
+	Profiles []ProfileEntry
+}
+
+// ProfileEntry is one labelled per-operation breakdown.
+type ProfileEntry struct {
+	Label string
+	P     mesh.Profile
 }
 
 // Add appends a row.
 func (t *Table) Add(cells ...string) {
 	t.Rows = append(t.Rows, cells)
+}
+
+// AddProfile attaches a labelled per-operation breakdown.
+func (t *Table) AddProfile(label string, p mesh.Profile) {
+	t.Profiles = append(t.Profiles, ProfileEntry{Label: label, P: p})
 }
 
 // Print renders the table.
@@ -61,6 +78,28 @@ func (t *Table) Print(w io.Writer) {
 	for _, r := range t.Rows {
 		line(r)
 	}
+	for _, pe := range t.Profiles {
+		pe.print(w)
+	}
+}
+
+// print renders one per-operation breakdown: steps and critical-path op
+// counts per class, with the share of the total step budget.
+func (pe ProfileEntry) print(w io.Writer) {
+	total := pe.P.TotalSteps()
+	fmt.Fprintf(w, "  profile %s (total %d steps, %d ops on the critical path):\n",
+		pe.Label, total, pe.P.TotalOps())
+	for c := mesh.OpClass(0); c < mesh.NumOpClasses; c++ {
+		s := pe.P.Ops[c]
+		if s.Count == 0 && s.Steps == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Steps) / float64(total)
+		}
+		fmt.Fprintf(w, "    %-11s %10d steps  %5.1f%%  %7d ops\n", c, s.Steps, share, s.Count)
+	}
 }
 
 // CSV renders the table as RFC-4180 CSV with a leading comment line naming
@@ -73,6 +112,15 @@ func (t *Table) CSV(w io.Writer) {
 		_ = cw.Write(r)
 	}
 	cw.Flush()
+	for _, pe := range t.Profiles {
+		for c := mesh.OpClass(0); c < mesh.NumOpClasses; c++ {
+			s := pe.P.Ops[c]
+			if s.Count == 0 && s.Steps == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "# profile,%s,%s,%d,%d\n", pe.Label, c, s.Steps, s.Count)
+		}
+	}
 }
 
 // Numeric formatting helpers.

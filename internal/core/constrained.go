@@ -335,18 +335,17 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 						return q.Cur, q.ID != NoQuery && q.Mark
 					},
 					func(i int, nd graph.Vertex, found bool) {
-						q := mesh.At(sub, staged, i)
+						q := mesh.Ref(sub, staged, i)
 						if !found {
 							panic(fmt.Sprintf("core: staged query %d missing vertex %d in its δ-submesh copy", q.ID, q.Cur))
 						}
 						oldPart := q.partFor(slot)
-						Visit(in.F, nd, &q)
+						Visit(in.F, nd, q)
 						advanced[si]++
 						if q.Done || q.partFor(slot) != oldPart {
 							q.Mark = false
 							live--
 						}
-						mesh.Set(sub, staged, i, q)
 					})
 			}
 		}

@@ -99,21 +99,25 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 			blk := plan.Blocks[i]
 			gOut := plan.GridOf(i + 1)
 			subs := v.Partition(gOut, gOut)
-			adv := make([]int64, len(subs))
+			adv := mesh.Checkout[int64](m, len(subs))
+			clear(adv)
 			v.RunParallel(subs, func(si int, delta mesh.View) {
 				replicateBi(delta, regs, plan, i)
 				children := delta.Partition(blk.Grid/gOut, blk.Grid/gOut)
-				childAdv := make([]int64, len(children))
+				childAdv := mesh.Checkout[int64](m, len(children))
+				clear(childAdv)
 				delta.RunParallel(children, func(ci int, sub mesh.View) {
 					childAdv[ci] = solveLemma1(sub, in, regs, blk)
 				})
 				for _, a := range childAdv {
 					adv[si] += a
 				}
+				mesh.Release(m, childAdv)
 			})
 			for _, a := range adv {
 				st.Advanced += a
 			}
+			mesh.Release(m, adv)
 		}
 	}
 
@@ -132,9 +136,10 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 // B_i records (found in the local stage copy) are spread over the label-i
 // processors, at most two per processor. Cost: one local sort.
 func distributeToLabels(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
+	m := delta.Mesh()
 	blk := plan.Blocks[i]
 	size := delta.Size()
-	recs := make([]graph.Vertex, 0, blk.Count)
+	recs := mesh.Checkout[graph.Vertex](m, size)[:0]
 	for j := 0; j < size; j++ {
 		nd := mesh.At(delta, regs.stage, j)
 		if nd.ID != graph.Nil && int(nd.Level) >= blk.Lo && int(nd.Level) <= blk.Hi {
@@ -144,12 +149,12 @@ func distributeToLabels(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) 
 	if len(recs) != blk.Count {
 		panic(fmt.Sprintf("core: B_%d has %d records in stage, plan says %d", i, len(recs), blk.Count))
 	}
-	slots := make([]int, 0, blk.LabelPerSub)
+	slots := mesh.Checkout[int32](m, size)[:0]
 	for j := 0; j < size; j++ {
 		g := delta.Global(j)
-		side := delta.Mesh().Side()
+		side := m.Side()
 		if plan.LabelAt(g/side, g%side) == i {
-			slots = append(slots, j)
+			slots = append(slots, int32(j))
 		}
 	}
 	if len(slots)*2 < len(recs) {
@@ -158,11 +163,13 @@ func distributeToLabels(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) 
 	mesh.SortScratch(delta, recs, 1, func(a, b graph.Vertex) bool { return a.ID < b.ID })
 	for r, nd := range recs {
 		if r < len(slots) {
-			mesh.Set(delta, regs.store1, slots[r], nd)
+			mesh.Set(delta, regs.store1, int(slots[r]), nd)
 		} else {
-			mesh.Set(delta, regs.store2, slots[r-len(slots)], nd)
+			mesh.Set(delta, regs.store2, int(slots[r-len(slots)]), nd)
 		}
 	}
+	mesh.Release(m, slots)
+	mesh.Release(m, recs)
 	delta.Charge(1)
 }
 
@@ -173,21 +180,24 @@ func pushUnionDown(delta mesh.View, regs *hdagRegs, unionHi int, childGrid int) 
 	n := mesh.Concentrate(delta, regs.stage, emptyVertex, func(nd graph.Vertex) bool {
 		return nd.ID != graph.Nil && int(nd.Level) <= unionHi
 	})
-	block := make([]graph.Vertex, n)
+	m := delta.Mesh()
+	block := mesh.Checkout[graph.Vertex](m, n)
 	for j := 0; j < n; j++ {
 		block[j] = mesh.At(delta, regs.stage, j)
 	}
 	children := delta.Partition(childGrid, childGrid)
 	mesh.BroadcastBlock(delta, regs.stage, block, children)
+	mesh.Release(m, block)
 }
 
 // replicateBi implements step 3(a) within one B_{i+1}-submesh: gather B_i
 // from the label-i processors (they all lie in the top-left B_i-submesh)
 // and broadcast the block into the work register of every B_i-submesh.
 func replicateBi(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
+	m := delta.Mesh()
 	blk := plan.Blocks[i]
 	size := delta.Size()
-	recs := make([]graph.Vertex, 0, blk.Count)
+	recs := mesh.Checkout[graph.Vertex](m, 2*size)[:0]
 	for j := 0; j < size; j++ {
 		if nd := mesh.At(delta, regs.store1, j); nd.ID != graph.Nil && int(nd.Level) >= blk.Lo && int(nd.Level) <= blk.Hi {
 			recs = append(recs, nd)
@@ -206,6 +216,7 @@ func replicateBi(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
 	children := delta.Partition(blk.Grid/gOut, blk.Grid/gOut)
 	mesh.Fill(delta, regs.work, emptyVertex)
 	mesh.BroadcastBlock(delta, regs.work, recs, children)
+	mesh.Release(m, recs)
 }
 
 // solveLemma1 solves the multisearch problem for B_i within one
@@ -215,11 +226,12 @@ func replicateBi(delta mesh.View, regs *hdagRegs, plan *HDagPlan, i int) {
 // level through B_i^2 at the submesh granularity.
 func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int64 {
 	var advanced int64
+	m := sub.Mesh()
 	p2lo := blk.Lo
 	if blk.P1Hi >= blk.Lo {
 		// Phase 1.
 		size := sub.Size()
-		block1 := make([]graph.Vertex, 0, blk.P1Count)
+		block1 := mesh.Checkout[graph.Vertex](m, size)[:0]
 		for j := 0; j < size; j++ {
 			if nd := mesh.At(sub, regs.work, j); nd.ID != graph.Nil && int(nd.Level) <= blk.P1Hi && int(nd.Level) >= blk.Lo {
 				block1 = append(block1, nd)
@@ -229,8 +241,10 @@ func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int
 		grand := sub.Partition(blk.P1Grid, blk.P1Grid)
 		mesh.Fill(sub, regs.phase1, emptyVertex)
 		mesh.BroadcastBlock(sub, regs.phase1, block1, grand)
+		mesh.Release(m, block1)
 		iters := blk.P1Hi - blk.Lo + 1
-		childAdv := make([]int64, len(grand))
+		childAdv := mesh.Checkout[int64](m, len(grand))
+		clear(childAdv)
 		sub.RunParallel(grand, func(gi int, ss mesh.View) {
 			for t := 0; t < iters; t++ {
 				childAdv[gi] += advanceRange(ss, in, regs.phase1, blk.Lo, blk.P1Hi)
@@ -239,6 +253,7 @@ func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int
 		for _, a := range childAdv {
 			advanced += a
 		}
+		mesh.Release(m, childAdv)
 		p2lo = blk.P1Hi + 1
 	}
 	// Phase 2: level by level through B_i^2 (≈ 2·log Δh levels).
@@ -264,12 +279,11 @@ func advanceRange(v mesh.View, in *Instance, nodes *mesh.Reg[graph.Vertex], lo, 
 			return q.Cur, q.ID != NoQuery && !q.Done && int(q.CurLevel) >= lo && int(q.CurLevel) <= hi
 		},
 		func(i int, nd graph.Vertex, found bool) {
-			q := mesh.At(v, in.Queries, i)
+			q := mesh.Ref(v, in.Queries, i)
 			if !found {
 				panic(fmt.Sprintf("core: query %d: vertex %d (level %d) missing from its submesh copy", q.ID, q.Cur, q.CurLevel))
 			}
-			Visit(in.F, nd, &q)
-			mesh.Set(v, in.Queries, i, q)
+			Visit(in.F, nd, q)
 			advanced++
 		})
 	return advanced

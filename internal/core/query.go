@@ -212,9 +212,7 @@ func (in *Instance) GlobalStep(v mesh.View) int {
 			if !found {
 				panic(fmt.Sprintf("core: query at %d visits unknown vertex", i))
 			}
-			q := mesh.At(v, in.Queries, i)
-			Visit(in.F, nd, &q)
-			mesh.Set(v, in.Queries, i, q)
+			Visit(in.F, nd, mesh.Ref(v, in.Queries, i))
 			advanced++
 		})
 	return advanced

@@ -64,12 +64,18 @@ type Mesh struct {
 
 	// parallelism limits concurrent submesh bodies in RunParallel.
 	sem chan struct{}
+
+	// pools is the scratch-buffer arena: one free list per element type
+	// (see arena.go).
+	pools sync.Map
 }
 
-// sink accumulates parallel steps. Each goroutine executing a submesh body
-// owns its sink exclusively; no locking is needed.
+// sink accumulates parallel steps and their per-operation breakdown. Each
+// goroutine executing a submesh body owns its sink exclusively; no locking
+// is needed.
 type sink struct {
 	steps int64
+	prof  Profile
 }
 
 // Option configures a Mesh.
@@ -120,8 +126,9 @@ func (m *Mesh) Model() CostModel { return m.model }
 // Steps returns the accumulated simulated parallel time, in mesh steps.
 func (m *Mesh) Steps() int64 { return m.root.steps }
 
-// ResetSteps zeroes the step clock (registers are untouched).
-func (m *Mesh) ResetSteps() { m.root.steps = 0 }
+// ResetSteps zeroes the step clock and its per-operation profile (registers
+// are untouched).
+func (m *Mesh) ResetSteps() { m.root = sink{} }
 
 // Root returns the View covering the whole mesh.
 func (m *Mesh) Root() View {
@@ -138,6 +145,12 @@ type View struct {
 	r0   int
 	c0   int
 	h, w int
+
+	// attr, when nonzero, attributes every charge to OpClass(attr-1): a
+	// compound operation (RAR, Concentrate, ...) sets it via begin so the
+	// sorts and scans it is built from are charged to the compound op in
+	// the profile. Zero means charges keep the class the primitive reports.
+	attr int8
 }
 
 // Mesh returns the underlying machine.
@@ -156,8 +169,14 @@ func (v View) Size() int { return v.h * v.w }
 func (v View) Origin() (row, col int) { return v.r0, v.c0 }
 
 // Global converts a local row-major index to the global row-major processor
-// index.
+// index. local must lie in [0, Size()): an out-of-range local index would
+// silently address a processor outside the view — corrupting a neighbouring
+// submesh — so it panics instead.
 func (v View) Global(local int) int {
+	if local < 0 || local >= v.h*v.w {
+		panic(fmt.Sprintf("mesh: local index %d out of %dx%d view at origin (%d,%d)",
+			local, v.h, v.w, v.r0, v.c0))
+	}
 	r, c := local/v.w, local%v.w
 	return (v.r0+r)*v.m.side + (v.c0 + c)
 }
@@ -198,18 +217,39 @@ func (v View) Partition(gr, gc int) []View {
 	return subs
 }
 
-// charge adds steps to the view's cost sink.
-func (v View) charge(steps int64) {
+// charge adds steps to the view's cost sink, attributed to class c in the
+// profile (or to the enclosing compound operation when attr is set).
+func (v View) charge(c OpClass, steps int64) {
 	if steps < 0 {
 		panic("mesh: negative charge")
 	}
+	if v.attr != 0 {
+		c = OpClass(v.attr - 1)
+	}
 	v.sink.steps += steps
+	v.sink.prof.Ops[c].Steps += steps
+}
+
+// begin records one executed operation of class c on the view's profile and
+// returns a view whose subsequent charges are attributed to c. Inside an
+// already-attributed view (a compound op invoking another op) it is a no-op:
+// the outer operation keeps both the count and the steps.
+func (v View) begin(c OpClass) View {
+	if v.attr != 0 {
+		return v
+	}
+	v.sink.prof.Ops[c].Count++
+	v.attr = int8(c) + 1
+	return v
 }
 
 // Charge adds an explicit step cost to the view's clock. It is exported for
 // algorithm code that performs a locally-computed O(1) update on every
-// processor (one parallel step).
-func (v View) Charge(steps int64) { v.charge(steps) }
+// processor (one parallel step). Profiled under OpLocal.
+func (v View) Charge(steps int64) {
+	v = v.begin(OpLocal)
+	v.charge(OpLocal, steps)
+}
 
 // RunParallel executes body on each sub-view concurrently and charges the
 // parent view the maximum cost incurred by any sub-view, which is the
@@ -243,13 +283,18 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 		}
 	}
 	wg.Wait()
-	var max int64
+	// Charge the parent the elapsed parallel time: the cost of the most
+	// expensive submesh. Its profile is the critical-path breakdown and is
+	// merged wholesale, keeping the invariant that per-class step totals
+	// sum to the step clock.
+	maxIdx := 0
 	for i := range sinks {
-		if sinks[i].steps > max {
-			max = sinks[i].steps
+		if sinks[i].steps > sinks[maxIdx].steps {
+			maxIdx = i
 		}
 	}
-	v.charge(max)
+	v.sink.steps += sinks[maxIdx].steps
+	v.sink.prof.add(&sinks[maxIdx].prof)
 }
 
 // RunSequential executes body on each sub-view one after another, charging
@@ -259,7 +304,8 @@ func (v View) RunSequential(subs []View, body func(idx int, sub View)) {
 		s := sink{}
 		subs[i].sink = &s
 		body(i, subs[i])
-		v.charge(s.steps)
+		v.sink.steps += s.steps
+		v.sink.prof.add(&s.prof)
 	}
 }
 

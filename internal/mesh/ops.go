@@ -3,27 +3,30 @@ package mesh
 // Standard mesh operations: broadcast, reduce, prefix scan, segmented scan,
 // and row/column rotation. Each computes the same machine state the textbook
 // mesh implementation produces and charges its step cost (see the cost
-// formulas in mesh.go).
+// formulas in mesh.go). Scans update the register file in place and reduces
+// accumulate directly, so none of these allocate; rotations borrow one
+// row/column buffer from the arena.
 
 // Broadcast copies the value at view-local index src into every processor of
 // the view. Cost: rows+cols (a row sweep then a column sweep).
 func Broadcast[T any](v View, r *Reg[T], src int) {
+	v = v.begin(OpBroadcast)
 	val := r.data[v.Global(src)]
 	for i, n := 0, v.Size(); i < n; i++ {
 		r.data[v.Global(i)] = val
 	}
-	v.charge(v.broadcastCost())
+	v.charge(OpBroadcast, v.broadcastCost())
 }
 
 // Reduce combines all values in the view with op (which must be associative)
 // and returns the result, leaving registers untouched. Cost: rows+cols.
 func Reduce[T any](v View, r *Reg[T], op func(a, b T) T) T {
-	xs := gather(v, r)
-	acc := xs[0]
-	for _, x := range xs[1:] {
-		acc = op(acc, x)
+	v = v.begin(OpReduce)
+	acc := r.data[v.Global(0)]
+	for i, n := 1, v.Size(); i < n; i++ {
+		acc = op(acc, r.data[v.Global(i)])
 	}
-	v.charge(v.reduceCost())
+	v.charge(OpReduce, v.reduceCost())
 	return acc
 }
 
@@ -31,24 +34,26 @@ func Reduce[T any](v View, r *Reg[T], op func(a, b T) T) T {
 // at or before it in view-local row-major order. op must be associative.
 // Cost: 2·(rows+cols).
 func Scan[T any](v View, r *Reg[T], op func(a, b T) T) {
-	xs := gather(v, r)
-	for i := 1; i < len(xs); i++ {
-		xs[i] = op(xs[i-1], xs[i])
+	v = v.begin(OpScan)
+	prev := r.data[v.Global(0)]
+	for i, n := 1, v.Size(); i < n; i++ {
+		g := v.Global(i)
+		prev = op(prev, r.data[g])
+		r.data[g] = prev
 	}
-	scatter(v, r, xs)
-	v.charge(v.scanCost())
+	v.charge(OpScan, v.scanCost())
 }
 
 // ExclusiveScan is Scan shifted by one: cell i receives the combination of
 // cells 0..i-1, and cell 0 receives id. Cost: 2·(rows+cols).
 func ExclusiveScan[T any](v View, r *Reg[T], id T, op func(a, b T) T) {
-	xs := gather(v, r)
+	v = v.begin(OpScan)
 	acc := id
-	for i := range xs {
-		acc, xs[i] = op(acc, xs[i]), acc
+	for i, n := 0, v.Size(); i < n; i++ {
+		g := v.Global(i)
+		acc, r.data[g] = op(acc, r.data[g]), acc
 	}
-	scatter(v, r, xs)
-	v.charge(v.scanCost())
+	v.charge(OpScan, v.scanCost())
 }
 
 // SegScan performs a segmented inclusive scan in row-major order: the prefix
@@ -56,26 +61,30 @@ func ExclusiveScan[T any](v View, r *Reg[T], id T, op func(a, b T) T) {
 // mesh "copy-scan" primitive used to duplicate a record across the group of
 // processors following it (Nassimi–Sahni generalize). Cost: 2·(rows+cols).
 func SegScan[T any](v View, r *Reg[T], head *Reg[bool], op func(a, b T) T) {
-	xs := gather(v, r)
-	hs := gather(v, head)
-	for i := 1; i < len(xs); i++ {
-		if !hs[i] {
-			xs[i] = op(xs[i-1], xs[i])
+	v = v.begin(OpScan)
+	prev := r.data[v.Global(0)]
+	for i, n := 1, v.Size(); i < n; i++ {
+		g := v.Global(i)
+		if head.data[g] {
+			prev = r.data[g]
+		} else {
+			prev = op(prev, r.data[g])
+			r.data[g] = prev
 		}
 	}
-	scatter(v, r, xs)
-	v.charge(v.scanCost())
+	v.charge(OpScan, v.scanCost())
 }
 
 // RotateRows cyclically shifts every row of the view right by d positions
 // (left for negative d). Cost: |d| mod cols.
 func RotateRows[T any](v View, r *Reg[T], d int) {
+	v = v.begin(OpRotate)
 	d = ((d % v.w) + v.w) % v.w
 	if d == 0 {
-		v.charge(0)
+		v.charge(OpRotate, 0)
 		return
 	}
-	row := make([]T, v.w)
+	row := Checkout[T](v.m, v.w)
 	for rr := 0; rr < v.h; rr++ {
 		base := rr * v.w
 		for c := 0; c < v.w; c++ {
@@ -85,22 +94,24 @@ func RotateRows[T any](v View, r *Reg[T], d int) {
 			r.data[v.Global(base+c)] = row[c]
 		}
 	}
+	Release(v.m, row)
 	cost := d
 	if v.w-d < cost {
 		cost = v.w - d
 	}
-	v.charge(int64(cost))
+	v.charge(OpRotate, int64(cost))
 }
 
 // RotateCols cyclically shifts every column of the view down by d positions
 // (up for negative d). Cost: |d| mod rows.
 func RotateCols[T any](v View, r *Reg[T], d int) {
+	v = v.begin(OpRotate)
 	d = ((d % v.h) + v.h) % v.h
 	if d == 0 {
-		v.charge(0)
+		v.charge(OpRotate, 0)
 		return
 	}
-	col := make([]T, v.h)
+	col := Checkout[T](v.m, v.h)
 	for c := 0; c < v.w; c++ {
 		for rr := 0; rr < v.h; rr++ {
 			col[(rr+d)%v.h] = r.data[v.Global(rr*v.w+c)]
@@ -109,23 +120,24 @@ func RotateCols[T any](v View, r *Reg[T], d int) {
 			r.data[v.Global(rr*v.w+c)] = col[rr]
 		}
 	}
+	Release(v.m, col)
 	cost := d
 	if v.h-d < cost {
 		cost = v.h - d
 	}
-	v.charge(int64(cost))
+	v.charge(OpRotate, int64(cost))
 }
 
 // Count returns the number of processors in the view whose value satisfies
 // pred. Cost: one reduce (rows+cols).
 func Count[T any](v View, r *Reg[T], pred func(T) bool) int {
-	xs := gather(v, r)
+	v = v.begin(OpReduce)
 	c := 0
-	for _, x := range xs {
-		if pred(x) {
+	for i, n := 0, v.Size(); i < n; i++ {
+		if pred(r.data[v.Global(i)]) {
 			c++
 		}
 	}
-	v.charge(v.reduceCost())
+	v.charge(OpReduce, v.reduceCost())
 	return c
 }

@@ -1,0 +1,116 @@
+package mesh
+
+import "fmt"
+
+// Per-operation step accounting. Every charge carries an OpClass; the sink
+// keeps, next to the plain step clock, a breakdown of those steps by class.
+// Compound operations (RAR, RAW, Concentrate, ...) attribute the charges of
+// their internal sorts and scans to themselves, so the breakdown answers the
+// question the EXPERIMENTS tables ask: which primitive consumed the step
+// budget of a run.
+//
+// Under RunParallel the parent is charged the *maximum* cost across
+// submeshes (elapsed parallel time). The profile follows the same rule: the
+// breakdown of the most expensive submesh — the critical path — is merged
+// into the parent. The invariant, checked by tests, is that the per-class
+// step totals always sum exactly to Mesh.Steps().
+
+// OpClass identifies one class of standard mesh operation.
+type OpClass int
+
+const (
+	// OpLocal is an O(1)-local parallel step on every processor
+	// (Fill, Apply, explicit Charge calls from algorithm code).
+	OpLocal OpClass = iota
+	// OpSort covers Sort, SortSnake and SortScratch.
+	OpSort
+	// OpScan covers Scan, ExclusiveScan, SegScan and the scratch scans.
+	OpScan
+	// OpBroadcast covers Broadcast and BroadcastBlock.
+	OpBroadcast
+	// OpReduce covers Reduce and Count.
+	OpReduce
+	// OpRotate covers RotateRows and RotateCols.
+	OpRotate
+	// OpRoute covers Route, RouteTo and RouteScratch.
+	OpRoute
+	// OpConcentrate covers Concentrate.
+	OpConcentrate
+	// OpRAR is the random-access read.
+	OpRAR
+	// OpRAW is the combining random-access write.
+	OpRAW
+
+	// NumOpClasses is the number of operation classes.
+	NumOpClasses
+)
+
+func (c OpClass) String() string {
+	switch c {
+	case OpLocal:
+		return "local"
+	case OpSort:
+		return "sort"
+	case OpScan:
+		return "scan"
+	case OpBroadcast:
+		return "broadcast"
+	case OpReduce:
+		return "reduce"
+	case OpRotate:
+		return "rotate"
+	case OpRoute:
+		return "route"
+	case OpConcentrate:
+		return "concentrate"
+	case OpRAR:
+		return "rar"
+	case OpRAW:
+		return "raw"
+	default:
+		return fmt.Sprintf("OpClass(%d)", int(c))
+	}
+}
+
+// OpStats is the critical-path tally of one operation class.
+type OpStats struct {
+	Count int64 // operations executed on the critical path
+	Steps int64 // mesh steps charged to the class on the critical path
+}
+
+// Profile is the per-class decomposition of a mesh's step clock along the
+// critical path. The class step totals sum exactly to Mesh.Steps().
+type Profile struct {
+	Ops [NumOpClasses]OpStats
+}
+
+// TotalSteps returns the sum of the per-class step totals. It always equals
+// the Steps() of the mesh the profile was read from.
+func (p Profile) TotalSteps() int64 {
+	var t int64
+	for _, s := range p.Ops {
+		t += s.Steps
+	}
+	return t
+}
+
+// TotalOps returns the number of operations on the critical path.
+func (p Profile) TotalOps() int64 {
+	var t int64
+	for _, s := range p.Ops {
+		t += s.Count
+	}
+	return t
+}
+
+// add merges q into p (both counts and steps).
+func (p *Profile) add(q *Profile) {
+	for i := range p.Ops {
+		p.Ops[i].Count += q.Ops[i].Count
+		p.Ops[i].Steps += q.Ops[i].Steps
+	}
+}
+
+// Profile returns the per-operation breakdown of the mesh's step clock
+// accumulated since New or the last ResetSteps.
+func (m *Mesh) Profile() Profile { return m.root.prof }

@@ -17,49 +17,72 @@ func NewReg[T any](m *Mesh) *Reg[T] {
 // At returns the value held by the view-local processor i.
 func At[T any](v View, r *Reg[T], i int) T { return r.data[v.Global(i)] }
 
+// Ref returns a pointer to the cell held by the view-local processor i, for
+// in-place O(1) updates. Hot visit loops use it to mutate a record through a
+// dynamic callback without the copy of the record escaping to the heap on
+// every call.
+func Ref[T any](v View, r *Reg[T], i int) *T { return &r.data[v.Global(i)] }
+
 // Set stores val into the view-local processor i.
 func Set[T any](v View, r *Reg[T], i int, val T) { r.data[v.Global(i)] = val }
 
 // Fill stores val into every processor of the view. One parallel step.
 func Fill[T any](v View, r *Reg[T], val T) {
+	v = v.begin(OpLocal)
 	for i, n := 0, v.Size(); i < n; i++ {
 		r.data[v.Global(i)] = val
 	}
-	v.charge(1)
+	v.charge(OpLocal, 1)
 }
 
 // Apply runs a locally-computed O(1) update on every processor of the view.
 // One parallel step.
 func Apply[T any](v View, r *Reg[T], f func(local int, cur T) T) {
+	v = v.begin(OpLocal)
 	for i, n := 0, v.Size(); i < n; i++ {
 		g := v.Global(i)
 		r.data[g] = f(i, r.data[g])
 	}
-	v.charge(1)
+	v.charge(OpLocal, 1)
 }
 
 // Apply2 runs a locally-computed O(1) update reading register a and updating
 // register b on every processor of the view. One parallel step.
 func Apply2[A, B any](v View, a *Reg[A], b *Reg[B], f func(local int, av A, bv B) B) {
+	v = v.begin(OpLocal)
 	for i, n := 0, v.Size(); i < n; i++ {
 		g := v.Global(i)
 		b.data[g] = f(i, a.data[g], b.data[g])
 	}
-	v.charge(1)
+	v.charge(OpLocal, 1)
+}
+
+// gatherInto copies the view's contents of r into out (which must have
+// length Size()) in view-local row-major order.
+func gatherInto[T any](v View, r *Reg[T], out []T) {
+	if v.w == v.m.side && v.c0 == 0 {
+		copy(out, r.data[v.r0*v.m.side:(v.r0+v.h)*v.m.side])
+		return
+	}
+	for row := 0; row < v.h; row++ {
+		base := (v.r0+row)*v.m.side + v.c0
+		copy(out[row*v.w:(row+1)*v.w], r.data[base:base+v.w])
+	}
 }
 
 // gather copies the view's contents of r into a fresh slice in view-local
 // row-major order. Simulation bookkeeping; carries no step charge itself.
 func gather[T any](v View, r *Reg[T]) []T {
 	out := make([]T, v.Size())
-	if v.w == v.m.side && v.c0 == 0 {
-		copy(out, r.data[v.r0*v.m.side:(v.r0+v.h)*v.m.side])
-		return out
-	}
-	for row := 0; row < v.h; row++ {
-		base := (v.r0+row)*v.m.side + v.c0
-		copy(out[row*v.w:(row+1)*v.w], r.data[base:base+v.w])
-	}
+	gatherInto(v, r, out)
+	return out
+}
+
+// gatherScratch is gather into a pooled arena buffer; the caller must hand
+// the buffer back with Release when the operation is done.
+func gatherScratch[T any](v View, r *Reg[T]) []T {
+	out := Checkout[T](v.m, v.Size())
+	gatherInto(v, r, out)
 	return out
 }
 

@@ -5,7 +5,10 @@ import "cmp"
 // Data movement operations: random-access read, routing, concentration, and
 // block replication. These are the "standard mesh operations" the paper
 // composes; all are built from sorts and scans so their charges follow from
-// the primitive cost formulas.
+// the primitive cost formulas. Item banks (the 2m-record sort banks of
+// RAR/RAW, routing move lists) are checked out of the mesh's scratch arena
+// and released on return, so the steady-state multistep loop allocates
+// nothing.
 //
 // Scratch-slice variants (SortScratch, ScanScratch) model a bank of perProc
 // registers per processor — perProc must remain O(1), which is how the
@@ -15,6 +18,7 @@ import "cmp"
 // SortScratch stable-sorts xs, a scratch bank holding up to perProc records
 // per processor of the view, charging perProc row-major sorts.
 func SortScratch[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
+	v = v.begin(OpSort)
 	sortSlice(v, xs, perProc, less)
 }
 
@@ -22,6 +26,7 @@ func SortScratch[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
 // index order, restarting wherever head reports true, charging perProc
 // scans.
 func ScanScratch[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+	v = v.begin(OpScan)
 	scanSlice(v, xs, perProc, head, op)
 }
 
@@ -30,56 +35,60 @@ func ScanScratch[T any](v View, xs []T, perProc int, head func(i int) bool, op f
 // moving from high indices to low). Mesh scans run equally well along the
 // reversed snake; same cost.
 func ScanScratchRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
-	if perProc < 1 {
-		perProc = 1
-	}
-	if len(xs) > perProc*v.Size() {
-		panic("mesh: ScanScratchRev overflow")
-	}
-	for i := len(xs) - 2; i >= 0; i-- {
-		if !head(i) {
-			xs[i] = op(xs[i+1], xs[i])
+	v = v.begin(OpScan)
+	scanSliceRev(v, xs, perProc, head, op)
+}
+
+// move pairs a routed value with its destination; routings sort their move
+// list by destination, which is also what detects collisions (adjacent
+// duplicates after the sort).
+type move[T any] struct {
+	dest int32
+	val  T
+}
+
+// collectMoves builds the pooled move list for Route/RouteTo and validates
+// destinations. The caller releases it.
+func collectMoves[T any](v View, read func(local int) T, sel func(local int, val T) (dest int, ok bool), opName string) []move[T] {
+	m := v.Size()
+	moves := Checkout[move[T]](v.m, m)[:0]
+	for i := 0; i < m; i++ {
+		val := read(i)
+		if d, ok := sel(i, val); ok {
+			if d < 0 || d >= m {
+				panic("mesh: " + opName + " destination out of view")
+			}
+			moves = append(moves, move[T]{int32(d), val})
 		}
 	}
-	v.charge(int64(perProc) * v.scanCost())
+	sortSlice(v, moves, 1, func(a, b move[T]) bool { return a.dest < b.dest })
+	for i := 1; i < len(moves); i++ {
+		if moves[i].dest == moves[i-1].dest {
+			panic("mesh: " + opName + " destination collision")
+		}
+	}
+	return moves
 }
 
 // RouteTo moves selected records of src into computed destination cells of
 // dst (a different register). Destinations must be distinct; cells of dst
 // that receive no record are untouched. Cost: one sort.
 func RouteTo[T any](v View, src, dst *Reg[T], sel func(local int, val T) (dest int, ok bool)) {
-	m := v.Size()
-	type move struct {
-		dest int
-		val  T
-	}
-	moves := make([]move, 0, m)
-	taken := make(map[int]struct{}, m)
-	for i := 0; i < m; i++ {
-		val := src.data[v.Global(i)]
-		if d, ok := sel(i, val); ok {
-			if d < 0 || d >= m {
-				panic("mesh: RouteTo destination out of view")
-			}
-			if _, dup := taken[d]; dup {
-				panic("mesh: RouteTo destination collision")
-			}
-			taken[d] = struct{}{}
-			moves = append(moves, move{d, val})
-		}
-	}
-	sortSlice(v, moves, 1, func(a, b move) bool { return a.dest < b.dest })
+	v = v.begin(OpRoute)
+	moves := collectMoves(v, func(i int) T { return src.data[v.Global(i)] }, sel, "RouteTo")
 	for _, mv := range moves {
-		dst.data[v.Global(mv.dest)] = mv.val
+		dst.data[v.Global(int(mv.dest))] = mv.val
 	}
-	v.charge(1)
+	Release(v.m, moves)
+	v.charge(OpRoute, 1)
 }
 
 // RouteScratch routes the items of src into a fresh scratch bank of dstLen
 // cells (≤ perProc per processor): src[i] lands at dest(i). Destinations
-// must be distinct. occupied reports which cells received an item. Cost:
-// perProc sorts.
+// must be distinct. occupied reports which cells received an item. The
+// returned slices are owned by the caller (not pooled). Cost: perProc sorts.
 func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) int) (dst []T, occupied []bool) {
+	v = v.begin(OpRoute)
 	if perProc < 1 {
 		perProc = 1
 	}
@@ -99,7 +108,7 @@ func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) 
 		dst[d] = src[i]
 		occupied[d] = true
 	}
-	v.charge(int64(perProc) * v.rowMajorSortCost())
+	v.charge(OpRoute, int64(perProc)*v.rowMajorSortCost())
 	return dst, occupied
 }
 
@@ -128,8 +137,9 @@ func RAR[K cmp.Ordered, V any](v View,
 		val    V
 		origin int32
 	}
+	v = v.begin(OpRAR)
 	m := v.Size()
-	items := make([]item, 0, 2*m)
+	items := Checkout[item](v.m, 2*m)[:0]
 	for i := 0; i < m; i++ {
 		if k, val, ok := record(i); ok {
 			items = append(items, item{key: k, val: val, found: true, origin: int32(i)})
@@ -164,7 +174,8 @@ func RAR[K cmp.Ordered, V any](v View,
 	for _, it := range reqs {
 		deliver(int(it.origin), it.val, it.found)
 	}
-	v.charge(1)
+	Release(v.m, items)
+	v.charge(OpRAR, 1)
 }
 
 // RAW is the combining random-access write, the dual of RAR: every
@@ -191,8 +202,9 @@ func RAW[K cmp.Ordered, V any](v View,
 		val    V
 		origin int32
 	}
+	v = v.begin(OpRAW)
 	m := v.Size()
-	items := make([]item, 0, 2*m)
+	items := Checkout[item](v.m, 2*m)[:0]
 	for i := 0; i < m; i++ {
 		if k, ok := record(i); ok {
 			items = append(items, item{key: k, isRec: true, origin: int32(i)})
@@ -232,7 +244,8 @@ func RAW[K cmp.Ordered, V any](v View,
 	for _, it := range recs {
 		deliver(int(it.origin), it.val, it.has)
 	}
-	v.charge(1)
+	Release(v.m, items)
+	v.charge(OpRAW, 1)
 }
 
 // scanSliceRev mirrors scanSlice in reverse index order.
@@ -248,7 +261,7 @@ func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op 
 			xs[i] = op(xs[i+1], xs[i])
 		}
 	}
-	v.charge(int64(perProc) * v.scanCost())
+	v.charge(OpScan, int64(perProc)*v.scanCost())
 }
 
 // Route moves selected records of r to computed destination local indices.
@@ -257,60 +270,47 @@ func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op 
 // collision-free by construction). Source cells of moved records that do
 // not themselves receive a record are set to clear. Cost: one sort.
 func Route[T any](v View, r *Reg[T], clear T, sel func(local int, val T) (dest int, ok bool)) {
-	m := v.Size()
-	type move struct {
-		dest int
-		val  T
-	}
-	moves := make([]move, 0, m)
-	taken := make(map[int]struct{}, m)
-	cleared := make([]int, 0, m)
-	for i := 0; i < m; i++ {
-		val := r.data[v.Global(i)]
-		if d, ok := sel(i, val); ok {
-			if d < 0 || d >= m {
-				panic("mesh: Route destination out of view")
+	v = v.begin(OpRoute)
+	cleared := Checkout[int32](v.m, v.Size())[:0]
+	moves := collectMoves(v, func(i int) T { return r.data[v.Global(i)] },
+		func(i int, val T) (int, bool) {
+			d, ok := sel(i, val)
+			if ok {
+				cleared = append(cleared, int32(i))
 			}
-			if _, dup := taken[d]; dup {
-				panic("mesh: Route destination collision")
-			}
-			taken[d] = struct{}{}
-			moves = append(moves, move{d, val})
-			cleared = append(cleared, i)
-		}
-	}
-	sortSlice(v, moves, 1, func(a, b move) bool { return a.dest < b.dest })
+			return d, ok
+		}, "Route")
 	for _, i := range cleared {
-		r.data[v.Global(i)] = clear
+		r.data[v.Global(int(i))] = clear
 	}
 	for _, mv := range moves {
-		r.data[v.Global(mv.dest)] = mv.val
+		r.data[v.Global(int(mv.dest))] = mv.val
 	}
-	v.charge(1)
+	Release(v.m, cleared)
+	Release(v.m, moves)
+	v.charge(OpRoute, 1)
 }
 
 // Concentrate moves the records satisfying pred to local indices 0..k-1,
 // preserving their order, sets every other cell to clear, and returns k.
 // Cost: one sort (stable sort by the predicate).
 func Concentrate[T any](v View, r *Reg[T], clear T, pred func(T) bool) int {
-	xs := gather(v, r)
-	kept := make([]T, 0, len(xs))
+	v = v.begin(OpConcentrate)
+	xs := gatherScratch(v, r)
+	k := 0
 	for _, x := range xs {
 		if pred(x) {
-			kept = append(kept, x)
+			xs[k] = x
+			k++
 		}
 	}
-	out := make([]T, len(xs))
-	for i := range out {
-		if i < len(kept) {
-			out[i] = kept[i]
-		} else {
-			out[i] = clear
-		}
+	for i := k; i < len(xs); i++ {
+		xs[i] = clear
 	}
-	scatter(v, r, out)
-	v.charge(v.rowMajorSortCost())
-	return len(kept)
+	scatter(v, r, xs)
+	Release(v.m, xs)
+	v.charge(OpConcentrate, v.rowMajorSortCost())
+	return k
 }
 
 // BroadcastBlock writes block into local indices 0..len(block)-1 of every
@@ -319,6 +319,7 @@ func Concentrate[T any](v View, r *Reg[T], clear T, pred func(T) bool) int {
 // down every submesh column, words pipelined, in ≤ 2·(rows+cols) steps of
 // the parent. block must fit in each sub-view.
 func BroadcastBlock[T any](parent View, r *Reg[T], block []T, subs []View) {
+	parent = parent.begin(OpBroadcast)
 	for _, s := range subs {
 		if len(block) > s.Size() {
 			panic("mesh: BroadcastBlock block larger than sub-view")
@@ -327,5 +328,5 @@ func BroadcastBlock[T any](parent View, r *Reg[T], block []T, subs []View) {
 			r.data[s.Global(i)] = x
 		}
 	}
-	parent.charge(int64(2 * (parent.h + parent.w)))
+	parent.charge(OpBroadcast, int64(2*(parent.h+parent.w)))
 }

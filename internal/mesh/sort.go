@@ -1,15 +1,33 @@
 package mesh
 
-import "sort"
+import "slices"
+
+// sortStable stable-sorts xs by less without reflection or allocation
+// (sort.SliceStable boxes the slice and builds a reflect.Swapper on every
+// call, which is what made sorting dominate the allocation profile).
+func sortStable[T any](xs []T, less func(a, b T) bool) {
+	slices.SortStableFunc(xs, func(a, b T) int {
+		switch {
+		case less(a, b):
+			return -1
+		case less(b, a):
+			return 1
+		default:
+			return 0
+		}
+	})
+}
 
 // Sort sorts the view's record per processor into row-major order by less.
 // The sort is stable. Cost: shearsort into snake order plus one row sweep to
 // flip the odd rows into row-major order (see mesh.go cost formulas).
 func Sort[T any](v View, r *Reg[T], less func(a, b T) bool) {
-	xs := gather(v, r)
-	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
+	v = v.begin(OpSort)
+	xs := gatherScratch(v, r)
+	sortStable(xs, less)
 	scatter(v, r, xs)
-	v.charge(v.rowMajorSortCost())
+	Release(v.m, xs)
+	v.charge(OpSort, v.rowMajorSortCost())
 }
 
 // SortSnake sorts into snake-like order: even rows run left-to-right, odd
@@ -17,26 +35,26 @@ func Sort[T any](v View, r *Reg[T], less func(a, b T) bool) {
 // what scan-based algorithms on the physical machine consume. Cost: one
 // shearsort.
 func SortSnake[T any](v View, r *Reg[T], less func(a, b T) bool) {
-	xs := gather(v, r)
-	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
-	// Lay the sorted sequence out in snake order.
-	out := make([]T, len(xs))
+	v = v.begin(OpSort)
+	xs := gatherScratch(v, r)
+	sortStable(xs, less)
+	// Lay the sorted sequence back out in snake order.
 	k := 0
 	for row := 0; row < v.h; row++ {
 		if row%2 == 0 {
 			for c := 0; c < v.w; c++ {
-				out[row*v.w+c] = xs[k]
+				r.data[v.Global(row*v.w+c)] = xs[k]
 				k++
 			}
 		} else {
 			for c := v.w - 1; c >= 0; c-- {
-				out[row*v.w+c] = xs[k]
+				r.data[v.Global(row*v.w+c)] = xs[k]
 				k++
 			}
 		}
 	}
-	scatter(v, r, out)
-	v.charge(v.sortCost())
+	Release(v.m, xs)
+	v.charge(OpSort, v.sortCost())
 }
 
 // SortCost reports, without executing anything, the charge of one row-major
@@ -59,8 +77,8 @@ func sortSlice[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
 	if len(xs) > perProc*v.Size() {
 		panic("mesh: sortSlice overflow")
 	}
-	sort.SliceStable(xs, func(i, j int) bool { return less(xs[i], xs[j]) })
-	v.charge(int64(perProc) * v.rowMajorSortCost())
+	sortStable(xs, less)
+	v.charge(OpSort, int64(perProc)*v.rowMajorSortCost())
 }
 
 // scanSlice charges one scan on the view and performs a segmented inclusive
@@ -77,5 +95,5 @@ func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op fun
 			xs[i] = op(xs[i-1], xs[i])
 		}
 	}
-	v.charge(int64(perProc) * v.scanCost())
+	v.charge(OpScan, int64(perProc)*v.scanCost())
 }

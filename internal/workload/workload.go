@@ -39,15 +39,26 @@ func KeySearchSuccessor(v graph.Vertex, q *core.Query) (int, bool) {
 		return 0, true
 	}
 	key := q.State[StateKey]
-	width := v.Data[graph.HDagSpanWidth] / int64(v.Deg)
-	idx := int((key - v.Data[graph.HDagSpanStart]) / width)
+	return spanChild(key, v.Data[graph.HDagSpanStart], v.Data[graph.HDagSpanWidth], int(v.Deg)), false
+}
+
+// spanChild maps a key to the child whose equal share of [start, start+width)
+// contains it, clamped to [0, deg). A vertex whose span is narrower than its
+// degree has per-child spans of width zero; descend into child 0 rather than
+// dividing by zero.
+func spanChild(key, start, width int64, deg int) int {
+	per := width / int64(deg)
+	if per < 1 {
+		return 0
+	}
+	idx := int((key - start) / per)
 	if idx < 0 {
 		idx = 0
 	}
-	if idx >= int(v.Deg) {
-		idx = int(v.Deg) - 1
+	if idx >= deg {
+		idx = deg - 1
 	}
-	return idx, false
+	return idx
 }
 
 // DownUpSuccessor drives an undirected balanced tree traversal: descend by
@@ -71,14 +82,7 @@ func DownUpSuccessor(k int) core.Successor {
 				return 0, false // parent edge
 			}
 			key := q.State[StateKey]
-			width := v.Data[graph.HDagSpanWidth] / int64(childCount)
-			idx := int((key - v.Data[graph.HDagSpanStart]) / width)
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= childCount {
-				idx = childCount - 1
-			}
+			idx := spanChild(key, v.Data[graph.HDagSpanStart], v.Data[graph.HDagSpanWidth], childCount)
 			if isRoot {
 				return idx, false
 			}

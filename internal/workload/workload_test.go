@@ -123,3 +123,44 @@ func TestSkewedQueriesStartAtRoot(t *testing.T) {
 		}
 	}
 }
+
+// A vertex whose key span is narrower than its degree has per-child spans of
+// width zero; the seed divided by that zero width and panicked. The query
+// must instead descend into child 0.
+func TestNarrowSpanDescendsToChildZero(t *testing.T) {
+	var v graph.Vertex
+	v.ID = 7
+	v.Deg = 4
+	v.Data[graph.HDagSpanStart] = 10
+	v.Data[graph.HDagSpanWidth] = 2 // narrower than Deg
+
+	var q core.Query
+	q.State[workload.StateKey] = 11
+	edge, done := workload.KeySearchSuccessor(v, &q)
+	if done || edge != 0 {
+		t.Errorf("KeySearchSuccessor on narrow span: edge=%d done=%v, want 0,false", edge, done)
+	}
+
+	// DownUpSuccessor, descending at a non-root vertex: slot 0 is the
+	// parent edge, so child 0 is adjacency slot 1.
+	v.Level = 3
+	v.Deg = 5 // parent + 4 children, span still narrower than child count
+	var q2 core.Query
+	q2.State[workload.StateKey] = 11
+	edge, done = workload.DownUpSuccessor(2)(v, &q2)
+	if done || edge != 1 {
+		t.Errorf("DownUpSuccessor on narrow span: edge=%d done=%v, want 1,false", edge, done)
+	}
+
+	// The wide-span path still picks the spanning child.
+	v2 := v
+	v2.Level = 0
+	v2.Deg = 4
+	v2.Data[graph.HDagSpanWidth] = 40
+	var q3 core.Query
+	q3.State[workload.StateKey] = 10 + 25 // third child's decile
+	edge, done = workload.KeySearchSuccessor(v2, &q3)
+	if done || edge != 2 {
+		t.Errorf("KeySearchSuccessor wide span: edge=%d done=%v, want 2,false", edge, done)
+	}
+}
