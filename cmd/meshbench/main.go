@@ -10,9 +10,18 @@
 //	meshbench -model theoretical
 //	meshbench -seed 7
 //	meshbench -profile        # per-operation step breakdowns (E1–E5)
+//	meshbench -timeout 30s    # per-experiment wall-clock limit
+//	meshbench -budget 1e7     # per-mesh step budget
+//	meshbench -audit          # verify op invariants while running
+//	meshbench -chaos 42       # seeded fault injection (see DESIGN.md §3.3)
+//
+// A failing experiment — timeout, budget overrun, detected fault, panic —
+// prints its error and any rows completed so far; the remaining experiments
+// still run, and the process exits non-zero if anything failed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +29,7 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/faults"
 	"repro/internal/mesh"
 )
 
@@ -32,6 +42,11 @@ func main() {
 	verbose := flag.Bool("v", false, "progress to stderr")
 	list := flag.Bool("list", false, "list experiments and exit")
 	profile := flag.Bool("profile", false, "append per-operation step breakdowns (sorts, scans, RAR/RAW, ...) to each table")
+	timeout := flag.Duration("timeout", 0, "wall-clock limit per experiment (0 = none)")
+	budget := flag.Float64("budget", 0, "mesh step budget per experiment mesh (0 = unlimited)")
+	audit := flag.Bool("audit", false, "verify operation invariants (sortedness, scan identities, RAR/RAW oracles) while running")
+	chaos := flag.Int64("chaos", 0, "inject seeded faults with this seed (non-zero; combine with -audit to detect them)")
+	chaosP := flag.Float64("chaos-p", 0.01, "per-consultation fault probability for -chaos")
 	flag.Parse()
 
 	if *list {
@@ -63,17 +78,34 @@ func main() {
 	if *verbose {
 		cfg.Progress = os.Stderr
 	}
+	cfg.Budget = int64(*budget)
+	cfg.Audit = *audit
+	var injector *faults.Injector
+	if *chaos != 0 {
+		p := *chaosP
+		injector = faults.New(faults.Config{
+			Seed: *chaos, PSortLie: p, PCorrupt: p, PDrop: p, PDup: p,
+		})
+		cfg.Injector = injector
+	}
 
 	var selected []bench.Experiment
 	if *run == "" {
 		selected = bench.All
 	} else {
+		seen := map[string]bool{}
 		for _, id := range strings.Split(*run, ",") {
-			e := bench.Find(strings.TrimSpace(id))
+			id = strings.TrimSpace(id)
+			e := bench.Find(id)
 			if e == nil {
 				fmt.Fprintf(os.Stderr, "meshbench: unknown experiment %q (try -list)\n", id)
 				os.Exit(2)
 			}
+			if seen[e.ID] {
+				fmt.Fprintf(os.Stderr, "meshbench: experiment %s listed twice in -run\n", e.ID)
+				os.Exit(2)
+			}
+			seen[e.ID] = true
 			selected = append(selected, *e)
 		}
 	}
@@ -81,10 +113,23 @@ func main() {
 	if *format == "text" {
 		fmt.Printf("multisearch on a mesh-connected computer — experiment harness\n")
 		fmt.Printf("cost model: %s   seed: %d   quick: %v\n", cfg.Model, cfg.Seed, cfg.Quick)
+		if *chaos != 0 {
+			fmt.Printf("chaos: seed %d, p=%g per consultation   audit: %v\n", *chaos, *chaosP, *audit)
+		}
 	}
+	failed := 0
 	for _, e := range selected {
+		e := e
+		runCfg := cfg
+		cancel := func() {}
+		if *timeout > 0 {
+			runCfg.Ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		}
 		start := time.Now()
-		t := e.Run(cfg)
+		t, err := bench.SafeRun(&e, runCfg)
+		cancel()
+		// Partial rows are worth printing even on failure — that is the
+		// point of the harness owning the table.
 		switch *format {
 		case "csv":
 			t.CSV(os.Stdout)
@@ -92,5 +137,22 @@ func main() {
 			t.Print(os.Stdout)
 			fmt.Printf("  (%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
 		}
+		if err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "meshbench: %s failed after %.1fs: %v\n",
+				e.ID, time.Since(start).Seconds(), err)
+		}
+	}
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "meshbench: chaos injected %d fault(s)\n", injector.Count())
+		if *verbose {
+			for _, ev := range injector.Events() {
+				fmt.Fprintf(os.Stderr, "  %s\n", ev)
+			}
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "meshbench: %d of %d experiment(s) failed\n", failed, len(selected))
+		os.Exit(1)
 	}
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -16,7 +18,10 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, e := range All {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
-			tab := e.Run(quickCfg())
+			tab, err := SafeRun(&e, quickCfg())
+			if err != nil {
+				t.Fatal(err)
+			}
 			if tab.ID != e.ID {
 				t.Fatalf("table ID %q for experiment %q", tab.ID, e.ID)
 			}
@@ -29,6 +34,61 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestSafeRunBudgetYieldsPartialTable(t *testing.T) {
+	// A budget far below one E2 measurement aborts the experiment, but
+	// SafeRun must return an attributable (if row-less) table and a typed
+	// error instead of panicking.
+	cfg := quickCfg()
+	cfg.Budget = 50
+	tab, err := SafeRun(Find("E2"), cfg)
+	if err == nil {
+		t.Fatal("budget of 50 steps should abort E2")
+	}
+	var be *mesh.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want wrapped *mesh.BudgetExceededError", err)
+	}
+	if tab == nil || tab.ID != "E2" {
+		t.Fatalf("partial table %+v", tab)
+	}
+}
+
+func TestSafeRunCancellationYieldsError(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfg := quickCfg()
+	cfg.Ctx = ctx
+	_, err := SafeRun(Find("E1"), cfg)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in chain", err)
+	}
+}
+
+func TestAuditedTablesAreByteIdentical(t *testing.T) {
+	// Audit mode observes only: the rendered table (steps, ratios,
+	// profiles) of an audited run must match the plain run byte for byte.
+	if testing.Short() {
+		t.Skip("audit comparison skipped in -short mode")
+	}
+	render := func(cfg Config) string {
+		cfg.Profile = true
+		tab, err := SafeRun(Find("E2"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tab.Print(&sb)
+		tab.CSV(&sb)
+		return sb.String()
+	}
+	plain := render(quickCfg())
+	audited := quickCfg()
+	audited.Audit = true
+	if got := render(audited); got != plain {
+		t.Fatalf("audited table differs from plain table:\n--- plain ---\n%s\n--- audited ---\n%s", plain, got)
 	}
 }
 

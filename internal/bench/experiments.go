@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -21,6 +22,13 @@ type Config struct {
 	// Profile attaches per-operation step breakdowns (Mesh.Profile) to the
 	// tables of the experiments that expose their meshes (E1–E5).
 	Profile bool
+
+	// Run control and chaos options, applied to every mesh an experiment
+	// builds (via newMesh). Zero values cost nothing on the hot path.
+	Ctx      context.Context // cancellation/deadline; nil = not cancellable
+	Budget   int64           // per-mesh step budget; 0 = unlimited
+	Injector mesh.Injector   // fault injection; nil = none
+	Audit    bool            // verify op invariants as the run executes
 }
 
 func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
@@ -41,12 +49,41 @@ func (c Config) profile(t *Table, label string, m *mesh.Mesh) {
 	t.AddProfile(label, m.Profile())
 }
 
-// Experiment is one reproducible experiment.
+// newMesh builds a mesh under the Config's cost model with its run-control
+// and chaos options applied. Every experiment constructs its meshes through
+// here, so a budget, context, injector or audit flag set on the Config
+// governs the whole run.
+func (c Config) newMesh(side int) *mesh.Mesh { return c.newMeshModel(side, c.Model) }
+
+// newMeshModel is newMesh with an explicit cost model (for ablations that
+// sweep models, e.g. E13).
+func (c Config) newMeshModel(side int, model mesh.CostModel) *mesh.Mesh {
+	opts := []mesh.Option{mesh.WithCostModel(model)}
+	if c.Budget > 0 {
+		opts = append(opts, mesh.WithBudget(c.Budget))
+	}
+	if c.Ctx != nil {
+		opts = append(opts, mesh.WithContext(c.Ctx))
+	}
+	if c.Injector != nil {
+		opts = append(opts, mesh.WithInjector(c.Injector))
+	}
+	if c.Audit {
+		opts = append(opts, mesh.WithAudit())
+	}
+	return mesh.New(side, opts...)
+}
+
+// Experiment is one reproducible experiment. Run fills the caller-owned
+// table: metadata first, then one row per completed measurement, so rows
+// finished before an abort (budget overrun, cancellation, fault detection)
+// survive and can still be printed. Run may panic with the mesh layer's
+// typed faults; execute it through SafeRun to get errors instead.
 type Experiment struct {
 	ID     string
 	Title  string
 	Source string
-	Run    func(Config) *Table
+	Run    func(Config, *Table)
 }
 
 // All lists the experiments in DESIGN.md §4 order.
@@ -91,8 +128,8 @@ func sides(c Config, quick, full []int) []int {
 
 // --- E1: Lemma 3 ---------------------------------------------------------
 
-func runE1(c Config) *Table {
-	t := &Table{
+func runE1(c Config, t *Table) {
+	*t = Table{
 		ID: "E1", Title: "Constrained multisearch, one call, n queries on a balanced tree",
 		Source: "Lemma 3",
 		Note: "Claim: O(√n) mesh steps per call. steps/√n should grow only with the\n" +
@@ -103,7 +140,7 @@ func runE1(c Config) *Table {
 		height := heightForSide(side)
 		tr := graph.NewBalancedTree(2, height, true)
 		s := graph.InstallTreeSplitter(tr, (height+1)/2, graph.Primary)
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		n := m.N()
 		qs := workload.KeySearchQueries(n, int64(tr.SubtreeSize(0)), tr.Root(), 2, c.rng())
 		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
@@ -118,7 +155,6 @@ func runE1(c Config) *Table {
 		c.profile(t, fmt.Sprintf("side=%d", side), m)
 		c.log("E1 side=%d done", side)
 	}
-	return t
 }
 
 // heightForSide returns the largest complete-binary-tree height fitting a
@@ -134,8 +170,8 @@ func heightForSide(side int) int {
 
 // --- E2: Theorem 2 -------------------------------------------------------
 
-func runE2(c Config) *Table {
-	t := &Table{
+func runE2(c Config, t *Table) {
+	*t = Table{
 		ID: "E2", Title: "Algorithm 1 on complete binary hierarchical DAGs, n queries",
 		Source: "Theorem 2",
 		Note: "Claim: O(√n) total. S = number of B-blocks (log*-recursion engages at\n" +
@@ -144,7 +180,7 @@ func runE2(c Config) *Table {
 	}
 	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
 		d := graph.CompleteTreeHDag(2, heightForSide(side))
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		plan, err := core.PlanHDag(d, side)
 		if err != nil {
 			panic(err)
@@ -161,18 +197,17 @@ func runE2(c Config) *Table {
 		c.profile(t, fmt.Sprintf("side=%d", side), m)
 		c.log("E2 side=%d done", side)
 	}
-	return t
 }
 
 // --- E3: Theorem 5 -------------------------------------------------------
 
-func runE3(c Config) *Table {
+func runE3(c Config, t *Table) {
 	side := 128
 	if c.Quick {
 		side = 32
 	}
 	m0 := side * side
-	t := &Table{
+	*t = Table{
 		ID: "E3", Title: fmt.Sprintf("Algorithm 2 on %d directed cycles (n=%d), sweep walk length r", side, m0),
 		Source: "Theorem 5",
 		Note: "Claim: O(√n + r·√n/log n). steps/(r·√n/lg n) should approach a\n" +
@@ -184,7 +219,7 @@ func runE3(c Config) *Table {
 	lg := math.Log2(float64(m0))
 	for _, mult := range sides(c, []int{1, 2, 4}, []int{1, 2, 4, 8, 16, 32}) {
 		r := mult * int(lg)
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		qs := workload.WalkQueries(m0, r, g.N(), c.rng())
 		in := core.NewInstance(m, g, qs, workload.WalkSuccessor)
 		m.ResetSteps()
@@ -196,12 +231,11 @@ func runE3(c Config) *Table {
 		c.profile(t, fmt.Sprintf("r=%d", r), m)
 		c.log("E3 r=%d done", r)
 	}
-	return t
 }
 
 // --- E4: Theorem 7 -------------------------------------------------------
 
-func runE4(c Config) *Table {
+func runE4(c Config, t *Table) {
 	side := 128
 	height := 13
 	if c.Quick {
@@ -212,7 +246,7 @@ func runE4(c Config) *Table {
 	s2 := graph.InstallTreeSplitter(tr, 2*height/3, graph.Secondary)
 	dist := graph.SplitterDistance(tr.Graph)
 	n := side * side
-	t := &Table{
+	*t = Table{
 		ID: "E4", Title: fmt.Sprintf("Algorithm 3 on an undirected tree (h=%d), bouncing walks, sweep r", height),
 		Source: "Theorem 7",
 		Note:   fmt.Sprintf("Splitter distance %d = Ω(log n). Claim: O(√n + r·√n/log n).", dist),
@@ -221,7 +255,7 @@ func runE4(c Config) *Table {
 	lg := math.Log2(float64(n))
 	for _, bounces := range sides(c, []int{1, 2, 4}, []int{1, 2, 4, 8, 16}) {
 		r := bounces*2*height + 1
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		qs := workload.BounceQueries(n, bounces, int64(tr.SubtreeSize(0)), tr.Root(), c.rng())
 		in := core.NewInstance(m, tr.Graph, qs, workload.BounceSuccessor(2))
 		m.ResetSteps()
@@ -233,13 +267,12 @@ func runE4(c Config) *Table {
 		c.profile(t, fmt.Sprintf("bounces=%d", bounces), m)
 		c.log("E4 bounces=%d done", bounces)
 	}
-	return t
 }
 
 // --- E5: vs synchronous baseline ----------------------------------------
 
-func runE5(c Config) *Table {
-	t := &Table{
+func runE5(c Config, t *Table) {
+	*t = Table{
 		ID: "E5", Title: "Algorithm 2 vs synchronous multistep ([DR90] strategy), r = 8·lg n",
 		Source: "§1 / [DR90]",
 		Note: "The baseline pays one full-mesh RAR per search step: Θ(r·√n).\n" +
@@ -255,11 +288,11 @@ func runE5(c Config) *Table {
 		r := 8 * int(lg)
 		qs := workload.WalkQueries(n, r, g.N(), c.rng())
 
-		m1 := mesh.New(side, mesh.WithCostModel(c.Model))
+		m1 := c.newMesh(side)
 		in1 := core.NewInstance(m1, g, qs, workload.WalkSuccessor)
 		core.MultisearchAlpha(m1.Root(), in1, cycleLen, 0)
 
-		m2 := mesh.New(side, mesh.WithCostModel(c.Model))
+		m2 := c.newMesh(side)
 		in2 := core.NewInstance(m2, g, qs, workload.WalkSuccessor)
 		core.SynchronousMultisearch(m2.Root(), in2, 0)
 
@@ -272,13 +305,12 @@ func runE5(c Config) *Table {
 		c.profile(t, fmt.Sprintf("side=%d synchronous", side), m2)
 		c.log("E5 side=%d done", side)
 	}
-	return t
 }
 
 // --- E6 / E7: splitter censuses ------------------------------------------
 
-func runE6(c Config) *Table {
-	t := &Table{
+func runE6(c Config, t *Table) {
+	*t = Table{
 		ID: "E6", Title: "α-splitter of directed balanced binary trees (cut at h/2)",
 		Source: "Figure 2 / §4.2",
 		Note:   "Claim: components O(n^α), count O(n^(1-α)), α = 1/2; H/T property holds.",
@@ -293,11 +325,10 @@ func runE6(c Config) *Table {
 		}
 		t.Add(fi(int64(tr.N())), fi(int64(h)), fi(int64(s.K)), fi(int64(s.MaxPart)), ff(s.Delta), valid)
 	}
-	return t
 }
 
-func runE7(c Config) *Table {
-	t := &Table{
+func runE7(c Config, t *Table) {
+	*t = Table{
 		ID: "E7", Title: "α- and β-splitters of undirected balanced binary trees",
 		Source: "Figure 3 / §4.3",
 		Note:   "Claim: both splittings have O(n^δ) parts and border distance Ω(log n).",
@@ -311,13 +342,12 @@ func runE7(c Config) *Table {
 		t.Add(fi(int64(tr.N())), fi(int64(h)), fi(int64(s1.K)), fi(int64(s1.MaxPart)),
 			fi(int64(s2.K)), fi(int64(s2.MaxPart)), fi(int64(d)), ff(math.Log2(float64(tr.N()))))
 	}
-	return t
 }
 
 // --- E8: B_i census ------------------------------------------------------
 
-func runE8(c Config) *Table {
-	t := &Table{
+func runE8(c Config, t *Table) {
+	*t = Table{
 		ID: "E8", Title: "B_i decomposition of complete binary hierarchical DAGs",
 		Source: "Figures 1, 4, 5 / §3",
 		Note: "Claims: |B_i| = O(n/(log^(i)h)²), Δh_i = O(log^(i)h), Σ√|B_i| = O(√n),\n" +
@@ -350,7 +380,6 @@ func runE8(c Config) *Table {
 			fmt.Sprintf("[%d,%d]", plan.StarLo, plan.H),
 			fi(int64(countLevels(d, plan.StarLo, plan.H))), fi(int64(plan.H-plan.StarLo+1)), "—", "—")
 	}
-	return t
 }
 
 func countLevels(d *graph.HDag, lo, hi int) int {

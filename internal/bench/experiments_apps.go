@@ -16,8 +16,8 @@ import (
 
 // --- E9: §6 multiple interval intersection --------------------------------
 
-func runE9(c Config) *Table {
-	t := &Table{
+func runE9(c Config, t *Table) {
+	*t = Table{
 		ID: "E9", Title: "Multiple interval intersection: m=n/2 queries vs n/2 intervals",
 		Source: "§6",
 		Note: "count tree = two rank descents (Theorem 5 route); search tree = pruned\n" +
@@ -48,7 +48,7 @@ func runE9(c Config) *Table {
 		for ctSide*ctSide < ct.G.N() || ctSide*ctSide < 2*len(ranges) {
 			ctSide *= 2
 		}
-		m1 := mesh.New(ctSide, mesh.WithCostModel(c.Model))
+		m1 := c.newMesh(ctSide)
 		in1 := core.NewInstance(m1, ct.G, ct.NewQueries(ranges), interval.CountSuccessor)
 		core.MultisearchAlpha(m1.Root(), in1, maxPart, 0)
 		counts := ct.Counts(in1.ResultQueries(), len(ranges))
@@ -60,12 +60,12 @@ func runE9(c Config) *Table {
 		for stSide*stSide < st.Tree.N() {
 			stSide *= 2
 		}
-		m2 := mesh.New(stSide, mesh.WithCostModel(c.Model))
+		m2 := c.newMesh(stSide)
 		in2 := core.NewInstance(m2, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
 		core.MultisearchAlphaBeta(m2.Root(), in2, s1.MaxPart, s2.MaxPart, 0)
 
 		// Baseline: synchronous multistep on the search tree.
-		m3 := mesh.New(stSide, mesh.WithCostModel(c.Model))
+		m3 := c.newMesh(stSide)
 		in3 := core.NewInstance(m3, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
 		core.SynchronousMultisearch(m3.Root(), in3, 0)
 
@@ -82,13 +82,12 @@ func runE9(c Config) *Table {
 			ff(float64(m3.Steps())/float64(m2.Steps())))
 		c.log("E9 side=%d done", side)
 	}
-	return t
 }
 
 // --- E10: §5 batched planar point location --------------------------------
 
-func runE10(c Config) *Table {
-	t := &Table{
+func runE10(c Config, t *Table) {
+	*t = Table{
 		ID: "E10", Title: "Batched point location via the Kirkpatrick hierarchy",
 		Source: "§5 / [Kir83] / Theorem 8",
 		Note: "n/2 query points located in a triangulation with ~n/4 sites. The DAG\n" +
@@ -115,7 +114,7 @@ func runE10(c Config) *Table {
 		for side*side < h.Dag.N() {
 			side *= 2
 		}
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		plan, err := core.PlanHDag(h.Dag, side)
 		if err != nil {
 			panic(err)
@@ -140,13 +139,12 @@ func runE10(c Config) *Table {
 			ff(perSqrtN(m.Steps(), n)/float64(h.Levels)))
 		c.log("E10 sites=%d done", sites)
 	}
-	return t
 }
 
 // --- E11: Theorem 8.1 tangent planes --------------------------------------
 
-func runE11(c Config) *Table {
-	t := &Table{
+func runE11(c Config, t *Table) {
+	*t = Table{
 		ID: "E11", Title: "Multiple tangent-plane determination on the DK hierarchy",
 		Source: "Theorem 8.1",
 		Note: "n/2 direction queries; each finds the extreme vertex (= tangent plane\n" +
@@ -168,7 +166,7 @@ func runE11(c Config) *Table {
 		for side*side < h.Dag.N() {
 			side *= 2
 		}
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		plan, err := core.PlanHDag(h.Dag, side)
 		if err != nil {
 			panic(err)
@@ -196,13 +194,12 @@ func runE11(c Config) *Table {
 			ff(perSqrtN(m.Steps(), n)/float64(h.Levels)))
 		c.log("E11 verts=%d done", nv)
 	}
-	return t
 }
 
 // --- E12: Theorem 8.2 separation ------------------------------------------
 
-func runE12(c Config) *Table {
-	t := &Table{
+func runE12(c Config, t *Table) {
+	*t = Table{
 		ID: "E12", Title: "Convex polyhedra separation via batched support queries",
 		Source: "Theorem 8.2",
 		Note:   "Gap > 0: hulls translated apart (expected separated). Gap = 0: concentric.",
@@ -240,8 +237,8 @@ func runE12(c Config) *Table {
 				side *= 2
 			}
 			res := polyhedron.Separate(ha, hb, axes,
-				mesh.New(side, mesh.WithCostModel(c.Model)),
-				mesh.New(side, mesh.WithCostModel(c.Model)))
+				c.newMesh(side),
+				c.newMesh(side))
 			sep := "no"
 			if res.Separated {
 				sep = "yes"
@@ -254,13 +251,12 @@ func runE12(c Config) *Table {
 			c.log("E12 verts=%d gap=%d done", nv, gap)
 		}
 	}
-	return t
 }
 
 // --- E13: cost-model ablation ----------------------------------------------
 
-func runE13(c Config) *Table {
-	t := &Table{
+func runE13(c Config, t *Table) {
+	*t = Table{
 		ID: "E13", Title: "Cost-model ablation: counted shearsort vs theoretical O(√n) sort",
 		Source: "DESIGN.md §1 substitution 2",
 		Note: "The same Algorithm 1 run charged both ways. The theoretical model\n" +
@@ -272,7 +268,7 @@ func runE13(c Config) *Table {
 		d := graph.CompleteTreeHDag(2, heightForSide(side))
 		var steps [2]int64
 		for mi, model := range []mesh.CostModel{mesh.CostCounted, mesh.CostTheoretical} {
-			m := mesh.New(side, mesh.WithCostModel(model))
+			m := c.newMeshModel(side, model)
 			plan, err := core.PlanHDag(d, side)
 			if err != nil {
 				panic(err)
@@ -288,13 +284,12 @@ func runE13(c Config) *Table {
 			fi(steps[1]), ff(perSqrtN(steps[1], n)), ff(float64(steps[0])/float64(steps[1])))
 		c.log("E13 side=%d done", side)
 	}
-	return t
 }
 
 // --- E14: copy volume -------------------------------------------------------
 
-func runE14(c Config) *Table {
-	t := &Table{
+func runE14(c Config, t *Table) {
+	*t = Table{
 		ID: "E14", Title: "Constrained-multisearch copy volume under query skew",
 		Source: "Lemma 3 item (1)",
 		Note: "Claim: ΣΓ_i·|G_i| = O(n) regardless of congestion. 'dup' repeats each\n" +
@@ -322,7 +317,7 @@ func runE14(c Config) *Table {
 	}
 	cut := (height + 1) / 2
 	for _, tc := range cases {
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		in := core.NewInstance(m, tr.Graph, tc.qs, workload.KeySearchSuccessor)
 		in.Prime(m.Root())
 		// Advance every query into its subtree part so key skew translates
@@ -335,7 +330,6 @@ func runE14(c Config) *Table {
 			fi(int64(st.Layers)), fi(int64(st.CopyVolume)), ff(float64(st.CopyVolume)/float64(n)))
 		c.log("E14 %s done", tc.name)
 	}
-	return t
 }
 
 // silence unused-import guards when experiment sets change

@@ -5,14 +5,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hypercube"
-	"repro/internal/mesh"
 	"repro/internal/workload"
 )
 
 // --- E18: cross-architecture comparison with [DR90] ------------------------
 
-func runE18(c Config) *Table {
-	t := &Table{
+func runE18(c Config, t *Table) {
+	*t = Table{
 		ID: "E18", Title: "Mesh multisearch vs the [DR90] hypercube strategy, r = 8·lg n",
 		Source: "§1 / [DR90]",
 		Note: "Each machine charged in its own steps (one word per link per step).\n" +
@@ -29,11 +28,11 @@ func runE18(c Config) *Table {
 		r := 8 * int(math.Log2(float64(n)))
 		qs := workload.WalkQueries(n, r, g.N(), c.rng())
 
-		m1 := mesh.New(side, mesh.WithCostModel(c.Model))
+		m1 := c.newMesh(side)
 		in1 := core.NewInstance(m1, g, qs, workload.WalkSuccessor)
 		core.MultisearchAlpha(m1.Root(), in1, side, 0)
 
-		m2 := mesh.New(side, mesh.WithCostModel(c.Model))
+		m2 := c.newMesh(side)
 		in2 := core.NewInstance(m2, g, qs, workload.WalkSuccessor)
 		core.SynchronousMultisearch(m2.Root(), in2, 0)
 
@@ -53,5 +52,4 @@ func runE18(c Config) *Table {
 			ff(float64(m2.Steps())/float64(m1.Steps())))
 		c.log("E18 side=%d done", side)
 	}
-	return t
 }

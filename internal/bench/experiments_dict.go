@@ -7,14 +7,13 @@ import (
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/graph"
-	"repro/internal/mesh"
 	"repro/internal/workload"
 )
 
 // --- E15: (a,b)-tree dictionary ------------------------------------------
 
-func runE15(c Config) *Table {
-	t := &Table{
+func runE15(c Config, t *Table) {
+	*t = Table{
 		ID: "E15", Title: "Batched membership lookups on a (2,3)-tree dictionary",
 		Source: "§1 [PVS83] / §6",
 		Note: "The mesh analogue of the Paul–Vishkin–Wagener parallel dictionary:\n" +
@@ -39,7 +38,7 @@ func runE15(c Config) *Table {
 		for side*side < bt.G.N() {
 			side *= 2
 		}
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		needles := make([]int64, side*side/2)
 		for i := range needles {
 			if i%2 == 0 {
@@ -61,13 +60,12 @@ func runE15(c Config) *Table {
 			fi(m.Steps()), ff(perSqrtN(m.Steps(), n)), ff(perSqrtNLogN(m.Steps(), n)))
 		c.log("E15 keys=%d done", nk)
 	}
-	return t
 }
 
 // --- E17: recursion-depth ablation -----------------------------------------
 
-func runE17(c Config) *Table {
-	t := &Table{
+func runE17(c Config, t *Table) {
+	*t = Table{
 		ID: "E17", Title: "Algorithm 1 recursion-depth ablation (manual B-block plans)",
 		Source: "§3 design choice",
 		Note: "The same DAG and queries solved with S = 0 (pure level-by-level),\n" +
@@ -115,7 +113,7 @@ func runE17(c Config) *Table {
 
 	var reference []core.Query
 	for _, v := range variants {
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		in := core.NewInstance(m, d.Graph, qs, workload.KeySearchSuccessor)
 		m.ResetSteps()
 		core.MultisearchHDag(m.Root(), in, v.plan)
@@ -128,7 +126,6 @@ func runE17(c Config) *Table {
 		t.Add(fi(int64(n)), v.name, fi(int64(v.plan.S)), fi(m.Steps()), ff(perSqrtN(m.Steps(), n)))
 		c.log("E17 %s done", v.name)
 	}
-	return t
 }
 
 func minInt(a, b int) int {
@@ -140,8 +137,8 @@ func minInt(a, b int) int {
 
 // --- E16: §3 level-index computation --------------------------------------
 
-func runE16(c Config) *Table {
-	t := &Table{
+func runE16(c Config, t *Table) {
+	*t = Table{
 		ID: "E16", Title: "Level indices by peel-and-compress",
 		Source: "§3 (the \"easily computed in time O(√n)\" remark)",
 		Note: "h peel rounds would cost Θ(h·√n) without compression; compressing\n" +
@@ -151,7 +148,7 @@ func runE16(c Config) *Table {
 	}
 	for _, side := range sides(c, []int{16, 32, 64}, []int{16, 32, 64, 128, 256, 512}) {
 		d := graph.CompleteTreeHDag(2, heightForSide(side))
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		in := core.NewInstance(m, d.Graph, nil, workload.KeySearchSuccessor)
 		m.ResetSteps()
 		levels := core.ComputeLevels(m.Root(), in)
@@ -169,5 +166,4 @@ func runE16(c Config) *Table {
 			ff(float64(uncompressed)/math.Max(1, float64(m.Steps()))))
 		c.log("E16 side=%d done", side)
 	}
-	return t
 }

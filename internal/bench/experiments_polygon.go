@@ -7,14 +7,13 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/geom"
-	"repro/internal/mesh"
 	"repro/internal/polygon"
 )
 
 // --- E19: planar DK hierarchy tangents --------------------------------------
 
-func runE19(c Config) *Table {
-	t := &Table{
+func runE19(c Config, t *Table) {
+	*t = Table{
 		ID: "E19", Title: "Batched 2-D tangent determination (planar DK hierarchy, μ=2 exactly)",
 		Source: "Theorem 8 (planar analogue)",
 		Note: "Alternate-vertex removal gives the cleanest hierarchical DAG of the\n" +
@@ -33,7 +32,7 @@ func runE19(c Config) *Table {
 		for side*side < h.Dag.N() {
 			side *= 2
 		}
-		m := mesh.New(side, mesh.WithCostModel(c.Model))
+		m := c.newMesh(side)
 		plan, err := core.PlanHDag(h.Dag, side)
 		if err != nil {
 			panic(err)
@@ -57,7 +56,6 @@ func runE19(c Config) *Table {
 			fi(m.Steps()), ff(perSqrtN(m.Steps(), n)), ff(perSqrtNLogN(m.Steps(), n)))
 		c.log("E19 verts=%d done", nv)
 	}
-	return t
 }
 
 // convexCircle places n angle-jittered integer points on a circle (all in

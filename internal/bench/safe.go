@@ -1,0 +1,21 @@
+package bench
+
+import (
+	"repro/internal/core"
+)
+
+// SafeRun executes one experiment inside the core.Run containment boundary.
+// The returned table is never nil: it holds every row the experiment
+// completed before the failure, so a budget overrun, cancellation, detected
+// fault or panic in one experiment still yields a printable partial table.
+// A nil error means the experiment ran to completion.
+func SafeRun(e *Experiment, c Config) (*Table, error) {
+	// Pre-fill the identity so even a failure before the experiment's own
+	// metadata assignment produces an attributable table.
+	t := &Table{ID: e.ID, Title: e.Title, Source: e.Source}
+	err := core.Run(e.ID+": "+e.Title, func() error {
+		e.Run(c, t)
+		return nil
+	})
+	return t, err
+}

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/mesh"
+)
+
+// Run is the panic-containment boundary for mesh algorithm executions. The
+// mesh layer signals abnormal termination — step-budget overruns, context
+// cancellation, audit violations, contained submesh panics, and plain
+// programming errors (out-of-range View.Global, bad Partition, arena
+// misuse) — by panicking, because the machine model has no error plumbing.
+// Run recovers whatever escapes fn and converts it into a *RunError, so
+// callers above the boundary (the bench harness, meshbench, library users)
+// handle ordinary errors and no algorithm failure can take the process
+// down.
+//
+// fn's own non-nil error return is wrapped identically, so callers have a
+// single error shape to inspect with errors.As (the typed mesh faults are
+// reachable through Unwrap).
+func Run(label string, fn func() error) (err error) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			return
+		}
+		re := &RunError{Label: label}
+		switch v := r.(type) {
+		case *mesh.PanicError:
+			// Already carries the inner stack from the submesh goroutine.
+			re.Err, re.Stack = v, v.Stack
+		case error:
+			re.Err, re.Stack = v, debug.Stack()
+		default:
+			re.Err, re.Stack = fmt.Errorf("panic: %v", v), debug.Stack()
+		}
+		err = re
+	}()
+	if e := fn(); e != nil {
+		return &RunError{Label: label, Err: e}
+	}
+	return nil
+}
+
+// RunError reports a failed Run: the labelled execution and the underlying
+// fault. Stack is the panic stack when the failure was a contained panic,
+// nil for an ordinary error return.
+type RunError struct {
+	Label string
+	Err   error
+	Stack []byte
+}
+
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %q failed: %v", e.Label, e.Err)
+}
+
+func (e *RunError) Unwrap() error { return e.Err }

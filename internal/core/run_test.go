@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/workload"
+)
+
+func TestRunPassesThroughSuccess(t *testing.T) {
+	if err := core.Run("ok", func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWrapsErrorReturn(t *testing.T) {
+	base := errors.New("bad input")
+	err := core.Run("E99", func() error { return base })
+	var re *core.RunError
+	if !errors.As(err, &re) || re.Label != "E99" {
+		t.Fatalf("got %v", err)
+	}
+	if !errors.Is(err, base) {
+		t.Fatalf("base error not reachable: %v", err)
+	}
+	if re.Stack != nil {
+		t.Fatal("error return should carry no panic stack")
+	}
+}
+
+func TestRunContainsStringPanic(t *testing.T) {
+	err := core.Run("boom", func() error { panic("kaboom") })
+	var re *core.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+	if !strings.Contains(re.Error(), "kaboom") || len(re.Stack) == 0 {
+		t.Fatalf("err=%v stack=%d bytes", re, len(re.Stack))
+	}
+}
+
+func TestRunContainsMeshMisuse(t *testing.T) {
+	// An out-of-range View.Global is the canonical internal panic; it must
+	// come back as an error, never escape.
+	m := mesh.New(4)
+	err := core.Run("misuse", func() error {
+		_ = m.Root().Global(99)
+		return nil
+	})
+	var re *core.RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRunContainsParallelBodyPanic(t *testing.T) {
+	m := mesh.New(8)
+	err := core.Run("parallel", func() error {
+		m.Root().RunParallel(m.Root().Partition(2, 2), func(idx int, sub mesh.View) {
+			if idx == 1 {
+				panic("submesh fault")
+			}
+			sub.Charge(1)
+		})
+		return nil
+	})
+	var pe *mesh.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want wrapped *mesh.PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("submesh stack lost")
+	}
+}
+
+// TestBudgetAbortsSynchronousMultisearch aborts the paper's deliberately
+// super-linear baseline (Θ(r·√n): one full-mesh RAR per search step) with a
+// step budget, and requires the structured error to name the dominant op
+// class.
+func TestBudgetAbortsSynchronousMultisearch(t *testing.T) {
+	const budget = 2000
+	m := mesh.New(16, mesh.WithBudget(budget))
+	tr, _ := buildAlphaTree(16, 7)
+	rng := rand.New(rand.NewSource(5))
+	qs := workload.KeySearchQueries(200, 128, tr.Root(), 3, rng)
+
+	err := core.Run("synchronous multisearch", func() error {
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		core.SynchronousMultisearch(m.Root(), in, 0)
+		return nil
+	})
+	var be *mesh.BudgetExceededError
+	if !errors.As(err, &be) {
+		t.Fatalf("got %v, want wrapped *mesh.BudgetExceededError", err)
+	}
+	if be.Steps <= budget {
+		t.Fatalf("aborted at %d steps, budget %d", be.Steps, budget)
+	}
+	c, s := be.Dominant()
+	if c != mesh.OpRAR || s == 0 {
+		t.Fatalf("dominant class %s (%d steps), want rar", c, s)
+	}
+	if !strings.Contains(err.Error(), "rar") {
+		t.Fatalf("error does not name the dominant class: %v", err)
+	}
+	// The breakdown in the error must account for the full elapsed clock.
+	if got := be.Profile.TotalSteps(); got != be.Steps {
+		t.Fatalf("profile sums to %d, clock says %d", got, be.Steps)
+	}
+}
+
+func TestCancellationSurfacesThroughRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := mesh.New(16, mesh.WithContext(ctx))
+	tr, _ := buildAlphaTree(16, 7)
+	qs := workload.KeySearchQueries(50, 128, tr.Root(), 1, rand.New(rand.NewSource(6)))
+
+	err := core.Run("canceled multisearch", func() error {
+		// Instance construction charges steps too; it belongs inside the
+		// boundary.
+		in := core.NewInstance(m, tr.Graph, qs, workload.KeySearchSuccessor)
+		core.SynchronousMultisearch(m.Root(), in, 0)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled in chain", err)
+	}
+	var ce *mesh.CanceledError
+	if !errors.As(err, &ce) {
+		t.Fatalf("got %v, want wrapped *mesh.CanceledError", err)
+	}
+}

@@ -1,0 +1,166 @@
+// Package faults provides the seeded, deterministic mesh.Injector used by
+// the chaos tests and the meshbench -chaos flag.
+//
+// The injector draws one decision per consultation from a seeded generator,
+// so a chaos run is identified by its seed plus per-class probabilities: the
+// same configuration injects the same faults. (Under RunParallel the
+// *interleaving* of consultations across submesh goroutines can vary between
+// runs, but each consultation's decision depends only on the seed and a
+// consultation counter, so the injected fault multiset is reproducible; the
+// chaos tests drive sequential workloads, where reproduction is exact.)
+//
+// Every injected fault is appended to an event log, so a failing chaos run
+// reports what it actually broke, not just that something tripped the audit.
+package faults
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mesh"
+)
+
+// Config selects fault classes by probability per consultation point.
+// Probabilities are in [0, 1]; zero disables a class. The zero Config
+// injects nothing.
+type Config struct {
+	Seed     int64
+	PSortLie float64 // lying comparator inside a charged sort
+	PCorrupt float64 // corrupted register cell after a sort write-back
+	PDrop    float64 // dropped RAR reply
+	PDup     float64 // duplicated RAR reply to a wrong origin
+	Limit    int     // stop injecting after this many faults; 0 = unlimited
+}
+
+// Event records one injected fault.
+type Event struct {
+	Kind  string // "sort-lie", "corrupt-cell", "drop-reply", "dup-reply"
+	Op    string // operation name for sort faults, "" for reply faults
+	Items int    // bank or reply-sweep size at the injection point
+	A, B  int64  // fault parameters (comparison index, src/dst, drop index)
+}
+
+func (e Event) String() string {
+	switch e.Kind {
+	case "sort-lie":
+		return fmt.Sprintf("%s: comparator lies from comparison %d (%s, %d items)", e.Kind, e.A, e.Op, e.Items)
+	case "corrupt-cell":
+		return fmt.Sprintf("%s: cell %d overwritten with cell %d (%s, %d items)", e.Kind, e.B, e.A, e.Op, e.Items)
+	case "drop-reply":
+		return fmt.Sprintf("%s: reply %d of %d dropped", e.Kind, e.A, e.Items)
+	default:
+		return fmt.Sprintf("%s: reply %d of %d re-delivered to origin of request %d", e.Kind, e.A, e.Items, e.B)
+	}
+}
+
+// Injector is the seeded mesh.Injector. Safe for concurrent use.
+type Injector struct {
+	cfg Config
+
+	mu     sync.Mutex
+	calls  uint64
+	events []Event
+}
+
+var _ mesh.Injector = (*Injector)(nil)
+
+// New returns an injector for the given configuration.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// rand01 returns a decision pair for the next consultation: a uniform
+// variate in [0,1) and a raw 64-bit value for choosing fault parameters.
+// Decisions depend only on the seed and the consultation counter
+// (splitmix64 of seed+counter), never on goroutine scheduling.
+func (f *Injector) rand01() (float64, uint64) {
+	f.calls++
+	z := uint64(f.cfg.Seed) + f.calls*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53), z
+}
+
+func (f *Injector) exhausted() bool {
+	return f.cfg.Limit > 0 && len(f.events) >= f.cfg.Limit
+}
+
+// SortLie implements mesh.Injector.
+func (f *Injector) SortLie(op string, items int) int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u, z := f.rand01()
+	if f.exhausted() || items < 2 || u >= f.cfg.PSortLie {
+		return 0
+	}
+	// Lie from a comparison within the first items comparisons, early
+	// enough in the O(items log items) total that the mis-sort is
+	// substantial.
+	k := int64(z%uint64(items)) + 1
+	f.events = append(f.events, Event{Kind: "sort-lie", Op: op, Items: items, A: k})
+	return k
+}
+
+// CorruptCell implements mesh.Injector.
+func (f *Injector) CorruptCell(op string, items int) (int, int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u, z := f.rand01()
+	if f.exhausted() || items < 2 || u >= f.cfg.PCorrupt {
+		return 0, 0, false
+	}
+	src := int(z % uint64(items))
+	dst := int((z >> 20) % uint64(items))
+	if dst == src {
+		dst = (dst + 1) % items
+	}
+	f.events = append(f.events, Event{Kind: "corrupt-cell", Op: op, Items: items, A: int64(src), B: int64(dst)})
+	return src, dst, true
+}
+
+// DropReply implements mesh.Injector.
+func (f *Injector) DropReply(replies int) (int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u, z := f.rand01()
+	if f.exhausted() || replies < 1 || u >= f.cfg.PDrop {
+		return 0, false
+	}
+	d := int(z % uint64(replies))
+	f.events = append(f.events, Event{Kind: "drop-reply", Items: replies, A: int64(d)})
+	return d, true
+}
+
+// DuplicateReply implements mesh.Injector.
+func (f *Injector) DuplicateReply(replies int) (int, int, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	u, z := f.rand01()
+	if f.exhausted() || replies < 2 || u >= f.cfg.PDup {
+		return 0, 0, false
+	}
+	src := int(z % uint64(replies))
+	dst := int((z >> 20) % uint64(replies))
+	if dst == src {
+		dst = (dst + 1) % replies
+	}
+	f.events = append(f.events, Event{Kind: "dup-reply", Items: replies, A: int64(src), B: int64(dst)})
+	return src, dst, true
+}
+
+// Events returns a copy of the injected-fault log.
+func (f *Injector) Events() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]Event, len(f.events))
+	copy(out, f.events)
+	return out
+}
+
+// Count returns the number of faults injected so far.
+func (f *Injector) Count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.events)
+}

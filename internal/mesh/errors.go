@@ -1,0 +1,107 @@
+package mesh
+
+import "fmt"
+
+// Typed run-control faults. The simulator reports abnormal terminations —
+// step-budget overruns, context cancellation, audit-invariant violations,
+// and contained submesh panics — by panicking with one of the error values
+// below. They are panics rather than returns because mesh operations sit at
+// the bottom of deep algorithm call chains with no error plumbing (the
+// machine model has none: a real mesh halts); the containment boundary
+// (core.Run / bench.SafeRun) recovers them into ordinary errors, so no code
+// path above the boundary can take the process down.
+
+// Geometry identifies the machine a fault occurred on.
+type Geometry struct {
+	Side  int
+	N     int
+	Model CostModel
+}
+
+func (g Geometry) String() string {
+	return fmt.Sprintf("%dx%d mesh (n=%d, %s cost model)", g.Side, g.Side, g.N, g.Model)
+}
+
+func (m *Mesh) geometry() Geometry { return Geometry{Side: m.side, N: m.n, Model: m.model} }
+
+// BudgetExceededError reports that a run's simulated parallel time passed
+// the step budget configured with WithBudget. Steps is the elapsed parallel
+// time along the critical chain at the moment of the overrun, and Profile is
+// its per-operation breakdown, so the error names which op class consumed
+// the budget — the first question a bound regression raises.
+type BudgetExceededError struct {
+	Geom    Geometry
+	Budget  int64
+	Steps   int64
+	Profile Profile
+}
+
+// Dominant returns the op class that charged the most steps, and its total.
+func (e *BudgetExceededError) Dominant() (OpClass, int64) {
+	best := OpClass(0)
+	for c := OpClass(1); c < NumOpClasses; c++ {
+		if e.Profile.Ops[c].Steps > e.Profile.Ops[best].Steps {
+			best = c
+		}
+	}
+	return best, e.Profile.Ops[best].Steps
+}
+
+func (e *BudgetExceededError) Error() string {
+	c, s := e.Dominant()
+	return fmt.Sprintf("mesh: step budget exceeded on %s: %d steps > budget %d (dominant op class %s: %d steps)",
+		e.Geom, e.Steps, e.Budget, c, s)
+}
+
+// CanceledError reports that the context installed with WithContext was
+// canceled while a run was in flight. Steps is the elapsed parallel time at
+// the abort point.
+type CanceledError struct {
+	Geom  Geometry
+	Steps int64
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("mesh: run canceled after %d steps on %s: %v", e.Steps, e.Geom, e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// AuditError reports an audit-mode invariant violation: a sort whose output
+// differs from the reference stable sort, a scan breaking the prefix
+// identity, or a RAR/RAW delivery disagreeing with the host-side oracle.
+// Under fault injection this is the detector firing; without injection it
+// would indicate a genuine simulator bug.
+type AuditError struct {
+	Geom   Geometry
+	Op     string
+	Detail string
+}
+
+func (e *AuditError) Error() string {
+	return fmt.Sprintf("mesh: audit: %s: %s on %s", e.Op, e.Detail, e.Geom)
+}
+
+// PanicError wraps a panic recovered from a RunParallel submesh body and
+// re-raised on the calling goroutine. Without this, any panic inside a
+// parallel region would kill the process outright (an unrecovered panic in a
+// spawned goroutine cannot be caught anywhere else).
+type PanicError struct {
+	Geom  Geometry
+	Val   any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("mesh: submesh body panicked on %s: %v", e.Geom, e.Val)
+}
+
+// Unwrap exposes a wrapped error value (a budget/cancel/audit fault that
+// fired inside a parallel body) to errors.Is/As.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Val.(error); ok {
+		return err
+	}
+	return nil
+}

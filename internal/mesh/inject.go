@@ -1,0 +1,42 @@
+package mesh
+
+// Fault-injection seam. The standard operations consult an Injector (when
+// one is installed with WithInjector) at the points where a physical mesh
+// could misbehave: comparator evaluation inside sorts, the register
+// write-back after a sort, and the reply-delivery sweep of a random-access
+// read. The default is nil and costs exactly one pointer check per
+// operation — no allocation, no indirect call — so the steady-state path is
+// unchanged when injection is off.
+//
+// Implementations decide *whether* and *where* to inject; the operations
+// apply the fault mechanically. internal/faults provides the seeded,
+// deterministic implementation used by the chaos tests and meshbench -chaos.
+
+// Injector is consulted by the standard mesh operations at their
+// fault-injection points. Implementations must be safe for concurrent use:
+// operations on disjoint submeshes run on real goroutines under RunParallel.
+type Injector interface {
+	// SortLie is consulted once before each charged sort of items records
+	// (op names the operation, e.g. "Sort", "RAR", "Route"). A return k ≥ 1
+	// makes the sort's comparator lie — return the negated answer — from the
+	// k-th comparison onward, modelling a faulty comparison unit. 0 leaves
+	// the sort honest.
+	SortLie(op string, items int) int64
+
+	// CorruptCell is consulted once after each charged sort has produced its
+	// output bank. Returning ok directs the operation to overwrite record
+	// dst with a copy of record src (src != dst), modelling a register cell
+	// latching a neighbour's word during the write-back sweep.
+	CorruptCell(op string, items int) (src, dst int, ok bool)
+
+	// DropReply is consulted once per RAR delivery sweep over replies
+	// pending replies. Returning ok drops reply drop entirely: its
+	// requesting processor never hears back, as if the reply packet was
+	// lost in the routing phase.
+	DropReply(replies int) (drop int, ok bool)
+
+	// DuplicateReply is consulted once per RAR delivery sweep. Returning ok
+	// delivers reply src a second time, to the processor that issued
+	// request dst — a duplicated packet landing at the wrong origin.
+	DuplicateReply(replies int) (src, dst int, ok bool)
+}

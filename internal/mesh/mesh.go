@@ -24,9 +24,11 @@
 package mesh
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"runtime"
+	"runtime/debug"
 	"sync"
 )
 
@@ -68,14 +70,31 @@ type Mesh struct {
 	// pools is the scratch-buffer arena: one free list per element type
 	// (see arena.go).
 	pools sync.Map
+
+	// Run control (see errors.go). budget 0 means unlimited; done is the
+	// Done channel of the context installed with WithContext (nil when the
+	// mesh is not cancellable); inj and audit are the fault-injection and
+	// audit-mode hooks (see inject.go).
+	budget int64
+	done   <-chan struct{}
+	ctx    context.Context
+	inj    Injector
+	audit  bool
 }
 
 // sink accumulates parallel steps and their per-operation breakdown. Each
 // goroutine executing a submesh body owns its sink exclusively; no locking
-// is needed.
+// is needed. parent and base link a submesh sink back to the chain that
+// spawned it: base is the parallel time already elapsed on that chain when
+// the sink started, so base+steps is the exact critical-chain clock at any
+// moment — what the budget guard compares against. Ancestor sinks are only
+// written while their goroutine is blocked waiting on this one, so reading
+// up the chain is race-free.
 type sink struct {
-	steps int64
-	prof  Profile
+	steps  int64
+	prof   Profile
+	parent *sink
+	base   int64
 }
 
 // Option configures a Mesh.
@@ -95,6 +114,54 @@ func WithParallelism(p int) Option {
 		}
 		ms.sem = make(chan struct{}, p)
 	}
+}
+
+// WithBudget installs a step budget: as soon as the simulated parallel time
+// of any run passes steps, the in-flight operation aborts by panicking with
+// a *BudgetExceededError carrying the per-op Profile breakdown of the
+// critical chain. The panic is contained by core.Run / bench.SafeRun.
+// Callers set the budget to a configured multiple of a run's theoretical
+// bound (e.g. c·√n for a Theorem 2 experiment), turning the paper's bounds
+// into an enforced runtime contract. steps ≤ 0 means unlimited.
+func WithBudget(steps int64) Option {
+	return func(ms *Mesh) {
+		if steps < 0 {
+			steps = 0
+		}
+		ms.budget = steps
+	}
+}
+
+// WithContext makes every mesh operation on this machine cancellable: once
+// ctx is done, the next charge aborts the run by panicking with a
+// *CanceledError (contained by core.Run / bench.SafeRun). The check is one
+// non-blocking channel poll per charged operation — not per processor — so
+// the hot path is unaffected.
+func WithContext(ctx context.Context) Option {
+	return func(ms *Mesh) {
+		if ctx == nil {
+			return
+		}
+		ms.ctx = ctx
+		ms.done = ctx.Done()
+	}
+}
+
+// WithInjector installs a fault injector (see inject.go). nil (the default)
+// disables injection at the cost of one pointer check per operation.
+func WithInjector(inj Injector) Option {
+	return func(ms *Mesh) { ms.inj = inj }
+}
+
+// WithAudit enables audit mode: every sort is verified against a reference
+// stable sort, every scan against the prefix identity, and every RAR/RAW
+// delivery against a host-side oracle. A violation panics with a typed
+// *AuditError (contained by core.Run / bench.SafeRun). Audit checks only
+// observe — they charge no steps and never alter machine state — so audited
+// runs produce byte-identical step tables; they do allocate, so audit mode
+// is for verification runs, not benchmarks.
+func WithAudit() Option {
+	return func(ms *Mesh) { ms.audit = true }
 }
 
 // New creates a side×side mesh. side must be a positive power of two: the
@@ -228,6 +295,46 @@ func (v View) charge(c OpClass, steps int64) {
 	}
 	v.sink.steps += steps
 	v.sink.prof.Ops[c].Steps += steps
+	if v.m.budget > 0 || v.m.done != nil {
+		v.checkRunControl()
+	}
+}
+
+// elapsed is the exact simulated parallel time along the view's critical
+// chain: the time already accumulated when its sink was spawned plus the
+// sink's own clock.
+func (v View) elapsed() int64 { return v.sink.base + v.sink.steps }
+
+// chainProfile merges the per-op breakdowns up the sink chain, yielding the
+// critical-chain decomposition of elapsed().
+func (v View) chainProfile() Profile {
+	p := v.sink.prof
+	for s := v.sink.parent; s != nil; s = s.parent {
+		p.add(&s.prof)
+	}
+	return p
+}
+
+// checkRunControl is the slow path of charge: abort the run if the step
+// budget is exhausted or the installed context was canceled.
+func (v View) checkRunControl() {
+	m := v.m
+	elapsed := v.elapsed()
+	if m.budget > 0 && elapsed > m.budget {
+		panic(&BudgetExceededError{
+			Geom:    m.geometry(),
+			Budget:  m.budget,
+			Steps:   elapsed,
+			Profile: v.chainProfile(),
+		})
+	}
+	if m.done != nil {
+		select {
+		case <-m.done:
+			panic(&CanceledError{Geom: m.geometry(), Steps: elapsed, Cause: m.ctx.Err()})
+		default:
+		}
+	}
 }
 
 // begin records one executed operation of class c on the view's profile and
@@ -261,10 +368,38 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 		return
 	}
 	sinks := make([]sink, len(subs))
+	base := v.sink.base + v.sink.steps
+	// Contain body panics: an unrecovered panic in a spawned goroutine kills
+	// the whole process with no chance of recovery anywhere, so each body —
+	// spawned or inline — runs behind a recover that captures the first
+	// panic, lets every other submesh finish, and re-raises on the calling
+	// goroutine where core.Run / bench.SafeRun can catch it.
+	var (
+		panicMu sync.Mutex
+		caught  *PanicError
+	)
+	run := func(i int, sub View) {
+		defer func() {
+			if r := recover(); r != nil {
+				pe, ok := r.(*PanicError)
+				if !ok {
+					pe = &PanicError{Geom: v.m.geometry(), Val: r, Stack: debug.Stack()}
+				}
+				panicMu.Lock()
+				if caught == nil {
+					caught = pe
+				}
+				panicMu.Unlock()
+			}
+		}()
+		body(i, sub)
+	}
 	var wg sync.WaitGroup
 	for i := range subs {
 		sub := subs[i]
 		sub.sink = &sinks[i]
+		sinks[i].parent = v.sink
+		sinks[i].base = base
 		// Spawn if a worker slot is free; otherwise run inline. Running
 		// inline keeps nested RunParallel calls deadlock-free: a body that
 		// itself fans out never waits on slots held by blocked ancestors.
@@ -276,10 +411,10 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 					<-v.m.sem
 					wg.Done()
 				}()
-				body(i, sub)
+				run(i, sub)
 			}(i, sub)
 		default:
-			body(i, sub)
+			run(i, sub)
 		}
 	}
 	wg.Wait()
@@ -295,13 +430,16 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 	}
 	v.sink.steps += sinks[maxIdx].steps
 	v.sink.prof.add(&sinks[maxIdx].prof)
+	if caught != nil {
+		panic(caught)
+	}
 }
 
 // RunSequential executes body on each sub-view one after another, charging
 // the sum of their costs (the paper's "processing some pieces in sequence").
 func (v View) RunSequential(subs []View, body func(idx int, sub View)) {
 	for i := range subs {
-		s := sink{}
+		s := sink{parent: v.sink, base: v.sink.base + v.sink.steps}
 		subs[i].sink = &s
 		body(i, subs[i])
 		v.sink.steps += s.steps

@@ -1,5 +1,10 @@
 package mesh
 
+import (
+	"fmt"
+	"reflect"
+)
+
 // Standard mesh operations: broadcast, reduce, prefix scan, segmented scan,
 // and row/column rotation. Each computes the same machine state the textbook
 // mesh implementation produces and charges its step cost (see the cost
@@ -35,13 +40,41 @@ func Reduce[T any](v View, r *Reg[T], op func(a, b T) T) T {
 // Cost: 2·(rows+cols).
 func Scan[T any](v View, r *Reg[T], op func(a, b T) T) {
 	v = v.begin(OpScan)
+	n := v.Size()
+	var in []T
+	if v.m.audit && n > 0 {
+		in = make([]T, n)
+		for i := 0; i < n; i++ {
+			in[i] = r.data[v.Global(i)]
+		}
+	}
 	prev := r.data[v.Global(0)]
-	for i, n := 1, v.Size(); i < n; i++ {
+	for i := 1; i < n; i++ {
 		g := v.Global(i)
 		prev = op(prev, r.data[g])
 		r.data[g] = prev
 	}
+	if in != nil {
+		auditScanIdentity(v, "Scan", in, func(i int) T { return r.data[v.Global(i)] }, op)
+	}
 	v.charge(OpScan, v.scanCost())
+}
+
+// auditScanIdentity verifies the inclusive-scan prefix identity
+// out[i] = op(out[i-1], in[i]) over a register scan's output.
+func auditScanIdentity[T any](v View, opName string, in []T, out func(i int) T, op func(a, b T) T) {
+	prev := out(0)
+	for i := 1; i < len(in); i++ {
+		got := out(i)
+		if want := op(prev, in[i]); !reflect.DeepEqual(got, want) {
+			panic(&AuditError{
+				Geom:   v.m.geometry(),
+				Op:     opName,
+				Detail: fmt.Sprintf("prefix identity broken at processor %d of %d", i, len(in)),
+			})
+		}
+		prev = got
+	}
 }
 
 // ExclusiveScan is Scan shifted by one: cell i receives the combination of

@@ -1,6 +1,10 @@
 package mesh
 
-import "cmp"
+import (
+	"cmp"
+	"fmt"
+	"reflect"
+)
 
 // Data movement operations: random-access read, routing, concentration, and
 // block replication. These are the "standard mesh operations" the paper
@@ -19,7 +23,7 @@ import "cmp"
 // per processor of the view, charging perProc row-major sorts.
 func SortScratch[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
 	v = v.begin(OpSort)
-	sortSlice(v, xs, perProc, less)
+	sortSlice(v, "SortScratch", xs, perProc, less)
 }
 
 // ScanScratch performs a segmented inclusive scan over scratch bank xs in
@@ -61,7 +65,7 @@ func collectMoves[T any](v View, read func(local int) T, sel func(local int, val
 			moves = append(moves, move[T]{int32(d), val})
 		}
 	}
-	sortSlice(v, moves, 1, func(a, b move[T]) bool { return a.dest < b.dest })
+	sortSlice(v, opName, moves, 1, func(a, b move[T]) bool { return a.dest < b.dest })
 	for i := 1; i < len(moves); i++ {
 		if moves[i].dest == moves[i-1].dest {
 			panic("mesh: " + opName + " destination collision")
@@ -112,6 +116,48 @@ func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) 
 	return dst, occupied
 }
 
+// rarExpect is the audit-mode oracle record for one RAR request (or one RAW
+// record cell): the value the delivery sweep must hand back, and how many
+// times it has been delivered so far.
+type rarExpect[V any] struct {
+	val   V
+	found bool
+	n     int
+}
+
+// auditDelivery cross-checks one delivery against the oracle expectation
+// map and the delivered-exactly-once rule. Shared by RAR and RAW.
+func auditDelivery[V any](v View, op string, expect map[int32]*rarExpect[V], origin int32, val V, found bool) {
+	e := expect[origin]
+	if e == nil {
+		panic(&AuditError{Geom: v.m.geometry(), Op: op,
+			Detail: fmt.Sprintf("delivery to processor %d, which expects none", origin)})
+	}
+	e.n++
+	if e.n > 1 {
+		panic(&AuditError{Geom: v.m.geometry(), Op: op,
+			Detail: fmt.Sprintf("processor %d delivered to %d times", origin, e.n)})
+	}
+	if found != e.found {
+		panic(&AuditError{Geom: v.m.geometry(), Op: op,
+			Detail: fmt.Sprintf("processor %d delivered found=%v, oracle says %v", origin, found, e.found)})
+	}
+	if found && !reflect.DeepEqual(val, e.val) {
+		panic(&AuditError{Geom: v.m.geometry(), Op: op,
+			Detail: fmt.Sprintf("processor %d delivered a value differing from the oracle", origin)})
+	}
+}
+
+// auditAllDelivered verifies that every expected delivery happened.
+func auditAllDelivered[V any](v View, op string, expect map[int32]*rarExpect[V]) {
+	for origin, e := range expect {
+		if e.n == 0 {
+			panic(&AuditError{Geom: v.m.geometry(), Op: op,
+				Detail: fmt.Sprintf("reply for processor %d was never delivered (dropped)", origin)})
+		}
+	}
+}
+
 // RAR is the random-access read of Nassimi–Sahni: every processor may issue
 // one keyed request, every processor may hold one keyed record, and each
 // request receives the value of the record with its key. Concurrent reads
@@ -125,6 +171,11 @@ func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) 
 // first); copy-scan record values across the requests that follow them;
 // sort the requests back by origin. Cost: 1 double-sort + 1 double-scan +
 // 1 single sort.
+//
+// In audit mode every delivery is cross-checked against a host-side oracle
+// built from the pristine item bank, and each pending request must be
+// delivered exactly once — which is what detects injected dropped or
+// duplicated replies and corrupted bank records.
 func RAR[K cmp.Ordered, V any](v View,
 	record func(local int) (key K, val V, ok bool),
 	request func(local int) (key K, ok bool),
@@ -148,7 +199,26 @@ func RAR[K cmp.Ordered, V any](v View,
 			items = append(items, item{key: k, isReq: true, origin: int32(i)})
 		}
 	}
-	sortSlice(v, items, 2, func(a, b item) bool {
+	// Audit oracle, built from the pristine bank before any sort can be
+	// faulted: each request origin expects the value of the last record
+	// collected with its key (matching the stable sort + copy-scan).
+	var expect map[int32]*rarExpect[V]
+	if v.m.audit {
+		recs := make(map[K]rarExpect[V], len(items))
+		for _, it := range items {
+			if !it.isReq {
+				recs[it.key] = rarExpect[V]{val: it.val, found: true}
+			}
+		}
+		expect = make(map[int32]*rarExpect[V], len(items))
+		for _, it := range items {
+			if it.isReq {
+				e := recs[it.key]
+				expect[it.origin] = &rarExpect[V]{val: e.val, found: e.found}
+			}
+		}
+	}
+	sortSlice(v, "RAR", items, 2, func(a, b item) bool {
 		if a.key != b.key {
 			return a.key < b.key
 		}
@@ -170,9 +240,38 @@ func RAR[K cmp.Ordered, V any](v View,
 			reqs = append(reqs, it)
 		}
 	}
-	sortSlice(v, reqs, 1, func(a, b item) bool { return a.origin < b.origin })
-	for _, it := range reqs {
+	sortSlice(v, "RAR", reqs, 1, func(a, b item) bool { return a.origin < b.origin })
+	// Delivery sweep, with optional reply-fault injection: a dropped reply
+	// is skipped, a duplicated reply lands a second time at another
+	// request's origin.
+	drop, dupSrc, dupDst := -1, -1, -1
+	if inj := v.m.inj; inj != nil && len(reqs) > 0 {
+		if d, ok := inj.DropReply(len(reqs)); ok && d >= 0 && d < len(reqs) {
+			drop = d
+		}
+		if s, d, ok := inj.DuplicateReply(len(reqs)); ok &&
+			s >= 0 && s < len(reqs) && d >= 0 && d < len(reqs) {
+			dupSrc, dupDst = s, d
+		}
+	}
+	for i, it := range reqs {
+		if i == drop {
+			continue
+		}
+		if expect != nil {
+			auditDelivery(v, "RAR", expect, it.origin, it.val, it.found)
+		}
 		deliver(int(it.origin), it.val, it.found)
+	}
+	if dupSrc >= 0 {
+		it, dst := reqs[dupSrc], reqs[dupDst]
+		if expect != nil {
+			auditDelivery(v, "RAR", expect, dst.origin, it.val, it.found)
+		}
+		deliver(int(dst.origin), it.val, it.found)
+	}
+	if expect != nil {
+		auditAllDelivered(v, "RAR", expect)
 	}
 	Release(v.m, items)
 	v.charge(OpRAR, 1)
@@ -189,6 +288,9 @@ func RAR[K cmp.Ordered, V any](v View,
 // first); a reverse segmented copy-scan folds each key's writes together
 // onto its record; sort the records back by origin. Cost: 1 double-sort +
 // 1 double-scan + 1 single sort.
+//
+// In audit mode every record delivery is cross-checked against a host-side
+// fold of the pristine write set, mirroring RAR's oracle.
 func RAW[K cmp.Ordered, V any](v View,
 	record func(local int) (key K, ok bool),
 	write func(local int) (key K, val V, ok bool),
@@ -213,7 +315,33 @@ func RAW[K cmp.Ordered, V any](v View,
 			items = append(items, item{key: k, val: val, has: true, origin: int32(i)})
 		}
 	}
-	sortSlice(v, items, 2, func(a, b item) bool {
+	// Audit oracle: each record origin expects the right-fold of all writes
+	// to its key in collection order — exactly what the reverse copy-scan
+	// computes on the stably sorted bank.
+	var expect map[int32]*rarExpect[V]
+	if v.m.audit {
+		writes := make(map[K][]V, len(items))
+		for _, it := range items {
+			if !it.isRec {
+				writes[it.key] = append(writes[it.key], it.val)
+			}
+		}
+		expect = make(map[int32]*rarExpect[V], len(items))
+		for _, it := range items {
+			if it.isRec {
+				e := &rarExpect[V]{}
+				if ws := writes[it.key]; len(ws) > 0 {
+					acc := ws[len(ws)-1]
+					for i := len(ws) - 2; i >= 0; i-- {
+						acc = combine(ws[i], acc)
+					}
+					e.val, e.found = acc, true
+				}
+				expect[it.origin] = e
+			}
+		}
+	}
+	sortSlice(v, "RAW", items, 2, func(a, b item) bool {
 		if a.key != b.key {
 			return a.key < b.key
 		}
@@ -240,15 +368,22 @@ func RAW[K cmp.Ordered, V any](v View,
 			recs = append(recs, it)
 		}
 	}
-	sortSlice(v, recs, 1, func(a, b item) bool { return a.origin < b.origin })
+	sortSlice(v, "RAW", recs, 1, func(a, b item) bool { return a.origin < b.origin })
 	for _, it := range recs {
+		if expect != nil {
+			auditDelivery(v, "RAW", expect, it.origin, it.val, it.has)
+		}
 		deliver(int(it.origin), it.val, it.has)
+	}
+	if expect != nil {
+		auditAllDelivered(v, "RAW", expect)
 	}
 	Release(v.m, items)
 	v.charge(OpRAW, 1)
 }
 
-// scanSliceRev mirrors scanSlice in reverse index order.
+// scanSliceRev mirrors scanSlice in reverse index order, including the
+// audit-mode prefix-identity check.
 func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	if perProc < 1 {
 		perProc = 1
@@ -256,9 +391,27 @@ func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op 
 	if len(xs) > perProc*v.Size() {
 		panic("mesh: scanSliceRev overflow")
 	}
+	var in []T
+	if v.m.audit && len(xs) > 0 {
+		in = append(in, xs...)
+	}
 	for i := len(xs) - 2; i >= 0; i-- {
 		if !head(i) {
 			xs[i] = op(xs[i+1], xs[i])
+		}
+	}
+	if in != nil {
+		for i := len(xs) - 2; i >= 0; i-- {
+			if head(i) {
+				continue
+			}
+			if want := op(xs[i+1], in[i]); !reflect.DeepEqual(xs[i], want) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     "ScanScratchRev",
+					Detail: fmt.Sprintf("prefix identity broken at record %d of %d", i, len(xs)),
+				})
+			}
 		}
 	}
 	v.charge(OpScan, int64(perProc)*v.scanCost())

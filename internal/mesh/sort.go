@@ -1,6 +1,10 @@
 package mesh
 
-import "slices"
+import (
+	"fmt"
+	"reflect"
+	"slices"
+)
 
 // sortStable stable-sorts xs by less without reflection or allocation
 // (sort.SliceStable boxes the slice and builds a reflect.Swapper on every
@@ -18,13 +22,61 @@ func sortStable[T any](xs []T, less func(a, b T) bool) {
 	})
 }
 
+// runSort is the single execution point of every charged sort: it applies
+// fault injection (a lying comparator, a corrupted write-back cell) when an
+// injector is installed, and verifies the output against a reference stable
+// sort when audit mode is on. It performs no charging — callers keep their
+// own cost lines. With injection and audit off it is exactly sortStable:
+// two nil/bool checks, no allocation.
+func runSort[T any](v View, op string, xs []T, less func(a, b T) bool) {
+	m := v.m
+	var ref []T
+	if m.audit && len(xs) > 0 {
+		ref = append(ref, xs...)
+	}
+	if inj := m.inj; inj != nil {
+		if k := inj.SortLie(op, len(xs)); k > 0 {
+			var n int64
+			sortStable(xs, func(a, b T) bool {
+				n++
+				r := less(a, b)
+				if n >= k {
+					return !r
+				}
+				return r
+			})
+		} else {
+			sortStable(xs, less)
+		}
+		if s, d, ok := inj.CorruptCell(op, len(xs)); ok &&
+			s != d && s >= 0 && d >= 0 && s < len(xs) && d < len(xs) {
+			xs[d] = xs[s]
+		}
+	} else {
+		sortStable(xs, less)
+	}
+	if ref != nil {
+		sortStable(ref, less)
+		for i := range ref {
+			if !reflect.DeepEqual(xs[i], ref[i]) {
+				panic(&AuditError{
+					Geom: m.geometry(),
+					Op:   op,
+					Detail: fmt.Sprintf(
+						"sort output differs from reference stable sort at record %d of %d", i, len(ref)),
+				})
+			}
+		}
+	}
+}
+
 // Sort sorts the view's record per processor into row-major order by less.
 // The sort is stable. Cost: shearsort into snake order plus one row sweep to
 // flip the odd rows into row-major order (see mesh.go cost formulas).
 func Sort[T any](v View, r *Reg[T], less func(a, b T) bool) {
 	v = v.begin(OpSort)
 	xs := gatherScratch(v, r)
-	sortStable(xs, less)
+	runSort(v, "Sort", xs, less)
 	scatter(v, r, xs)
 	Release(v.m, xs)
 	v.charge(OpSort, v.rowMajorSortCost())
@@ -37,7 +89,7 @@ func Sort[T any](v View, r *Reg[T], less func(a, b T) bool) {
 func SortSnake[T any](v View, r *Reg[T], less func(a, b T) bool) {
 	v = v.begin(OpSort)
 	xs := gatherScratch(v, r)
-	sortStable(xs, less)
+	runSort(v, "SortSnake", xs, less)
 	// Lay the sorted sequence back out in snake order.
 	k := 0
 	for row := 0; row < v.h; row++ {
@@ -69,20 +121,23 @@ func (v View) doubleSortCost() int64 { return 2 * v.rowMajorSortCost() }
 
 // sortSlice stable-sorts a scratch slice holding up to perProc records per
 // processor and charges the corresponding multi-record sort cost. Compound
-// operations (RAR, RAW, Route) build on this single source of cost truth.
-func sortSlice[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
+// operations (RAR, RAW, Route) build on this single source of cost truth;
+// op names the operation for fault injection and audit reports.
+func sortSlice[T any](v View, op string, xs []T, perProc int, less func(a, b T) bool) {
 	if perProc < 1 {
 		perProc = 1
 	}
 	if len(xs) > perProc*v.Size() {
 		panic("mesh: sortSlice overflow")
 	}
-	sortStable(xs, less)
+	runSort(v, op, xs, less)
 	v.charge(OpSort, int64(perProc)*v.rowMajorSortCost())
 }
 
 // scanSlice charges one scan on the view and performs a segmented inclusive
-// scan over a scratch slice (up to perProc records per processor).
+// scan over a scratch slice (up to perProc records per processor). In audit
+// mode the output is verified against the prefix identity
+// out[i] = op(out[i-1], in[i]) on a pristine copy of the input.
 func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	if perProc < 1 {
 		perProc = 1
@@ -90,9 +145,27 @@ func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op fun
 	if len(xs) > perProc*v.Size() {
 		panic("mesh: scanSlice overflow")
 	}
+	var in []T
+	if v.m.audit && len(xs) > 0 {
+		in = append(in, xs...)
+	}
 	for i := 1; i < len(xs); i++ {
 		if !head(i) {
 			xs[i] = op(xs[i-1], xs[i])
+		}
+	}
+	if in != nil {
+		for i := 1; i < len(xs); i++ {
+			if head(i) {
+				continue
+			}
+			if want := op(xs[i-1], in[i]); !reflect.DeepEqual(xs[i], want) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     "ScanScratch",
+					Detail: fmt.Sprintf("prefix identity broken at record %d of %d", i, len(xs)),
+				})
+			}
 		}
 	}
 	v.charge(OpScan, int64(perProc)*v.scanCost())
