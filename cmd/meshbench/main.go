@@ -14,6 +14,9 @@
 //	meshbench -budget 1e7     # per-mesh step budget
 //	meshbench -audit          # verify op invariants while running
 //	meshbench -chaos 42       # seeded fault injection (see DESIGN.md §3.3)
+//	meshbench -trace out.json # Chrome trace-event export (Perfetto-loadable)
+//	meshbench -phase-table    # per-phase step tables (DESIGN.md §3.4)
+//	meshbench -metrics :8844  # live run metrics over HTTP while running
 //
 // A failing experiment — timeout, budget overrun, detected fault, panic —
 // prints its error and any rows completed so far; the remaining experiments
@@ -22,16 +25,74 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/faults"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
+
+// liveState is what the -metrics endpoint reports next to the tracer's own
+// snapshot: experiment progress and step-budget headroom.
+type liveState struct {
+	mu        sync.Mutex
+	current   string
+	completed int
+	failed    int
+	total     int
+}
+
+func (s *liveState) set(current string, completed, failed int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.current, s.completed, s.failed = current, completed, failed
+}
+
+// snapshot assembles the full metrics document. budget is the -budget flag
+// (0 = unlimited); headroom is measured against the tracer's current run.
+func (s *liveState) snapshot(tr *trace.Tracer, budget int64) map[string]any {
+	live := tr.Live()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	doc := map[string]any{
+		"experiment_current":   s.current,
+		"experiments_done":     s.completed,
+		"experiments_failed":   s.failed,
+		"experiments_total":    s.total,
+		"trace":                live,
+		"step_budget_per_mesh": budget,
+	}
+	if budget > 0 {
+		doc["step_budget_headroom"] = budget - live.StepClock
+	}
+	return doc
+}
+
+// serveMetrics exposes the snapshot on /metrics (plus the standard
+// /debug/vars expvar page) at addr, e.g. ":8844".
+func serveMetrics(addr string, s *liveState, tr *trace.Tracer, budget int64) {
+	expvar.Publish("meshbench", expvar.Func(func() any { return s.snapshot(tr, budget) }))
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		_ = enc.Encode(s.snapshot(tr, budget))
+	})
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: metrics server: %v\n", err)
+		}
+	}()
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "small problem sizes")
@@ -47,6 +108,9 @@ func main() {
 	audit := flag.Bool("audit", false, "verify operation invariants (sortedness, scan identities, RAR/RAW oracles) while running")
 	chaos := flag.Int64("chaos", 0, "inject seeded faults with this seed (non-zero; combine with -audit to detect them)")
 	chaosP := flag.Float64("chaos-p", 0.01, "per-consultation fault probability for -chaos")
+	traceFile := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this file (load in Perfetto)")
+	phaseTable := flag.Bool("phase-table", false, "print per-phase step tables after each experiment")
+	metrics := flag.String("metrics", "", "serve live run metrics (JSON) on this address, e.g. :8844")
 	flag.Parse()
 
 	if *list {
@@ -88,6 +152,11 @@ func main() {
 		})
 		cfg.Injector = injector
 	}
+	var tracer *trace.Tracer
+	if *traceFile != "" || *phaseTable || *metrics != "" {
+		tracer = trace.New()
+		cfg.Tracer = tracer
+	}
 
 	var selected []bench.Experiment
 	if *run == "" {
@@ -117,13 +186,22 @@ func main() {
 			fmt.Printf("chaos: seed %d, p=%g per consultation   audit: %v\n", *chaos, *chaosP, *audit)
 		}
 	}
-	failed := 0
+	live := &liveState{total: len(selected)}
+	if *metrics != "" {
+		serveMetrics(*metrics, live, tracer, int64(*budget))
+	}
+	failed, done := 0, 0
 	for _, e := range selected {
 		e := e
 		runCfg := cfg
 		cancel := func() {}
 		if *timeout > 0 {
 			runCfg.Ctx, cancel = context.WithTimeout(context.Background(), *timeout)
+		}
+		live.set(e.ID, done, failed)
+		mark := 0
+		if tracer != nil {
+			mark = tracer.NumRuns()
 		}
 		start := time.Now()
 		t, err := bench.SafeRun(&e, runCfg)
@@ -137,11 +215,37 @@ func main() {
 			t.Print(os.Stdout)
 			fmt.Printf("  (%s in %.1fs)\n", e.ID, time.Since(start).Seconds())
 		}
+		if *phaseTable && tracer != nil {
+			runs := tracer.RunsSince(mark)
+			if *format == "csv" {
+				trace.WritePhaseCSV(os.Stdout, runs)
+			} else {
+				trace.WritePhaseTable(os.Stdout, runs)
+			}
+		}
 		if err != nil {
 			failed++
 			fmt.Fprintf(os.Stderr, "meshbench: %s failed after %.1fs: %v\n",
 				e.ID, time.Since(start).Seconds(), err)
 		}
+		done++
+		live.set("", done, failed)
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: %v\n", err)
+			os.Exit(1)
+		}
+		werr := tracer.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "meshbench: writing %s: %v\n", *traceFile, werr)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "meshbench: wrote %d traced run(s) to %s\n", tracer.NumRuns(), *traceFile)
 	}
 	if injector != nil {
 		fmt.Fprintf(os.Stderr, "meshbench: chaos injected %d fault(s)\n", injector.Count())

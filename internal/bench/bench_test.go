@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
 
 func quickCfg() Config { return Config{Quick: true, Seed: 1, Model: mesh.CostCounted} }
@@ -89,6 +90,49 @@ func TestAuditedTablesAreByteIdentical(t *testing.T) {
 	audited.Audit = true
 	if got := render(audited); got != plain {
 		t.Fatalf("audited table differs from plain table:\n--- plain ---\n%s\n--- audited ---\n%s", plain, got)
+	}
+}
+
+func TestTracedTablesAreByteIdentical(t *testing.T) {
+	// Like audit mode, tracing observes only: the rendered table of a traced
+	// run must match the plain run byte for byte, and every traced run's
+	// phase rows must partition its step clock (the DESIGN.md §3.4
+	// invariant, bench-level form).
+	if testing.Short() {
+		t.Skip("trace comparison skipped in -short mode")
+	}
+	render := func(cfg Config) string {
+		cfg.Profile = true
+		tab, err := SafeRun(Find("E2"), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		tab.Print(&sb)
+		tab.CSV(&sb)
+		return sb.String()
+	}
+	plain := render(quickCfg())
+	traced := quickCfg()
+	traced.Tracer = trace.New()
+	if got := render(traced); got != plain {
+		t.Fatalf("traced table differs from plain table:\n--- plain ---\n%s\n--- traced ---\n%s", plain, got)
+	}
+	runs := traced.Tracer.Runs()
+	if len(runs) == 0 {
+		t.Fatal("no traced runs collected")
+	}
+	for _, r := range runs {
+		if !strings.HasPrefix(r.Label, "E2 ") {
+			t.Fatalf("run label %q missing experiment prefix", r.Label)
+		}
+		var self int64
+		for _, row := range trace.PhaseRows(r) {
+			self += row.Self
+		}
+		if self != r.End {
+			t.Fatalf("run %s: phase self sum %d != run total %d", r.Label, self, r.End)
+		}
 	}
 }
 

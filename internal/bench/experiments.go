@@ -10,6 +10,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -29,6 +30,11 @@ type Config struct {
 	Budget   int64           // per-mesh step budget; 0 = unlimited
 	Injector mesh.Injector   // fault injection; nil = none
 	Audit    bool            // verify op invariants as the run executes
+
+	// Tracer collects phase-attributed span trees from every mesh the
+	// experiment builds (meshbench -trace / -phase-table / -metrics);
+	// nil = tracing off (one pointer check per span site).
+	Tracer *trace.Tracer
 }
 
 func (c Config) rng() *rand.Rand { return rand.New(rand.NewSource(c.Seed + 1)) }
@@ -70,6 +76,9 @@ func (c Config) newMeshModel(side int, model mesh.CostModel) *mesh.Mesh {
 	}
 	if c.Audit {
 		opts = append(opts, mesh.WithAudit())
+	}
+	if c.Tracer != nil {
+		opts = append(opts, mesh.WithTracer(c.Tracer))
 	}
 	return mesh.New(side, opts...)
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/pointloc"
 	"repro/internal/polyhedron"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -50,7 +51,9 @@ func runE9(c Config, t *Table) {
 		}
 		m1 := c.newMesh(ctSide)
 		in1 := core.NewInstance(m1, ct.G, ct.NewQueries(ranges), interval.CountSuccessor)
+		end1 := trace.Span(m1.Root(), "interval/count-tree")
 		core.MultisearchAlpha(m1.Root(), in1, maxPart, 0)
+		end1()
 		counts := ct.Counts(in1.ResultQueries(), len(ranges))
 
 		// Search tree (α-β-partitionable, Theorem 7).
@@ -62,12 +65,16 @@ func runE9(c Config, t *Table) {
 		}
 		m2 := c.newMesh(stSide)
 		in2 := core.NewInstance(m2, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
+		end2 := trace.Span(m2.Root(), "interval/search-tree")
 		core.MultisearchAlphaBeta(m2.Root(), in2, s1.MaxPart, s2.MaxPart, 0)
+		end2()
 
 		// Baseline: synchronous multistep on the search tree.
 		m3 := c.newMesh(stSide)
 		in3 := core.NewInstance(m3, st.Tree.Graph, st.NewQueries(ranges), interval.Successor)
+		end3 := trace.Span(m3.Root(), "interval/sync-baseline")
 		core.SynchronousMultisearch(m3.Root(), in3, 0)
+		end3()
 
 		// Verify all three agree with brute force (spot-check a sample).
 		res2 := in2.ResultQueries()

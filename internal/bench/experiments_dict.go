@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/graph"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -49,7 +50,9 @@ func runE15(c Config, t *Table) {
 		}
 		in := core.NewInstance(m, bt.G, bt.NewQueries(needles), dict.Successor)
 		m.ResetSteps()
+		end := trace.Span(m.Root(), "dict/lookup-batch[%d]", len(needles))
 		core.MultisearchAlpha(m.Root(), in, maxPart, 0)
+		end()
 		for i, q := range in.ResultQueries() {
 			if i%97 == 0 && dict.Member(q) != seen[needles[i]] {
 				panic(fmt.Sprintf("E15: needle %d wrong membership", i))

@@ -13,6 +13,9 @@ func SafeRun(e *Experiment, c Config) (*Table, error) {
 	// Pre-fill the identity so even a failure before the experiment's own
 	// metadata assignment produces an attributable table.
 	t := &Table{ID: e.ID, Title: e.Title, Source: e.Source}
+	if c.Tracer != nil {
+		c.Tracer.SetPrefix(e.ID)
+	}
 	err := core.Run(e.ID+": "+e.Title, func() error {
 		e.Run(c, t)
 		return nil

@@ -83,27 +83,20 @@ func (t *Table) Print(w io.Writer) {
 	}
 }
 
-// print renders one per-operation breakdown: steps and critical-path op
-// counts per class, with the share of the total step budget.
+// print renders one per-operation breakdown via the shared
+// mesh.Profile.String rendering (also used by the phase tables and
+// BudgetExceededError).
 func (pe ProfileEntry) print(w io.Writer) {
-	total := pe.P.TotalSteps()
 	fmt.Fprintf(w, "  profile %s (total %d steps, %d ops on the critical path):\n",
-		pe.Label, total, pe.P.TotalOps())
-	for c := mesh.OpClass(0); c < mesh.NumOpClasses; c++ {
-		s := pe.P.Ops[c]
-		if s.Count == 0 && s.Steps == 0 {
-			continue
-		}
-		share := 0.0
-		if total > 0 {
-			share = 100 * float64(s.Steps) / float64(total)
-		}
-		fmt.Fprintf(w, "    %-11s %10d steps  %5.1f%%  %7d ops\n", c, s.Steps, share, s.Count)
+		pe.Label, pe.P.TotalSteps(), pe.P.TotalOps())
+	for _, line := range strings.Split(strings.TrimRight(pe.P.String(), "\n"), "\n") {
+		fmt.Fprintf(w, "    %s\n", line)
 	}
 }
 
 // CSV renders the table as RFC-4180 CSV with a leading comment line naming
-// the experiment, for downstream plotting.
+// the experiment, for downstream plotting. Attached profiles follow as real
+// CSV records of the form profile,<label>,<class>,<steps>,<ops>.
 func (t *Table) CSV(w io.Writer) {
 	fmt.Fprintf(w, "# %s — %s [%s]\n", t.ID, t.Title, t.Source)
 	cw := csv.NewWriter(w)
@@ -111,16 +104,17 @@ func (t *Table) CSV(w io.Writer) {
 	for _, r := range t.Rows {
 		_ = cw.Write(r)
 	}
-	cw.Flush()
 	for _, pe := range t.Profiles {
 		for c := mesh.OpClass(0); c < mesh.NumOpClasses; c++ {
 			s := pe.P.Ops[c]
 			if s.Count == 0 && s.Steps == 0 {
 				continue
 			}
-			fmt.Fprintf(w, "# profile,%s,%s,%d,%d\n", pe.Label, c, s.Steps, s.Count)
+			_ = cw.Write([]string{"profile", pe.Label, c.String(),
+				fmt.Sprintf("%d", s.Steps), fmt.Sprintf("%d", s.Count)})
 		}
 	}
+	cw.Flush()
 }
 
 // Numeric formatting helpers.

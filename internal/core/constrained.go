@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
 
 // This file implements Procedure Constrained-Multisearch(Ψ, δ) of §4.4.
@@ -84,11 +85,13 @@ func (p slotPlan) cell(vcols, phys, j int) int {
 // G_i (or its search path ends). maxPart must bound every part size of the
 // splitting in `slot`; steps is x = log₂n in the paper (use Log2N(v)).
 func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart, steps int) CMSStats {
+	defer trace.Span(v, "cms")()
 	var st CMSStats
 	plan := planSlots(v, maxPart)
 	vcols := v.Cols()
 
 	// Step 1: mark queries sitting in some G_i.
+	endClassify := trace.Span(v, "classify")
 	mesh.Apply(v, in.Queries, func(_ int, q Query) Query {
 		q.Mark = q.ID != NoQuery && !q.Done && q.partFor(slot) != graph.NoPart
 		return q
@@ -139,6 +142,7 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 	}
 	if st.TotalGamma == 0 {
 		v.Charge(1) // the exit test itself
+		endClassify()
 		return st
 	}
 	st.Layers = (st.TotalGamma + plan.phys - 1) / plan.phys
@@ -146,7 +150,9 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 		panic(fmt.Sprintf("core: ΣΓ=%d needs %d virtual layers (>%d); splitting is not normalized",
 			st.TotalGamma, st.Layers, maxLayers))
 	}
+	endClassify()
 
+	endExpand := trace.Span(v, "expand")
 	// Step 4a: tell every vertex its part's Γ and slot base via a RAR
 	// against the part directory (the segment heads of qs).
 	type dirEntry struct{ gamma, base int32 }
@@ -287,8 +293,10 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 		mesh.Set(v, copies, int(p.cell), p.v)
 	}
 	v.Charge(1)
+	endExpand()
 
 	// Step 5: move marked queries to the δ-submeshes (≤ cap per slot).
+	endPlace := trace.Span(v, "place")
 	type qplaced struct {
 		layer, cell int32
 		q           Query
@@ -314,9 +322,11 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 		mesh.Set(v, staged, int(p.cell), p.q)
 	}
 	v.Charge(1)
+	endPlace()
 
 	// Step 6: log₂n advancement rounds inside every δ-submesh, all
 	// submeshes in parallel, layers in sequence within a submesh.
+	endAdvance := trace.Span(v, "advance")
 	subs := v.Partition(plan.grid, plan.grid)
 	advanced := make([]int64, len(subs))
 	layers := st.Layers
@@ -353,9 +363,11 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 	for _, a := range advanced {
 		st.Advanced += a
 	}
+	endAdvance()
 
 	// Step 7: return queries home (processor index == query ID) and discard
 	// the copies.
+	endReturn := trace.Span(v, "return")
 	for l := 0; l < st.Layers; l++ {
 		copies, staged := in.layer(l)
 		mesh.RouteTo(v, staged, in.Queries, func(_ int, q Query) (int, bool) {
@@ -368,5 +380,6 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 		q.Mark = false
 		return q
 	})
+	endReturn()
 	return st
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
 
 // Algorithm 1 (§3): multisearch on a hierarchical DAG in O(√n) mesh time.
@@ -41,6 +42,7 @@ type hdagRegs struct {
 // MultisearchHDag runs Algorithm 1 on the instance (whose graph must be the
 // hierarchical DAG the plan was computed for).
 func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
+	defer trace.Span(v, "algorithm1")()
 	var st HDagStats
 	st.Blocks = plan.S
 	st.StarLevels = plan.H - plan.StarLo + 1
@@ -60,15 +62,18 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 
 	if plan.S > 0 {
 		// Step 1: labels. One O(1)-local pass per i (log* h passes total).
+		endStep1 := trace.Span(v, "step1:labels")
 		side := m.Side()
 		mesh.Apply(v, regs.labels, func(local int, _ int8) int8 {
 			g := v.Global(local)
 			return int8(plan.LabelAt(g/side, g%side))
 		})
 		v.Charge(int64(plan.S - 1)) // Apply charged 1; step 1 is S passes
+		endStep1()
 
 		// Step 2 prologue: stage ← U_{S-1} (everything below B*),
 		// concentrated in row-major order. One copy + one concentrate.
+		endStage := trace.Span(v, "step2:stage")
 		mesh.Fill(v, regs.stage, emptyVertex)
 		mesh.RouteTo(v, in.Nodes, regs.stage, func(i int, nd graph.Vertex) (int, bool) {
 			return i, nd.ID != graph.Nil && int(nd.Level) <= plan.Blocks[plan.S-1].Hi
@@ -76,6 +81,7 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 		mesh.Concentrate(v, regs.stage, emptyVertex, func(nd graph.Vertex) bool {
 			return nd.ID != graph.Nil
 		})
+		endStage()
 
 		// Step 2: for i = S-1 … 0, within each B_{i+1}-submesh: distribute
 		// B_i onto the label-i processors, then push U_{i-1} down to the
@@ -84,12 +90,14 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 			blk := plan.Blocks[i]
 			gOut := plan.GridOf(i + 1)
 			subs := v.Partition(gOut, gOut)
+			endBlock := trace.Span(v, "step2/B_%d", i)
 			v.RunParallel(subs, func(_ int, delta mesh.View) {
 				distributeToLabels(delta, regs, plan, i)
 				if i > 0 {
 					pushUnionDown(delta, regs, plan.Blocks[i-1].Hi, blk.Grid/gOut)
 				}
 			})
+			endBlock()
 		}
 
 		// Step 3: for i = 0 … S-1: replicate B_i from its label storage to
@@ -101,8 +109,11 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 			subs := v.Partition(gOut, gOut)
 			adv := mesh.Checkout[int64](m, len(subs))
 			clear(adv)
+			endBlock := trace.Span(v, "step3/B_%d", i)
 			v.RunParallel(subs, func(si int, delta mesh.View) {
+				endRep := trace.Span(delta, "replicate")
 				replicateBi(delta, regs, plan, i)
+				endRep()
 				children := delta.Partition(blk.Grid/gOut, blk.Grid/gOut)
 				childAdv := mesh.Checkout[int64](m, len(children))
 				clear(childAdv)
@@ -114,6 +125,7 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 				}
 				mesh.Release(m, childAdv)
 			})
+			endBlock()
 			for _, a := range adv {
 				st.Advanced += a
 			}
@@ -123,9 +135,11 @@ func MultisearchHDag(v mesh.View, in *Instance, plan *HDagPlan) HDagStats {
 
 	// Step 4: B* level by level over the whole view, using the untouched
 	// initial configuration (O(1) levels).
+	endStar := trace.Span(v, "step4:Bstar")
 	for t := 0; t < st.StarLevels; t++ {
 		st.Advanced += advanceRange(v, in, in.Nodes, plan.StarLo, plan.H)
 	}
+	endStar()
 	if left := in.Unfinished(v); left > 0 {
 		panic(fmt.Sprintf("core: %d queries unfinished after Algorithm 1; graph violates the hierarchical-DAG contract", left))
 	}
@@ -230,6 +244,7 @@ func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int
 	p2lo := blk.Lo
 	if blk.P1Hi >= blk.Lo {
 		// Phase 1.
+		endPhase1 := trace.Span(sub, "lemma1/phase1")
 		size := sub.Size()
 		block1 := mesh.Checkout[graph.Vertex](m, size)[:0]
 		for j := 0; j < size; j++ {
@@ -254,12 +269,15 @@ func solveLemma1(sub mesh.View, in *Instance, regs *hdagRegs, blk HDagBlock) int
 			advanced += a
 		}
 		mesh.Release(m, childAdv)
+		endPhase1()
 		p2lo = blk.P1Hi + 1
 	}
 	// Phase 2: level by level through B_i^2 (≈ 2·log Δh levels).
+	endPhase2 := trace.Span(sub, "lemma1/phase2")
 	for lvl := p2lo; lvl <= blk.Hi; lvl++ {
 		advanced += advanceRange(sub, in, regs.work, lvl, lvl)
 	}
+	endPhase2()
 	return advanced
 }
 

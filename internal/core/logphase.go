@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
 
 // Algorithms 2 and 3: one log-phase advances every unfinished query Ω(log n)
@@ -28,10 +29,11 @@ type PhaseStats struct {
 //
 // maxPart bounds every part of the installed primary splitting.
 func LogPhaseAlpha(v mesh.View, in *Instance, maxPart int) []CMSStats {
+	defer trace.Span(v, "logphase-a")()
 	steps := Log2N(v)
-	in.GlobalStep(v)
+	globalStep(v, in)
 	a := ConstrainedMultisearch(v, in, graph.Primary, maxPart, steps)
-	in.GlobalStep(v)
+	globalStep(v, in)
 	b := ConstrainedMultisearch(v, in, graph.Primary, maxPart, steps)
 	return []CMSStats{a, b}
 }
@@ -40,12 +42,19 @@ func LogPhaseAlpha(v mesh.View, in *Instance, maxPart int) []CMSStats {
 // α-β-partitionable undirected graph: like Algorithm 2 but the second
 // constrained multisearch switches to the subgraphs of the β-splitter.
 func LogPhaseAlphaBeta(v mesh.View, in *Instance, maxPart1, maxPart2 int) []CMSStats {
+	defer trace.Span(v, "logphase-ab")()
 	steps := Log2N(v)
-	in.GlobalStep(v)
+	globalStep(v, in)
 	a := ConstrainedMultisearch(v, in, graph.Primary, maxPart1, steps)
-	in.GlobalStep(v)
+	globalStep(v, in)
 	b := ConstrainedMultisearch(v, in, graph.Secondary, maxPart2, steps)
 	return []CMSStats{a, b}
+}
+
+// globalStep wraps Instance.GlobalStep in its tracing span.
+func globalStep(v mesh.View, in *Instance) {
+	defer trace.Span(v, "globalstep")()
+	in.GlobalStep(v)
 }
 
 // MultisearchAlpha solves the multisearch problem on an α-partitionable
@@ -68,6 +77,7 @@ func MultisearchAlphaBeta(v mesh.View, in *Instance, maxPart1, maxPart2, maxPhas
 }
 
 func runLogPhases(v mesh.View, in *Instance, maxPhases int, phase func() []CMSStats) PhaseStats {
+	defer trace.Span(v, "multisearch")()
 	var st PhaseStats
 	in.Prime(v)
 	for in.Unfinished(v) > 0 {
@@ -87,6 +97,7 @@ func runLogPhases(v mesh.View, in *Instance, maxPhases int, phase func() []CMSSt
 // synchronously, one full-mesh random-access read per search step, Θ(r·√n)
 // total. Returns the number of multisteps executed.
 func SynchronousMultisearch(v mesh.View, in *Instance, maxSteps int) int {
+	defer trace.Span(v, "synchronous")()
 	in.Prime(v)
 	steps := 0
 	for in.Unfinished(v) > 0 {

@@ -1,6 +1,9 @@
 package mesh
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Typed run-control faults. The simulator reports abnormal terminations —
 // step-budget overruns, context cancellation, audit-invariant violations,
@@ -37,20 +40,18 @@ type BudgetExceededError struct {
 }
 
 // Dominant returns the op class that charged the most steps, and its total.
-func (e *BudgetExceededError) Dominant() (OpClass, int64) {
-	best := OpClass(0)
-	for c := OpClass(1); c < NumOpClasses; c++ {
-		if e.Profile.Ops[c].Steps > e.Profile.Ops[best].Steps {
-			best = c
-		}
-	}
-	return best, e.Profile.Ops[best].Steps
-}
+func (e *BudgetExceededError) Dominant() (OpClass, int64) { return e.Profile.Dominant() }
 
 func (e *BudgetExceededError) Error() string {
 	c, s := e.Dominant()
-	return fmt.Sprintf("mesh: step budget exceeded on %s: %d steps > budget %d (dominant op class %s: %d steps)",
+	msg := fmt.Sprintf("mesh: step budget exceeded on %s: %d steps > budget %d (dominant op class %s: %d steps)",
 		e.Geom, e.Steps, e.Budget, c, s)
+	// The full critical-chain breakdown, in the same rendering meshbench
+	// -profile uses, so the error alone answers where the budget went.
+	for _, line := range strings.Split(strings.TrimRight(e.Profile.String(), "\n"), "\n") {
+		msg += "\n\t" + line
+	}
+	return msg
 }
 
 // CanceledError reports that the context installed with WithContext was

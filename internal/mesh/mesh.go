@@ -80,6 +80,7 @@ type Mesh struct {
 	ctx    context.Context
 	inj    Injector
 	audit  bool
+	tracer Tracer
 }
 
 // sink accumulates parallel steps and their per-operation breakdown. Each
@@ -95,6 +96,11 @@ type sink struct {
 	prof   Profile
 	parent *sink
 	base   int64
+
+	// tc collects tracing spans for this chain (nil when tracing is off).
+	// It follows the same ownership discipline as the step fields: one
+	// goroutine at a time, forked and merged at the parallel boundaries.
+	tc TraceContext
 }
 
 // Option configures a Mesh.
@@ -178,6 +184,9 @@ func New(side int, opts ...Option) *Mesh {
 	if m.sem == nil {
 		m.sem = make(chan struct{}, runtime.GOMAXPROCS(0))
 	}
+	if m.tracer != nil {
+		m.root.tc = m.tracer.Attach(m.geometry())
+	}
 	return m
 }
 
@@ -194,8 +203,14 @@ func (m *Mesh) Model() CostModel { return m.model }
 func (m *Mesh) Steps() int64 { return m.root.steps }
 
 // ResetSteps zeroes the step clock and its per-operation profile (registers
-// are untouched).
-func (m *Mesh) ResetSteps() { m.root = sink{} }
+// are untouched). With a tracer installed it also starts a fresh traced run:
+// spans recorded before the reset stay with the previous run's clock.
+func (m *Mesh) ResetSteps() {
+	m.root = sink{}
+	if m.tracer != nil {
+		m.root.tc = m.tracer.Attach(m.geometry())
+	}
+}
 
 // Root returns the View covering the whole mesh.
 func (m *Mesh) Root() View {
@@ -400,6 +415,9 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 		sub.sink = &sinks[i]
 		sinks[i].parent = v.sink
 		sinks[i].base = base
+		if v.sink.tc != nil {
+			sinks[i].tc = v.sink.tc.Fork()
+		}
 		// Spawn if a worker slot is free; otherwise run inline. Running
 		// inline keeps nested RunParallel calls deadlock-free: a body that
 		// itself fans out never waits on slots held by blocked ancestors.
@@ -430,6 +448,11 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 	}
 	v.sink.steps += sinks[maxIdx].steps
 	v.sink.prof.add(&sinks[maxIdx].prof)
+	// The span tree follows the step clock: only the critical-path child's
+	// spans survive into the parent chain.
+	if v.sink.tc != nil {
+		v.sink.tc.Merge(sinks[maxIdx].tc)
+	}
 	if caught != nil {
 		panic(caught)
 	}
@@ -440,10 +463,16 @@ func (v View) RunParallel(subs []View, body func(idx int, sub View)) {
 func (v View) RunSequential(subs []View, body func(idx int, sub View)) {
 	for i := range subs {
 		s := sink{parent: v.sink, base: v.sink.base + v.sink.steps}
+		if v.sink.tc != nil {
+			s.tc = v.sink.tc.Fork()
+		}
 		subs[i].sink = &s
 		body(i, subs[i])
 		v.sink.steps += s.steps
 		v.sink.prof.add(&s.prof)
+		if v.sink.tc != nil {
+			v.sink.tc.Merge(s.tc)
+		}
 	}
 }
 

@@ -1,6 +1,9 @@
 package mesh
 
-import "fmt"
+import (
+	"fmt"
+	"strings"
+)
 
 // Per-operation step accounting. Every charge carries an OpClass; the sink
 // keeps, next to the plain step clock, a breakdown of those steps by class.
@@ -109,6 +112,55 @@ func (p *Profile) add(q *Profile) {
 		p.Ops[i].Count += q.Ops[i].Count
 		p.Ops[i].Steps += q.Ops[i].Steps
 	}
+}
+
+// Add merges q into p (counts and steps) — the exported form used by the
+// tracing exporters when they aggregate span deltas.
+func (p *Profile) Add(q Profile) { p.add(&q) }
+
+// Sub returns the per-class difference p − q. q must be an earlier snapshot
+// of the same accumulating profile (counts and steps only grow), so the
+// result is the breakdown of what was charged between the two snapshots —
+// how tracing spans attribute a per-op delta to their window.
+func (p Profile) Sub(q Profile) Profile {
+	var d Profile
+	for i := range p.Ops {
+		d.Ops[i].Count = p.Ops[i].Count - q.Ops[i].Count
+		d.Ops[i].Steps = p.Ops[i].Steps - q.Ops[i].Steps
+	}
+	return d
+}
+
+// String renders the breakdown as an aligned per-class table, one line per
+// class that executed, with each class's share of the profile's step total.
+// It is the single rendering used by meshbench -profile, the phase tables
+// and BudgetExceededError.
+func (p Profile) String() string {
+	var b strings.Builder
+	total := p.TotalSteps()
+	for c := OpClass(0); c < NumOpClasses; c++ {
+		s := p.Ops[c]
+		if s.Count == 0 && s.Steps == 0 {
+			continue
+		}
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(s.Steps) / float64(total)
+		}
+		fmt.Fprintf(&b, "%-11s %12d steps  %5.1f%%  %9d ops\n", c, s.Steps, share, s.Count)
+	}
+	return b.String()
+}
+
+// Dominant returns the class that charged the most steps, and its total.
+func (p Profile) Dominant() (OpClass, int64) {
+	best := OpClass(0)
+	for c := OpClass(1); c < NumOpClasses; c++ {
+		if p.Ops[c].Steps > p.Ops[best].Steps {
+			best = c
+		}
+	}
+	return best, p.Ops[best].Steps
 }
 
 // Profile returns the per-operation breakdown of the mesh's step clock

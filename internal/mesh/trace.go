@@ -1,0 +1,78 @@
+package mesh
+
+// Step-clock tracing seam. Algorithm code opens named spans on a View
+// (View.Span, or the fmt-aware wrapper in internal/trace); the mesh keeps
+// the span tree aligned with the critical-path step accounting by forking a
+// trace context per submesh body and merging exactly the contexts whose
+// steps were charged: the max-cost child under RunParallel, every child
+// under RunSequential. Spans therefore live on the same timeline as
+// Mesh.Steps() — a span's [open, close] window is an interval of simulated
+// parallel time along the critical chain, and well-nested instrumentation
+// partitions the clock exactly (see DESIGN.md §3.4).
+//
+// The default is nil and costs one pointer check per Span call and one per
+// RunParallel/RunSequential — no allocation, no indirect call — so untraced
+// runs are byte-identical to the seed (invariant-tested).
+
+// TraceContext collects the spans of one execution chain. The mesh creates
+// one per sink: each RunParallel / RunSequential body gets its own via Fork,
+// owned exclusively by the goroutine executing the body, and Merge is only
+// called by the parent goroutine after the body has finished. Distinct
+// chains DO run concurrently (RunParallel bodies), so any state shared
+// across chains — e.g. the backing Tracer — must synchronize internally;
+// within one chain calls are never re-entrant.
+type TraceContext interface {
+	// OpenSpan starts a span at simulated parallel time `at` on this chain.
+	// prof is the chain sink's per-op breakdown at the open, so the closer
+	// can attribute a Profile delta to the span.
+	OpenSpan(name string, at int64, prof Profile)
+	// CloseSpan ends the innermost open span at time `at`.
+	CloseSpan(at int64, prof Profile)
+	// Fork returns the context for a child execution chain (one submesh
+	// body). The child's spans are buffered until Merge.
+	Fork() TraceContext
+	// Merge splices a forked child's spans into this chain at the fork
+	// point. RunParallel merges only the critical-path (max-cost) child —
+	// the same rule the step clock obeys — so merged span windows always
+	// lie inside their parent's window; RunSequential merges every child.
+	Merge(child TraceContext)
+}
+
+// Tracer is attached to a Mesh with WithTracer. Attach is called by New and
+// by ResetSteps — each call starts a fresh traced run whose step clock
+// begins at zero. internal/trace provides the implementation used by
+// meshbench (Chrome trace export, phase tables, live metrics).
+type Tracer interface {
+	Attach(g Geometry) TraceContext
+}
+
+// WithTracer installs a step-clock tracer (see internal/trace). nil (the
+// default) disables tracing at the cost of one pointer check per span and
+// per parallel region.
+func WithTracer(t Tracer) Option {
+	return func(ms *Mesh) { ms.tracer = t }
+}
+
+// Traced reports whether a tracer is collecting spans for this view's
+// execution chain. Callers formatting span names should check it first so
+// untraced runs skip the formatting entirely.
+func (v View) Traced() bool { return v.sink.tc != nil }
+
+// noSpan is the shared closer returned when tracing is off.
+var noSpan = func() {}
+
+// Span opens a named span at the view's current critical-chain clock and
+// returns its closer. The span is charged nothing; it only brackets the
+// steps charged between open and close, and its Profile delta is the
+// per-op decomposition of exactly those steps. Spans must be closed in
+// LIFO order on the chain that opened them (use defer), and before the
+// enclosing RunParallel / RunSequential body returns.
+func (v View) Span(name string) func() {
+	tc := v.sink.tc
+	if tc == nil {
+		return noSpan
+	}
+	tc.OpenSpan(name, v.elapsed(), v.sink.prof)
+	s := v.sink
+	return func() { tc.CloseSpan(s.base+s.steps, s.prof) }
+}

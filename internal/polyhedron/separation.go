@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/geom"
 	"repro/internal/mesh"
+	"repro/internal/trace"
 )
 
 // Separation of convex polyhedra (Theorem 8.2) via batched extreme-vertex
@@ -109,7 +110,9 @@ func supports(h *Hierarchy, dirs []geom.Point3, m *mesh.Mesh) []int64 {
 			panic(err)
 		}
 		in := core.NewInstance(m, h.Dag.Graph, qs, h.Successor())
+		end := trace.Span(m.Root(), "supports[%d dirs]", len(dirs))
 		core.MultisearchHDag(m.Root(), in, plan)
+		end()
 		out = in.ResultQueries()
 	}
 	vals := make([]int64, len(dirs))

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/mesh"
+)
+
+// Chrome trace-event export: one JSON object in the trace-event format that
+// chrome://tracing and https://ui.perfetto.dev load directly. The timeline
+// unit is the simulated step clock (one mesh step = one microsecond on the
+// viewer's axis — wall time never appears), each traced run is one process,
+// and every span is a complete ("X") event whose args carry the span's
+// per-op profile delta.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   int64          `json:"ts"`
+	Dur  *int64         `json:"dur,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent  `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit"`
+	OtherData       map[string]any `json:"otherData,omitempty"`
+}
+
+// WriteChrome writes every recorded run as Chrome trace-event JSON.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	runs := t.Runs()
+	out := chromeTrace{
+		TraceEvents:     []chromeEvent{},
+		DisplayTimeUnit: "ms",
+		OtherData: map[string]any{
+			"clock": "simulated mesh steps (1 step rendered as 1µs)",
+		},
+	}
+	for i, r := range runs {
+		pid := i + 1
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "process_name", Ph: "M", Pid: pid, Tid: 1,
+				Args: map[string]any{"name": r.Label}},
+			chromeEvent{Name: "thread_name", Ph: "M", Pid: pid, Tid: 1,
+				Args: map[string]any{"name": "critical chain"}})
+		for _, s := range r.Spans {
+			emitChrome(&out.TraceEvents, s, pid, r.End)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+func emitChrome(evs *[]chromeEvent, s *Node, pid int, runEnd int64) {
+	end := s.End
+	if end < s.Start {
+		end = runEnd // still-open span in an aborted run: extend to the watermark
+	}
+	dur := end - s.Start
+	args := map[string]any{"steps": dur}
+	for c := mesh.OpClass(0); c < mesh.NumOpClasses; c++ {
+		if st := s.Prof.Ops[c]; st.Steps > 0 || st.Count > 0 {
+			args[c.String()+"_steps"] = st.Steps
+			args[c.String()+"_ops"] = st.Count
+		}
+	}
+	*evs = append(*evs, chromeEvent{
+		Name: s.Name, Ph: "X", Pid: pid, Tid: 1, Ts: s.Start, Dur: &dur, Args: args,
+	})
+	for _, sub := range s.Sub {
+		emitChrome(evs, sub, pid, runEnd)
+	}
+}

@@ -1,0 +1,35 @@
+package trace
+
+// LiveSnapshot is a point-in-time view of a Tracer for the meshbench
+// -metrics endpoint: how far the current run's step clock has advanced
+// (as of the last span event — spans are phase-grained, so the clock is a
+// low-water mark, not per-operation), and which phase the critical chain
+// most recently entered.
+type LiveSnapshot struct {
+	Runs       int    `json:"runs_attached"`
+	SpansOpen  int64  `json:"spans_opened"`
+	Run        string `json:"current_run"`
+	StepClock  int64  `json:"step_clock"`
+	SpanPath   string `json:"span_path"`
+	TotalSteps int64  `json:"total_steps_all_runs"`
+}
+
+// Live returns a consistent snapshot. Safe to call from any goroutine while
+// runs execute.
+func (t *Tracer) Live() LiveSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s := LiveSnapshot{
+		Runs:      len(t.runs),
+		SpansOpen: t.spans,
+		SpanPath:  t.lastPath,
+	}
+	if t.lastRun != nil {
+		s.Run = t.lastRun.Label
+		s.StepClock = t.lastRun.End
+	}
+	for _, r := range t.runs {
+		s.TotalSteps += r.End
+	}
+	return s
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mesh"
+)
+
+// Flat per-phase tables: the span tree of one run aggregated by phase path.
+// Repeated instances of the same path (the B_i loop, every log-phase) fold
+// into one row. Each row carries inclusive steps and exclusive "self" steps
+// (inclusive minus the row's sub-phases); because the span tree partitions
+// the critical chain, the self column of a fully-instrumented run sums
+// exactly to the run's total steps — the empirical form of the paper's
+// decomposition theorems.
+
+// PhaseRow is one aggregated phase of a run.
+type PhaseRow struct {
+	Path  string // span names joined with "/", root-relative
+	Depth int
+	Calls int64
+	Steps int64 // inclusive: Σ span durations
+	Self  int64 // exclusive: inclusive − Σ sub-span durations
+	Prof  mesh.Profile
+}
+
+// PhaseRows flattens a run's span tree into aggregated rows in first-visit
+// (depth-first) order. A final "(untraced)" row accounts for any clock the
+// top-level spans do not cover, so the Self column always sums to r.End.
+func PhaseRows(r *Run) []PhaseRow {
+	idx := map[string]int{}
+	var rows []PhaseRow
+	var walk func(prefix string, depth int, spans []*Node) int64
+	walk = func(prefix string, depth int, spans []*Node) int64 {
+		var covered int64
+		for _, s := range spans {
+			path := s.Name
+			if prefix != "" {
+				path = prefix + "/" + s.Name
+			}
+			i, ok := idx[path]
+			if !ok {
+				i = len(rows)
+				idx[path] = i
+				rows = append(rows, PhaseRow{Path: path, Depth: depth})
+			}
+			dur := s.Steps()
+			covered += dur
+			sub := walk(path, depth+1, s.Sub)
+			rows[i].Calls++
+			rows[i].Steps += dur
+			rows[i].Self += dur - sub
+			rows[i].Prof.Add(s.Prof)
+		}
+		return covered
+	}
+	covered := walk("", 0, r.Spans)
+	if gap := r.End - covered; gap > 0 {
+		rows = append(rows, PhaseRow{Path: "(untraced)", Calls: 0, Steps: gap, Self: gap})
+	}
+	return rows
+}
+
+// WritePhaseTable renders each run's aggregated phase table as aligned
+// text. The self column partitions the run: its rows sum to the total.
+func WritePhaseTable(w io.Writer, runs []*Run) {
+	for _, r := range runs {
+		rows := PhaseRows(r)
+		fmt.Fprintf(w, "\nphases — %s (total %d steps; self column sums to total)\n", r.Label, r.End)
+		wPath := len("phase")
+		for _, row := range rows {
+			if n := len(row.Path); n > wPath {
+				wPath = n
+			}
+		}
+		fmt.Fprintf(w, "  %-*s  %7s  %12s  %12s  %6s  %s\n", wPath, "phase", "calls", "steps", "self", "self%", "top op")
+		var selfSum int64
+		for _, row := range rows {
+			selfSum += row.Self
+			share := 0.0
+			if r.End > 0 {
+				share = 100 * float64(row.Self) / float64(r.End)
+			}
+			top := ""
+			if c, s := row.Prof.Dominant(); s > 0 {
+				top = c.String()
+			}
+			fmt.Fprintf(w, "  %-*s  %7d  %12d  %12d  %5.1f%%  %s\n",
+				wPath, row.Path, row.Calls, row.Steps, row.Self, share, top)
+		}
+		fmt.Fprintf(w, "  %-*s  %7s  %12s  %12d  %5.1f%%\n", wPath, "TOTAL", "", "", selfSum, 100.0)
+	}
+}
+
+// WritePhaseCSV renders the same rows as RFC-4180 CSV:
+// run,phase,calls,steps,self,top_op.
+func WritePhaseCSV(w io.Writer, runs []*Run) {
+	fmt.Fprintf(w, "run,phase,calls,steps,self,top_op\n")
+	for _, r := range runs {
+		for _, row := range PhaseRows(r) {
+			top := ""
+			if c, s := row.Prof.Dominant(); s > 0 {
+				top = c.String()
+			}
+			fmt.Fprintf(w, "%q,%q,%d,%d,%d,%s\n", r.Label, row.Path, row.Calls, row.Steps, row.Self, top)
+		}
+		fmt.Fprintf(w, "%q,TOTAL,,%d,%d,\n", r.Label, r.End, r.End)
+	}
+}

@@ -1,0 +1,247 @@
+// Package trace records phase-attributed span trees keyed to the simulated
+// step clock of the mesh (see DESIGN.md §3.4).
+//
+// A Tracer is attached with mesh.WithTracer. Algorithm code brackets its
+// phases with Span:
+//
+//	defer trace.Span(v, "step3/B_%d", i)()
+//
+// Each span opens at the view's current critical-chain clock and closes with
+// the steps — and the per-op mesh.Profile delta — charged in between. Across
+// mesh.RunParallel the span tree follows the step clock's critical-path rule
+// (only the max-cost submesh's spans merge into the parent), so well-nested
+// instrumentation partitions the clock exactly: the exclusive ("self") steps
+// of all phases in a traced run sum to Mesh.Steps().
+//
+// The collected runs export as Chrome trace-event JSON (chrome.go, loadable
+// in Perfetto with the step clock as the timeline), as flat per-phase tables
+// (table.go), and as a live snapshot for the meshbench -metrics endpoint.
+package trace
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/mesh"
+)
+
+// Node is one closed (or still-open) tracing span: a named interval of
+// simulated parallel time along the critical chain, with the per-op
+// decomposition of the steps charged inside it.
+type Node struct {
+	Name  string
+	Start int64 // critical-chain clock at open
+	End   int64 // clock at close (Start of a still-open span until closed)
+	Prof  mesh.Profile
+	Sub   []*Node
+
+	startProf mesh.Profile
+}
+
+// Steps returns the span's duration in mesh steps.
+func (s *Node) Steps() int64 { return s.End - s.Start }
+
+// Run is one traced step-clock epoch: everything recorded on one mesh
+// between New/ResetSteps and the next reset. Spans are the top-level spans
+// in open order; End is the latest clock any span event observed, which
+// equals Mesh.Steps() when the instrumentation covers the whole run.
+type Run struct {
+	Label string
+	Geom  mesh.Geometry
+	Spans []*Node
+	End   int64
+
+	root *chain
+}
+
+// Tracer collects traced runs. It implements mesh.Tracer; one Tracer may be
+// attached to any number of meshes (each New/ResetSteps starts a new Run).
+// All collection state is guarded by one mutex: spans are phase-grained —
+// orders of magnitude rarer than charged operations — so serializing them
+// costs nothing measurable, and it makes the live snapshot (meshbench
+// -metrics) safe to read while a run executes.
+type Tracer struct {
+	mu     sync.Mutex
+	prefix string
+	runs   []*Run
+
+	spans    int64  // spans opened, ever
+	lastPath string // most recently opened span's path
+	lastRun  *Run
+}
+
+// New returns an empty Tracer.
+func New() *Tracer { return &Tracer{} }
+
+// SetPrefix sets the label prefix for subsequently attached runs (the bench
+// harness sets the experiment ID, so runs read "E2#3 128x128").
+func (t *Tracer) SetPrefix(p string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.prefix = p
+}
+
+// Attach implements mesh.Tracer: it starts a new Run and returns its root
+// chain. Called by mesh.New and Mesh.ResetSteps.
+func (t *Tracer) Attach(g mesh.Geometry) mesh.TraceContext {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	label := fmt.Sprintf("run#%d %dx%d", len(t.runs)+1, g.Side, g.Side)
+	if t.prefix != "" {
+		label = t.prefix + " " + label
+	}
+	r := &Run{Label: label, Geom: g}
+	r.root = &chain{t: t, run: r}
+	t.runs = append(t.runs, r)
+	t.lastRun = r
+	return r.root
+}
+
+// Runs returns the recorded runs, in attach order. Runs with no spans (a
+// mesh built but reset before any instrumented code ran) are skipped.
+func (t *Tracer) Runs() []*Run { return t.RunsSince(0) }
+
+// RunsSince returns the runs attached at or after the given NumRuns() mark,
+// skipping span-less ones — how the bench harness slices out the runs of a
+// single experiment.
+func (t *Tracer) RunsSince(mark int) []*Run {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if mark < 0 || mark > len(t.runs) {
+		mark = len(t.runs)
+	}
+	out := make([]*Run, 0, len(t.runs)-mark)
+	for _, r := range t.runs[mark:] {
+		r.Spans = r.root.spans
+		if len(r.Spans) > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// NumRuns returns the number of runs attached so far (including span-less
+// ones), for slicing Runs() per experiment.
+func (t *Tracer) NumRuns() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.runs)
+}
+
+// chain is the mesh.TraceContext of one execution chain. spans/stack are
+// only touched under t.mu; the ownership discipline of the mesh (one
+// goroutine per chain, Fork/Merge at parallel boundaries) orders the
+// operations within a chain.
+type chain struct {
+	t     *Tracer
+	run   *Run
+	spans []*Node // this chain's top-level spans, in open order
+	stack []*Node // currently open spans
+	fork  *Node   // parent's innermost open span at Fork time (nil at top level)
+}
+
+func (c *chain) OpenSpan(name string, at int64, prof mesh.Profile) {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	s := &Node{Name: name, Start: at, End: at, startProf: prof}
+	if n := len(c.stack); n > 0 {
+		top := c.stack[n-1]
+		top.Sub = append(top.Sub, s)
+	} else {
+		c.spans = append(c.spans, s)
+	}
+	c.stack = append(c.stack, s)
+	c.t.spans++
+	c.t.lastPath = c.path()
+	c.observe(at)
+}
+
+func (c *chain) CloseSpan(at int64, prof mesh.Profile) {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	n := len(c.stack)
+	if n == 0 {
+		// A closer outlived its chain (spans must close before the body
+		// returns); drop it rather than corrupting another chain's tree.
+		return
+	}
+	s := c.stack[n-1]
+	c.stack = c.stack[:n-1]
+	s.End = at
+	s.Prof = prof.Sub(s.startProf)
+	c.t.lastPath = c.path()
+	c.observe(at)
+}
+
+func (c *chain) Fork() mesh.TraceContext {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	child := &chain{t: c.t, run: c.run}
+	if n := len(c.stack); n > 0 {
+		child.fork = c.stack[n-1]
+	}
+	return child
+}
+
+func (c *chain) Merge(child mesh.TraceContext) {
+	cc := child.(*chain)
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	if len(cc.spans) == 0 {
+		return
+	}
+	// Splice at the fork point. The parent goroutine was blocked for the
+	// whole child execution, so the fork-time open span is still the
+	// innermost open span here and the splice lands in clock order.
+	if cc.fork != nil {
+		cc.fork.Sub = append(cc.fork.Sub, cc.spans...)
+	} else {
+		c.spans = append(c.spans, cc.spans...)
+	}
+	if e := cc.run.End; e > c.run.End {
+		c.run.End = e
+	}
+}
+
+// observe advances the run's end-of-clock watermark and the tracer's live
+// state. Caller holds t.mu.
+func (c *chain) observe(at int64) {
+	if at > c.run.End {
+		c.run.End = at
+	}
+	c.t.lastRun = c.run
+}
+
+// path renders the chain's open-span path for the live snapshot. Caller
+// holds t.mu.
+func (c *chain) path() string {
+	p := c.run.Label
+	if c.fork != nil {
+		p += "/" + c.fork.Name
+	}
+	for _, s := range c.stack {
+		p += "/" + s.Name
+	}
+	return p
+}
+
+// Span opens a span on the view's execution chain and returns its closer:
+//
+//	end := trace.Span(v, "lemma1/B_%d/phase1", i)
+//	...
+//	end()
+//
+// With no tracer installed it returns a shared no-op closer and never
+// formats the name, so untraced call sites cost one branch.
+func Span(v mesh.View, format string, args ...any) func() {
+	if !v.Traced() {
+		return nop
+	}
+	name := format
+	if len(args) > 0 {
+		name = fmt.Sprintf(format, args...)
+	}
+	return v.Span(name)
+}
+
+var nop = func() {}
