@@ -72,7 +72,16 @@ func (s *liveState) snapshot(tr *trace.Tracer, budget int64) map[string]any {
 		"step_budget_per_mesh": budget,
 	}
 	if budget > 0 {
-		doc["step_budget_headroom"] = budget - live.StepClock
+		// The span clock is a low-water mark (it only advances on span
+		// events), and one tracer serves many meshes: a run can legitimately
+		// pass the per-mesh budget of an *earlier* mesh, or overrun before
+		// the abort lands. Clamp at zero — headroom is "budget remaining",
+		// never a debt.
+		headroom := budget - live.StepClock
+		if headroom < 0 {
+			headroom = 0
+		}
+		doc["step_budget_headroom"] = headroom
 	}
 	return doc
 }

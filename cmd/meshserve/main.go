@@ -1,0 +1,219 @@
+// Command meshserve runs the batched multisearch query service (internal/
+// serve, DESIGN.md §3.5): a long-lived mesh holding a (2,3)-tree dictionary,
+// answering concurrent membership lookups by collecting them into batches
+// and serving each batch with one multisearch round.
+//
+// Serve mode (default) exposes the HTTP surface and drains gracefully on
+// SIGINT/SIGTERM:
+//
+//	meshserve -side 16 -batch-linger 2ms -budget 1e6 -addr :8845
+//	curl 'localhost:8845/search?key=7'
+//	curl  localhost:8845/metrics
+//
+// Load-generator mode drives the server in-process with closed-loop clients
+// and prints the throughput table of EXPERIMENTS.md §E20 — queries/round,
+// simulated steps/query, and wall-clock rounds/sec versus client count:
+//
+//	meshserve -loadgen -clients 1,4,16,64 -duration 2s -side 16
+//
+// Every load-generated answer is verified against the host-side dictionary
+// oracle; any mismatch fails the run.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/mesh"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+func main() {
+	side := flag.Int("side", 16, "mesh side length (power of two)")
+	linger := flag.Duration("batch-linger", 2*time.Millisecond, "how long a round waits to fill its batch after the first query (0 = start immediately)")
+	budget := flag.Float64("budget", 0, "per-round mesh step budget (0 = unlimited)")
+	addr := flag.String("addr", ":8845", "HTTP listen address (serve mode)")
+	model := flag.String("model", "counted", "cost model: counted | theoretical")
+	maxBatch := flag.Int("max-batch", 0, "max queries per round (0 = mesh size)")
+	queueDepth := flag.Int("queue", 0, "admission queue depth (0 = 4×max-batch)")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+	loadgen := flag.Bool("loadgen", false, "run the in-process load generator instead of serving HTTP")
+	clients := flag.String("clients", "1,4,16,64", "comma-separated closed-loop client counts (loadgen)")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per client count (loadgen)")
+	seed := flag.Int64("seed", 1, "needle-stream seed (loadgen)")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Side:       *side,
+		Linger:     *linger,
+		Budget:     int64(*budget),
+		MaxBatch:   *maxBatch,
+		QueueDepth: *queueDepth,
+		Tracer:     trace.New(),
+	}
+	switch *model {
+	case "counted":
+		cfg.Model = mesh.CostCounted
+	case "theoretical":
+		cfg.Model = mesh.CostTheoretical
+	default:
+		fmt.Fprintf(os.Stderr, "meshserve: unknown cost model %q\n", *model)
+		os.Exit(2)
+	}
+
+	if *loadgen {
+		counts, err := parseCounts(*clients)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runLoadgen(cfg, counts, *duration, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := runServe(cfg, *addr, *drain); err != nil {
+		fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// runServe is serve mode: HTTP until SIGINT/SIGTERM, then a bounded drain
+// that answers every admitted query before exiting.
+func runServe(cfg serve.Config, addr string, drain time.Duration) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "meshserve: %dx%d mesh, %d keys, serving on %s (SIGINT drains)\n",
+		cfg.Side, cfg.Side, len(s.Tree().Keys), addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		return fmt.Errorf("http server: %w", err)
+	}
+	stop()
+
+	fmt.Fprintf(os.Stderr, "meshserve: draining (deadline %s)\n", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	drainErr := s.Shutdown(dctx)
+	_ = httpSrv.Close()
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "meshserve: served %d queries in %d rounds (%d rejected, %d failed), %d simulated steps\n",
+		st.Served, st.Rounds, st.Rejected, st.Failed, st.SimSteps)
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	return nil
+}
+
+// runLoadgen sweeps closed-loop client counts against one long-lived server
+// and prints one throughput row per count from the stats deltas.
+func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	keys := int64(len(s.Tree().Keys))
+	fmt.Printf("meshserve loadgen: %dx%d mesh (%s model), %d keys, max batch %d, linger %s, window %s/point\n",
+		cfg.Side, cfg.Side, cfg.Model, keys, s.MaxBatch(), cfg.Linger, dur)
+	fmt.Printf("%8s %12s %10s %10s %14s %10s\n",
+		"clients", "queries/s", "rounds/s", "q/round", "steps/query", "rejected")
+
+	for _, nc := range counts {
+		before := s.Stats()
+		start := time.Now()
+		ctx, cancel := context.WithTimeout(context.Background(), dur)
+		var wg sync.WaitGroup
+		var mismatches, hardErrs atomic.Int64
+		for c := 0; c < nc; c++ {
+			c := c
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+				for ctx.Err() == nil {
+					needle := rng.Int63n(2 * keys) // ~half hits, half misses
+					res, err := s.Lookup(ctx, needle)
+					switch {
+					case errors.Is(err, serve.ErrOverloaded):
+						time.Sleep(200 * time.Microsecond) // back off, retry
+					case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+						return
+					case err != nil:
+						hardErrs.Add(1)
+						return
+					case res.Found != s.Tree().Contains(needle):
+						mismatches.Add(1)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		cancel()
+		wall := time.Since(start).Seconds()
+		d := s.Stats()
+		served := d.Served - before.Served
+		rounds := d.Rounds - before.Rounds
+		steps := d.SimSteps - before.SimSteps
+		rejected := d.Rejected - before.Rejected
+		qPerRound, stepsPerQuery := 0.0, 0.0
+		if rounds > 0 {
+			qPerRound = float64(served) / float64(rounds)
+		}
+		if served > 0 {
+			stepsPerQuery = float64(steps) / float64(served)
+		}
+		fmt.Printf("%8d %12.0f %10.1f %10.1f %14.0f %10d\n",
+			nc, float64(served)/wall, float64(rounds)/wall, qPerRound, stepsPerQuery, rejected)
+		if m := mismatches.Load(); m > 0 {
+			return fmt.Errorf("%d answers disagreed with the host oracle at %d clients", m, nc)
+		}
+		if e := hardErrs.Load(); e > 0 {
+			return fmt.Errorf("%d lookups failed at %d clients", e, nc)
+		}
+	}
+	return nil
+}
+
+func parseCounts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q", f)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("-clients is empty")
+	}
+	return out, nil
+}

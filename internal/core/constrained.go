@@ -277,6 +277,8 @@ func ConstrainedMultisearch(v mesh.View, in *Instance, slot graph.Slot, maxPart,
 			v:     cp.v,
 		}
 	}
+	mesh.Release(in.M, expanded)
+	mesh.Release(in.M, occupied)
 	mesh.SortScratch(v, place, 2, func(a, b placed) bool {
 		if a.layer != b.layer {
 			return a.layer < b.layer

@@ -139,8 +139,23 @@ func NewInstance(m *mesh.Mesh, g *graph.Graph, queries []Query, f Successor) *In
 	}
 	root := m.Root()
 	mesh.Fill(root, in.Nodes, emptyVertex)
-	mesh.Fill(root, in.Queries, emptyQuery)
 	mesh.Load(root, in.Nodes, g.Verts)
+	in.ResetQueries(root, queries)
+	return in
+}
+
+// ResetQueries replaces the instance's query set with a fresh batch, leaving
+// the loaded graph untouched: every query cell is cleared, the new queries
+// are normalized (sequential IDs, zeroed progress, unknown splitter
+// membership) and loaded at processor index == ID. This is what lets a
+// long-lived serving mesh answer round after round of queries against one
+// built structure without reloading it. Costs one Fill step; the loads are
+// chargeless host initialization, as in NewInstance.
+func (in *Instance) ResetQueries(v mesh.View, queries []Query) {
+	if len(queries) > in.M.N() {
+		panic(fmt.Sprintf("core: %d queries exceed mesh size %d", len(queries), in.M.N()))
+	}
+	mesh.Fill(v, in.Queries, emptyQuery)
 	qs := make([]Query, len(queries))
 	for i, q := range queries {
 		q.ID = int32(i)
@@ -152,8 +167,8 @@ func NewInstance(m *mesh.Mesh, g *graph.Graph, queries []Query, f Successor) *In
 		q.CurLevel = -1
 		qs[i] = q
 	}
-	mesh.Load(root, in.Queries, qs)
-	return in
+	mesh.Load(v, in.Queries, qs)
+	in.NumQ = len(queries)
 }
 
 // layer returns (allocating on first use) the i-th virtual δ-submesh

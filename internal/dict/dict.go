@@ -249,3 +249,11 @@ func (t *BTree) InstallSplitter() int {
 
 // Member reports whether a finished query found its needle.
 func Member(q core.Query) bool { return q.State[StateFound] == 1 }
+
+// Contains reports host-side whether key is in the dictionary, by binary
+// search on the sorted key set — the O(log n) sequential oracle the serving
+// layer and the load generator check mesh answers against.
+func (t *BTree) Contains(key int64) bool {
+	i := sort.Search(len(t.Keys), func(i int) bool { return t.Keys[i] >= key })
+	return i < len(t.Keys) && t.Keys[i] == key
+}

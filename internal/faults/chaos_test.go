@@ -61,6 +61,124 @@ func TestChaosEveryFaultClassIsCaught(t *testing.T) {
 	}
 }
 
+// TestChaosScanVariantsAreCaught drives register corruption at probability 1
+// against the scan variants and the scratch routing, which used to bypass the
+// injection seam and the prefix-identity audit entirely. Setup uses mesh.Load
+// (chargeless, never consults the injector), so the single injected fault
+// lands on the op under test. Outputs are distinct by construction, so any
+// src≠dst corruption is observable.
+func TestChaosScanVariantsAreCaught(t *testing.T) {
+	cases := []struct {
+		name string
+		op   string
+		run  func(m *mesh.Mesh)
+	}{
+		{"ExclusiveScan", "ExclusiveScan", func(m *mesh.Mesh) {
+			v := m.Root()
+			r := mesh.NewReg[int](m)
+			xs := make([]int, v.Size())
+			for i := range xs {
+				xs[i] = i + 1
+			}
+			mesh.Load(v, r, xs)
+			mesh.ExclusiveScan(v, r, 0, func(a, b int) int { return a + b })
+		}},
+		{"SegScan", "SegScan", func(m *mesh.Mesh) {
+			v := m.Root()
+			r := mesh.NewReg[int](m)
+			head := mesh.NewReg[bool](m)
+			xs := make([]int, v.Size())
+			hs := make([]bool, v.Size())
+			for i := range xs {
+				xs[i] = i
+				hs[i] = i%5 == 0
+			}
+			mesh.Load(v, r, xs)
+			mesh.Load(v, head, hs)
+			mesh.SegScan(v, r, head, func(a, b int) int { return max(a, b) })
+		}},
+		{"RouteScratch", "RouteScratch", func(m *mesh.Mesh) {
+			v := m.Root()
+			src := make([]int, v.Size())
+			for i := range src {
+				src[i] = 100 + i
+			}
+			dst, occ := mesh.RouteScratch(v, src, len(src), 1,
+				func(i int) int { return len(src) - 1 - i })
+			mesh.Release(m, dst)
+			mesh.Release(m, occ)
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			inj := New(Config{Seed: 11, PCorrupt: 1, Limit: 1})
+			m := mesh.New(8, mesh.WithAudit(), mesh.WithInjector(inj))
+			defer func() {
+				r := recover()
+				ae, ok := r.(*mesh.AuditError)
+				if !ok {
+					t.Fatalf("recovered %T (%v), want *mesh.AuditError", r, r)
+				}
+				evs := inj.Events()
+				if len(evs) != 1 || evs[0].Kind != "corrupt-cell" || evs[0].Op != tc.op {
+					t.Fatalf("injected %v, want one corrupt-cell on %s", evs, tc.op)
+				}
+				if ae.Op != tc.op {
+					t.Fatalf("audit flagged op %q, want %q", ae.Op, tc.op)
+				}
+			}()
+			tc.run(m)
+			t.Fatalf("corruption on %s escaped the audit (events: %v)", tc.name, inj.Events())
+		})
+	}
+}
+
+// TestChaosDropEqualsDupSrcEdge scans seeds for the reply-fault edge where
+// the seeded injector happens to drop exactly the reply it then duplicates
+// (drop == dupSrc). The edge is easy to get wrong — the dropped origin is
+// never delivered while the duplication target's origin is delivered twice —
+// and the audit must flag every such run. Seed decisions are pure integer
+// arithmetic, so which seeds produce the edge is deterministic.
+func TestChaosDropEqualsDupSrcEdge(t *testing.T) {
+	rar := func(m *mesh.Mesh) {
+		v := m.Root()
+		n := v.Size()
+		mesh.RAR(v,
+			func(i int) (int32, int, bool) { return int32(i), i * 3, true },
+			func(i int) (int32, bool) { return int32((i + 5) % n), true },
+			func(i int, val int, found bool) {})
+	}
+	edges := 0
+	for seed := int64(1); seed <= 256; seed++ {
+		inj := New(Config{Seed: seed, PDrop: 1, PDup: 1, Limit: 2})
+		m := mesh.New(8, mesh.WithAudit(), mesh.WithInjector(inj))
+		var ae *mesh.AuditError
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					var ok bool
+					if ae, ok = r.(*mesh.AuditError); !ok {
+						panic(r)
+					}
+				}
+			}()
+			rar(m)
+		}()
+		if ae == nil {
+			t.Fatalf("seed %d: drop+dup reply faults escaped the audit (events: %v)", seed, inj.Events())
+		}
+		evs := inj.Events()
+		if len(evs) == 2 && evs[0].Kind == "drop-reply" && evs[1].Kind == "dup-reply" &&
+			evs[0].A == evs[1].A {
+			edges++
+		}
+	}
+	if edges == 0 {
+		t.Fatal("no seed in 1..256 produced the drop == dupSrc edge; widen the scan")
+	}
+	t.Logf("drop == dupSrc edge hit on %d of 256 seeds, all flagged by audit", edges)
+}
+
 // runQuiet executes the workload, swallowing any panic the injected
 // corruption provokes downstream (with audit off, a corrupted bank can
 // still trip structural panics inside RAR — exactly what the core.Run

@@ -63,3 +63,37 @@ func TestTheoreticalNeverExceedsCounted(t *testing.T) {
 		}
 	}
 }
+
+// Rotations sweep whichever direction is shorter, so the charge is
+// min(d mod len, len − d mod len) — NOT d mod len; a shift by len−1 costs
+// one step and a full rotation costs nothing. This pins the documented
+// formula to the implementation for both axes, including negative and
+// larger-than-len displacements.
+func TestRotateChargeIsShortestDirection(t *testing.T) {
+	for _, side := range []int{2, 4, 8, 16} {
+		for _, d := range []int{0, 1, 2, side / 2, side - 1, side, side + 1, -1, -side - 2, 3*side + 2} {
+			dm := ((d % side) + side) % side
+			want := int64(min(dm, side-dm))
+
+			m := New(side)
+			r := NewReg[int](m)
+			RotateRows(m.Root(), r, d)
+			if got := m.Steps(); got != want {
+				t.Fatalf("side %d RotateRows(%d): charged %d steps, want min(%d, %d) = %d",
+					side, d, got, dm, side-dm, want)
+			}
+			if got := m.Profile().Ops[OpRotate].Steps; got != want {
+				t.Fatalf("side %d RotateRows(%d): profile attributes %d steps to rotate, want %d",
+					side, d, got, want)
+			}
+
+			m = New(side)
+			r = NewReg[int](m)
+			RotateCols(m.Root(), r, d)
+			if got := m.Steps(); got != want {
+				t.Fatalf("side %d RotateCols(%d): charged %d steps, want min(%d, %d) = %d",
+					side, d, got, dm, side-dm, want)
+			}
+		}
+	}
+}

@@ -11,25 +11,76 @@ import (
 // formulas in mesh.go). Scans update the register file in place and reduces
 // accumulate directly, so none of these allocate; rotations borrow one
 // row/column buffer from the arena.
+//
+// Every operation here consults the fault-injection seam (inject.go) after
+// producing its output and, in audit mode, verifies that output against the
+// operation's defining identity — the same contract the sorts and the
+// random-access operations honour. Audit checks only observe: they charge
+// nothing and never alter machine state, so audited runs keep byte-identical
+// step tables.
 
 // Broadcast copies the value at view-local index src into every processor of
 // the view. Cost: rows+cols (a row sweep then a column sweep).
+//
+// Fault model: one cell misses the sweep and latches another cell's
+// pre-broadcast word. Audit mode verifies every cell equals the broadcast
+// value.
 func Broadcast[T any](v View, r *Reg[T], src int) {
 	v = v.begin(OpBroadcast)
 	val := r.data[v.Global(src)]
-	for i, n := 0, v.Size(); i < n; i++ {
+	stale, staleAt := corruptStale(v, "Broadcast", r)
+	n := v.Size()
+	for i := 0; i < n; i++ {
 		r.data[v.Global(i)] = val
+	}
+	if staleAt >= 0 {
+		r.data[v.Global(staleAt)] = stale
+	}
+	if v.m.audit {
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(r.data[v.Global(i)], val) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     "Broadcast",
+					Detail: fmt.Sprintf("cell %d of %d differs from the broadcast value", i, n),
+				})
+			}
+		}
 	}
 	v.charge(OpBroadcast, v.broadcastCost())
 }
 
-// Reduce combines all values in the view with op (which must be associative)
-// and returns the result, leaving registers untouched. Cost: rows+cols.
+// Reduce combines all values in the view with op (which must be associative
+// and, for audit mode, deterministic) and returns the result, leaving
+// registers untouched. Cost: rows+cols.
+//
+// Fault model: the accumulation register latches cell src's word in place of
+// the running total. Audit mode recomputes the fold from the (untouched)
+// register file and compares.
 func Reduce[T any](v View, r *Reg[T], op func(a, b T) T) T {
 	v = v.begin(OpReduce)
+	n := v.Size()
 	acc := r.data[v.Global(0)]
-	for i, n := 1, v.Size(); i < n; i++ {
+	for i := 1; i < n; i++ {
 		acc = op(acc, r.data[v.Global(i)])
+	}
+	if inj := v.m.inj; inj != nil {
+		if s, _, ok := inj.CorruptCell("Reduce", n); ok && s >= 0 && s < n {
+			acc = r.data[v.Global(s)]
+		}
+	}
+	if v.m.audit {
+		ref := r.data[v.Global(0)]
+		for i := 1; i < n; i++ {
+			ref = op(ref, r.data[v.Global(i)])
+		}
+		if !reflect.DeepEqual(acc, ref) {
+			panic(&AuditError{
+				Geom:   v.m.geometry(),
+				Op:     "Reduce",
+				Detail: "reduction result differs from the reference fold",
+			})
+		}
 	}
 	v.charge(OpReduce, v.reduceCost())
 	return acc
@@ -54,26 +105,33 @@ func Scan[T any](v View, r *Reg[T], op func(a, b T) T) {
 		prev = op(prev, r.data[g])
 		r.data[g] = prev
 	}
+	corruptReg(v, "Scan", r)
 	if in != nil {
-		auditScanIdentity(v, "Scan", in, func(i int) T { return r.data[v.Global(i)] }, op)
+		auditScanIdentity(v, "Scan", in, func(i int) T { return r.data[v.Global(i)] }, nil, op)
 	}
 	v.charge(OpScan, v.scanCost())
 }
 
-// auditScanIdentity verifies the inclusive-scan prefix identity
-// out[i] = op(out[i-1], in[i]) over a register scan's output.
-func auditScanIdentity[T any](v View, opName string, in []T, out func(i int) T, op func(a, b T) T) {
-	prev := out(0)
-	for i := 1; i < len(in); i++ {
-		got := out(i)
-		if want := op(prev, in[i]); !reflect.DeepEqual(got, want) {
+// auditScanIdentity verifies a (segmented) inclusive scan's output against
+// the full prefix identity over the pristine input: out[i] = op(out[i-1],
+// in[i]) at interior cells, out[i] = in[i] at cell 0 and at segment heads
+// (which the scan leaves untouched — a fault landing there must not escape
+// either). head nil means the only head is cell 0.
+func auditScanIdentity[T any](v View, opName string, in []T, out func(i int) T, head func(i int) bool, op func(a, b T) T) {
+	for i := 0; i < len(in); i++ {
+		var want T
+		if i == 0 || (head != nil && head(i)) {
+			want = in[i]
+		} else {
+			want = op(out(i-1), in[i])
+		}
+		if got := out(i); !reflect.DeepEqual(got, want) {
 			panic(&AuditError{
 				Geom:   v.m.geometry(),
 				Op:     opName,
 				Detail: fmt.Sprintf("prefix identity broken at processor %d of %d", i, len(in)),
 			})
 		}
-		prev = got
 	}
 }
 
@@ -81,10 +139,37 @@ func auditScanIdentity[T any](v View, opName string, in []T, out func(i int) T, 
 // cells 0..i-1, and cell 0 receives id. Cost: 2·(rows+cols).
 func ExclusiveScan[T any](v View, r *Reg[T], id T, op func(a, b T) T) {
 	v = v.begin(OpScan)
+	n := v.Size()
+	var in []T
+	if v.m.audit && n > 0 {
+		in = make([]T, n)
+		for i := 0; i < n; i++ {
+			in[i] = r.data[v.Global(i)]
+		}
+	}
 	acc := id
-	for i, n := 0, v.Size(); i < n; i++ {
+	for i := 0; i < n; i++ {
 		g := v.Global(i)
 		acc, r.data[g] = op(acc, r.data[g]), acc
+	}
+	corruptReg(v, "ExclusiveScan", r)
+	if in != nil {
+		// Exclusive identity: out[0] = id, out[i] = op(out[i-1], in[i-1]).
+		for i := 0; i < n; i++ {
+			var want T
+			if i == 0 {
+				want = id
+			} else {
+				want = op(r.data[v.Global(i-1)], in[i-1])
+			}
+			if got := r.data[v.Global(i)]; !reflect.DeepEqual(got, want) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     "ExclusiveScan",
+					Detail: fmt.Sprintf("exclusive prefix identity broken at processor %d of %d", i, n),
+				})
+			}
+		}
 	}
 	v.charge(OpScan, v.scanCost())
 }
@@ -95,8 +180,16 @@ func ExclusiveScan[T any](v View, r *Reg[T], id T, op func(a, b T) T) {
 // processors following it (Nassimi–Sahni generalize). Cost: 2·(rows+cols).
 func SegScan[T any](v View, r *Reg[T], head *Reg[bool], op func(a, b T) T) {
 	v = v.begin(OpScan)
+	n := v.Size()
+	var in []T
+	if v.m.audit && n > 0 {
+		in = make([]T, n)
+		for i := 0; i < n; i++ {
+			in[i] = r.data[v.Global(i)]
+		}
+	}
 	prev := r.data[v.Global(0)]
-	for i, n := 1, v.Size(); i < n; i++ {
+	for i := 1; i < n; i++ {
 		g := v.Global(i)
 		if head.data[g] {
 			prev = r.data[g]
@@ -105,17 +198,50 @@ func SegScan[T any](v View, r *Reg[T], head *Reg[bool], op func(a, b T) T) {
 			r.data[g] = prev
 		}
 	}
+	corruptReg(v, "SegScan", r)
+	if in != nil {
+		auditScanIdentity(v, "SegScan", in,
+			func(i int) T { return r.data[v.Global(i)] },
+			func(i int) bool { return head.data[v.Global(i)] },
+			op)
+	}
 	v.charge(OpScan, v.scanCost())
 }
 
+// auditRotation verifies a row/column rotation against the pristine input:
+// every cell must hold the word that the cyclic shift moves there. at maps a
+// (line, position) pair to the view-local index; lines is the number of
+// rotated lines, length their cell count, d the normalized shift.
+func auditRotation[T any](v View, opName string, r *Reg[T], in []T, lines, length, d int,
+	at func(line, pos int) int) {
+	for l := 0; l < lines; l++ {
+		for p := 0; p < length; p++ {
+			got := r.data[v.Global(at(l, (p+d)%length))]
+			if want := in[at(l, p)]; !reflect.DeepEqual(got, want) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     opName,
+					Detail: fmt.Sprintf("rotation identity broken on line %d at position %d", l, (p+d)%length),
+				})
+			}
+		}
+	}
+}
+
 // RotateRows cyclically shifts every row of the view right by d positions
-// (left for negative d). Cost: |d| mod cols.
+// (left for negative d). Cost: min(d mod cols, cols − d mod cols) — the
+// sweep takes whichever direction is shorter, so a shift by cols−1 costs one
+// step, and a full rotation costs (and does) nothing.
 func RotateRows[T any](v View, r *Reg[T], d int) {
 	v = v.begin(OpRotate)
 	d = ((d % v.w) + v.w) % v.w
 	if d == 0 {
 		v.charge(OpRotate, 0)
 		return
+	}
+	var in []T
+	if v.m.audit {
+		in = gather(v, r)
 	}
 	row := Checkout[T](v.m, v.w)
 	for rr := 0; rr < v.h; rr++ {
@@ -128,6 +254,11 @@ func RotateRows[T any](v View, r *Reg[T], d int) {
 		}
 	}
 	Release(v.m, row)
+	corruptReg(v, "RotateRows", r)
+	if in != nil {
+		auditRotation(v, "RotateRows", r, in, v.h, v.w, d,
+			func(line, pos int) int { return line*v.w + pos })
+	}
 	cost := d
 	if v.w-d < cost {
 		cost = v.w - d
@@ -136,13 +267,18 @@ func RotateRows[T any](v View, r *Reg[T], d int) {
 }
 
 // RotateCols cyclically shifts every column of the view down by d positions
-// (up for negative d). Cost: |d| mod rows.
+// (up for negative d). Cost: min(d mod rows, rows − d mod rows), the shorter
+// sweep direction (see RotateRows).
 func RotateCols[T any](v View, r *Reg[T], d int) {
 	v = v.begin(OpRotate)
 	d = ((d % v.h) + v.h) % v.h
 	if d == 0 {
 		v.charge(OpRotate, 0)
 		return
+	}
+	var in []T
+	if v.m.audit {
+		in = gather(v, r)
 	}
 	col := Checkout[T](v.m, v.h)
 	for c := 0; c < v.w; c++ {
@@ -154,6 +290,11 @@ func RotateCols[T any](v View, r *Reg[T], d int) {
 		}
 	}
 	Release(v.m, col)
+	corruptReg(v, "RotateCols", r)
+	if in != nil {
+		auditRotation(v, "RotateCols", r, in, v.w, v.h, d,
+			func(line, pos int) int { return pos*v.w + line })
+	}
 	cost := d
 	if v.h-d < cost {
 		cost = v.h - d
@@ -163,12 +304,36 @@ func RotateCols[T any](v View, r *Reg[T], d int) {
 
 // Count returns the number of processors in the view whose value satisfies
 // pred. Cost: one reduce (rows+cols).
+//
+// Fault model: the tally register latches cell src's index in place of the
+// count. Audit mode recounts and compares.
 func Count[T any](v View, r *Reg[T], pred func(T) bool) int {
 	v = v.begin(OpReduce)
+	n := v.Size()
 	c := 0
-	for i, n := 0, v.Size(); i < n; i++ {
+	for i := 0; i < n; i++ {
 		if pred(r.data[v.Global(i)]) {
 			c++
+		}
+	}
+	if inj := v.m.inj; inj != nil {
+		if s, _, ok := inj.CorruptCell("Count", n); ok && s >= 0 && s < n {
+			c = s
+		}
+	}
+	if v.m.audit {
+		ref := 0
+		for i := 0; i < n; i++ {
+			if pred(r.data[v.Global(i)]) {
+				ref++
+			}
+		}
+		if c != ref {
+			panic(&AuditError{
+				Geom:   v.m.geometry(),
+				Op:     "Count",
+				Detail: fmt.Sprintf("count %d differs from reference recount %d", c, ref),
+			})
 		}
 	}
 	v.charge(OpReduce, v.reduceCost())

@@ -1,5 +1,10 @@
 package mesh
 
+import (
+	"fmt"
+	"reflect"
+)
+
 // Reg is one named machine register: every processor holds exactly one value
 // of type T. Algorithms allocate a fixed, O(1) set of registers, matching
 // the paper's "O(1) memory per processor" model; tests assert that no
@@ -27,32 +32,82 @@ func Ref[T any](v View, r *Reg[T], i int) *T { return &r.data[v.Global(i)] }
 func Set[T any](v View, r *Reg[T], i int, val T) { r.data[v.Global(i)] = val }
 
 // Fill stores val into every processor of the view. One parallel step.
+//
+// Fault model: like Broadcast, one cell misses the sweep and latches another
+// cell's pre-fill word; audit mode verifies every cell equals val.
 func Fill[T any](v View, r *Reg[T], val T) {
 	v = v.begin(OpLocal)
-	for i, n := 0, v.Size(); i < n; i++ {
+	stale, staleAt := corruptStale(v, "Fill", r)
+	n := v.Size()
+	for i := 0; i < n; i++ {
 		r.data[v.Global(i)] = val
+	}
+	if staleAt >= 0 {
+		r.data[v.Global(staleAt)] = stale
+	}
+	if v.m.audit {
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(r.data[v.Global(i)], val) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     "Fill",
+					Detail: fmt.Sprintf("cell %d of %d differs from the fill value", i, n),
+				})
+			}
+		}
 	}
 	v.charge(OpLocal, 1)
 }
 
 // Apply runs a locally-computed O(1) update on every processor of the view.
 // One parallel step.
+//
+// Fault model: one cell latches a neighbour's updated word during the
+// write-back sweep. Audit mode snapshots the honest output and compares
+// cell-by-cell after the seam — it never re-runs f, so impure update
+// functions stay single-shot.
 func Apply[T any](v View, r *Reg[T], f func(local int, cur T) T) {
 	v = v.begin(OpLocal)
-	for i, n := 0, v.Size(); i < n; i++ {
+	n := v.Size()
+	for i := 0; i < n; i++ {
 		g := v.Global(i)
 		r.data[g] = f(i, r.data[g])
 	}
-	v.charge(OpLocal, 1)
+	auditWriteBack(v, "Apply", r)
 }
 
 // Apply2 runs a locally-computed O(1) update reading register a and updating
-// register b on every processor of the view. One parallel step.
+// register b on every processor of the view. One parallel step. Same fault
+// model and audit as Apply, on register b.
 func Apply2[A, B any](v View, a *Reg[A], b *Reg[B], f func(local int, av A, bv B) B) {
 	v = v.begin(OpLocal)
 	for i, n := 0, v.Size(); i < n; i++ {
 		g := v.Global(i)
 		b.data[g] = f(i, a.data[g], b.data[g])
+	}
+	auditWriteBack(v, "Apply2", b)
+}
+
+// auditWriteBack is the shared tail of Apply/Apply2: snapshot the honest
+// output (audit mode only), run the write-back fault seam, verify nothing
+// moved, and charge the one local step.
+func auditWriteBack[T any](v View, op string, r *Reg[T]) {
+	var want []T
+	if v.m.audit {
+		want = gather(v, r)
+	}
+	corruptReg(v, op, r)
+	if want != nil {
+		n := v.Size()
+		for i := 0; i < n; i++ {
+			if !reflect.DeepEqual(r.data[v.Global(i)], want[i]) {
+				panic(&AuditError{
+					Geom:   v.m.geometry(),
+					Op:     op,
+					Detail: fmt.Sprintf("cell %d of %d latched a foreign word during write-back", i, n),
+				})
+			}
+		}
 	}
 	v.charge(OpLocal, 1)
 }

@@ -31,7 +31,7 @@ func SortScratch[T any](v View, xs []T, perProc int, less func(a, b T) bool) {
 // scans.
 func ScanScratch[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	v = v.begin(OpScan)
-	scanSlice(v, xs, perProc, head, op)
+	scanSlice(v, "ScanScratch", xs, perProc, head, op)
 }
 
 // ScanScratchRev is ScanScratch running in reverse index order: segment
@@ -40,7 +40,7 @@ func ScanScratch[T any](v View, xs []T, perProc int, head func(i int) bool, op f
 // reversed snake; same cost.
 func ScanScratchRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	v = v.begin(OpScan)
-	scanSliceRev(v, xs, perProc, head, op)
+	scanSliceRev(v, "ScanScratchRev", xs, perProc, head, op)
 }
 
 // move pairs a routed value with its destination; routings sort their move
@@ -87,10 +87,17 @@ func RouteTo[T any](v View, src, dst *Reg[T], sel func(local int, val T) (dest i
 	v.charge(OpRoute, 1)
 }
 
-// RouteScratch routes the items of src into a fresh scratch bank of dstLen
-// cells (≤ perProc per processor): src[i] lands at dest(i). Destinations
-// must be distinct. occupied reports which cells received an item. The
-// returned slices are owned by the caller (not pooled). Cost: perProc sorts.
+// RouteScratch routes the items of src into a scratch bank of dstLen cells
+// (≤ perProc per processor): src[i] lands at dest(i). Destinations must be
+// distinct; with an honest sort a collision panics (equal destinations are
+// adjacent after the destination sort). occupied reports which cells
+// received an item. The returned slices come from the arena — the caller
+// must hand both back with Release when done with them. Cost: perProc sorts.
+//
+// The routing executes as a move-list sort by destination through runSort,
+// so the fault-injection and audit seams cover it like every other charged
+// sort (a lying comparator or corrupted move record trips the audit's
+// reference-sort comparison before the scatter).
 func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) int) (dst []T, occupied []bool) {
 	v = v.begin(OpRoute)
 	if perProc < 1 {
@@ -99,19 +106,27 @@ func RouteScratch[T any](v View, src []T, dstLen, perProc int, dest func(i int) 
 	if dstLen > perProc*v.Size() {
 		panic("mesh: RouteScratch overflow")
 	}
-	dst = make([]T, dstLen)
-	occupied = make([]bool, dstLen)
+	moves := Checkout[move[T]](v.m, len(src))[:0]
 	for i := range src {
 		d := dest(i)
 		if d < 0 || d >= dstLen {
 			panic("mesh: RouteScratch destination out of range")
 		}
-		if occupied[d] {
+		moves = append(moves, move[T]{int32(d), src[i]})
+	}
+	runSort(v, "RouteScratch", moves, func(a, b move[T]) bool { return a.dest < b.dest })
+	dst = Checkout[T](v.m, dstLen)
+	occupied = Checkout[bool](v.m, dstLen)
+	clear(dst)
+	clear(occupied)
+	for i, mv := range moves {
+		if i > 0 && mv.dest == moves[i-1].dest {
 			panic("mesh: RouteScratch destination collision")
 		}
-		dst[d] = src[i]
-		occupied[d] = true
+		dst[mv.dest] = mv.val
+		occupied[mv.dest] = true
 	}
+	Release(v.m, moves)
 	v.charge(OpRoute, int64(perProc)*v.rowMajorSortCost())
 	return dst, occupied
 }
@@ -224,7 +239,7 @@ func RAR[K cmp.Ordered, V any](v View,
 		}
 		return !a.isReq && b.isReq
 	})
-	scanSlice(v, items, 2,
+	scanSlice(v, "RAR", items, 2,
 		func(i int) bool { return i == 0 || items[i].key != items[i-1].key },
 		func(a, b item) item {
 			if b.isReq {
@@ -349,7 +364,7 @@ func RAW[K cmp.Ordered, V any](v View,
 	})
 	// Reverse scan: fold write values toward the record at the front of
 	// each key segment.
-	scanSliceRev(v, items, 2,
+	scanSliceRev(v, "RAW", items, 2,
 		func(i int) bool { return i == len(items)-1 || items[i].key != items[i+1].key },
 		func(a, b item) item {
 			if a.has {
@@ -383,8 +398,10 @@ func RAW[K cmp.Ordered, V any](v View,
 }
 
 // scanSliceRev mirrors scanSlice in reverse index order, including the
-// audit-mode prefix-identity check.
-func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+// fault-injection consult and the audit-mode prefix-identity check (which,
+// like scanSlice's, also pins the untouched head cells and the last record
+// to their input values).
+func scanSliceRev[T any](v View, opName string, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	if perProc < 1 {
 		perProc = 1
 	}
@@ -400,15 +417,19 @@ func scanSliceRev[T any](v View, xs []T, perProc int, head func(i int) bool, op 
 			xs[i] = op(xs[i+1], xs[i])
 		}
 	}
+	corruptSlice(v, opName, xs)
 	if in != nil {
-		for i := len(xs) - 2; i >= 0; i-- {
-			if head(i) {
-				continue
+		for i := len(xs) - 1; i >= 0; i-- {
+			var want T
+			if i == len(xs)-1 || head(i) {
+				want = in[i]
+			} else {
+				want = op(xs[i+1], in[i])
 			}
-			if want := op(xs[i+1], in[i]); !reflect.DeepEqual(xs[i], want) {
+			if !reflect.DeepEqual(xs[i], want) {
 				panic(&AuditError{
 					Geom:   v.m.geometry(),
-					Op:     "ScanScratchRev",
+					Op:     opName,
 					Detail: fmt.Sprintf("prefix identity broken at record %d of %d", i, len(xs)),
 				})
 			}
@@ -447,18 +468,24 @@ func Route[T any](v View, r *Reg[T], clear T, sel func(local int, val T) (dest i
 // Concentrate moves the records satisfying pred to local indices 0..k-1,
 // preserving their order, sets every other cell to clear, and returns k.
 // Cost: one sort (stable sort by the predicate).
-func Concentrate[T any](v View, r *Reg[T], clear T, pred func(T) bool) int {
+//
+// The concentration executes as a stable sort on the predicate through
+// runSort — satisfying records before the rest, order preserved within each
+// group — so the fault-injection and audit seams cover it like every other
+// charged sort. The non-satisfying tail is overwritten with clear after the
+// sort (and after the audit's reference comparison).
+func Concentrate[T any](v View, r *Reg[T], clearVal T, pred func(T) bool) int {
 	v = v.begin(OpConcentrate)
 	xs := gatherScratch(v, r)
 	k := 0
 	for _, x := range xs {
 		if pred(x) {
-			xs[k] = x
 			k++
 		}
 	}
+	runSort(v, "Concentrate", xs, func(a, b T) bool { return pred(a) && !pred(b) })
 	for i := k; i < len(xs); i++ {
-		xs[i] = clear
+		xs[i] = clearVal
 	}
 	scatter(v, r, xs)
 	Release(v.m, xs)
@@ -471,14 +498,48 @@ func Concentrate[T any](v View, r *Reg[T], clear T, pred func(T) bool) int {
 // replication sweep: the block travels across the top row of submeshes and
 // down every submesh column, words pipelined, in ≤ 2·(rows+cols) steps of
 // the parent. block must fit in each sub-view.
+//
+// Fault model: one replicated cell misses the sweep and latches its
+// pre-sweep word (the injector's CorruptCell over the len(subs)·len(block)
+// written cells, src selecting the stale word, dst the cell that keeps it).
+// Audit mode verifies every written cell against the block.
 func BroadcastBlock[T any](parent View, r *Reg[T], block []T, subs []View) {
 	parent = parent.begin(OpBroadcast)
 	for _, s := range subs {
 		if len(block) > s.Size() {
 			panic("mesh: BroadcastBlock block larger than sub-view")
 		}
+	}
+	written := len(subs) * len(block)
+	cellOf := func(flat int) (View, int) { return subs[flat/len(block)], flat % len(block) }
+	var stale T
+	staleAt := -1
+	if inj := parent.m.inj; inj != nil && written > 0 {
+		if s, d, ok := inj.CorruptCell("BroadcastBlock", written); ok &&
+			s != d && s >= 0 && d >= 0 && s < written && d < written {
+			sv, si := cellOf(s)
+			stale, staleAt = r.data[sv.Global(si)], d
+		}
+	}
+	for _, s := range subs {
 		for i, x := range block {
 			r.data[s.Global(i)] = x
+		}
+	}
+	if staleAt >= 0 {
+		dv, di := cellOf(staleAt)
+		r.data[dv.Global(di)] = stale
+	}
+	if parent.m.audit {
+		for f := 0; f < written; f++ {
+			sv, si := cellOf(f)
+			if !reflect.DeepEqual(r.data[sv.Global(si)], block[si]) {
+				panic(&AuditError{
+					Geom:   parent.m.geometry(),
+					Op:     "BroadcastBlock",
+					Detail: fmt.Sprintf("replicated cell %d of sub-view %d differs from the block", si, f/len(block)),
+				})
+			}
 		}
 	}
 	parent.charge(OpBroadcast, int64(2*(parent.h+parent.w)))

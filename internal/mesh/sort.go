@@ -48,10 +48,7 @@ func runSort[T any](v View, op string, xs []T, less func(a, b T) bool) {
 		} else {
 			sortStable(xs, less)
 		}
-		if s, d, ok := inj.CorruptCell(op, len(xs)); ok &&
-			s != d && s >= 0 && d >= 0 && s < len(xs) && d < len(xs) {
-			xs[d] = xs[s]
-		}
+		corruptSlice(v, op, xs)
 	} else {
 		sortStable(xs, less)
 	}
@@ -135,10 +132,13 @@ func sortSlice[T any](v View, op string, xs []T, perProc int, less func(a, b T) 
 }
 
 // scanSlice charges one scan on the view and performs a segmented inclusive
-// scan over a scratch slice (up to perProc records per processor). In audit
-// mode the output is verified against the prefix identity
-// out[i] = op(out[i-1], in[i]) on a pristine copy of the input.
-func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
+// scan over a scratch slice (up to perProc records per processor); opName
+// names the operation for fault injection and audit reports. In audit mode
+// the output is verified against the full prefix identity on a pristine copy
+// of the input: out[i] = op(out[i-1], in[i]) at interior records, and
+// out[i] = in[i] at segment heads and record 0 — the head cells are part of
+// the machine state too, so a fault landing there must not escape.
+func scanSlice[T any](v View, opName string, xs []T, perProc int, head func(i int) bool, op func(a, b T) T) {
 	if perProc < 1 {
 		perProc = 1
 	}
@@ -154,15 +154,19 @@ func scanSlice[T any](v View, xs []T, perProc int, head func(i int) bool, op fun
 			xs[i] = op(xs[i-1], xs[i])
 		}
 	}
+	corruptSlice(v, opName, xs)
 	if in != nil {
-		for i := 1; i < len(xs); i++ {
-			if head(i) {
-				continue
+		for i := 0; i < len(xs); i++ {
+			var want T
+			if i == 0 || head(i) {
+				want = in[i]
+			} else {
+				want = op(xs[i-1], in[i])
 			}
-			if want := op(xs[i-1], in[i]); !reflect.DeepEqual(xs[i], want) {
+			if !reflect.DeepEqual(xs[i], want) {
 				panic(&AuditError{
 					Geom:   v.m.geometry(),
-					Op:     "ScanScratch",
+					Op:     opName,
 					Detail: fmt.Sprintf("prefix identity broken at record %d of %d", i, len(xs)),
 				})
 			}

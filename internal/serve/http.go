@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+)
+
+// Handler returns the server's HTTP surface:
+//
+//	GET /search?key=K   — one lookup; the response rides the query's round.
+//	                      429 on ErrOverloaded (retryable), 503 after
+//	                      Shutdown, 500 for a failed round (budget overrun,
+//	                      cancellation), with the typed error's message.
+//	GET /metrics        — serving counters, per-round step-budget headroom,
+//	                      and, when a tracer is configured, its live span
+//	                      snapshot.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "serve: /search needs an integer ?key=", http.StatusBadRequest)
+		return
+	}
+	res, err := s.Lookup(r.Context(), key)
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, ErrClosed):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.Stats()
+	doc := map[string]any{
+		"serve":     st,
+		"max_batch": s.maxBatch,
+	}
+	if st.Rounds > 0 {
+		doc["queries_per_round"] = float64(st.Served+st.Failed) / float64(st.Rounds)
+		doc["sim_steps_per_round"] = float64(st.SimSteps) / float64(st.Rounds)
+	}
+	if s.cfg.Tracer != nil {
+		live := s.cfg.Tracer.Live()
+		doc["trace"] = live
+		if s.cfg.Budget > 0 {
+			// Same semantics as meshbench -metrics: the span clock is a
+			// low-water mark, so clamp remaining headroom at zero.
+			headroom := s.cfg.Budget - live.StepClock
+			if headroom < 0 {
+				headroom = 0
+			}
+			doc["step_budget_headroom"] = headroom
+		}
+	}
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,375 @@
+// Package serve turns the batch multisearch machinery into a query-serving
+// subsystem: a long-lived mesh holding a built hierarchical DAG (the dict
+// (a,b)-tree), an admission queue accepting lookups from many concurrent
+// clients, and a round loop that collects admitted queries into batches and
+// answers each batch with one multisearch round (DESIGN.md §3.5).
+//
+// The serving loop is two pipeline stages connected by a one-slot channel:
+// the collector assembles the next batch (blocking for the first query, then
+// filling until the batch is full or the linger deadline passes) while the
+// executor simulates the current round — host-side batch assembly overlaps
+// simulated mesh time. Admission is bounded: when the queue is full, Lookup
+// fails fast with ErrOverloaded rather than queueing unboundedly. Shutdown
+// closes admission, drains every in-flight batch through the normal round
+// path, and only cancels the mesh run (via the run-control context seam) if
+// the caller's drain deadline expires.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/mesh"
+	"repro/internal/trace"
+)
+
+// ErrOverloaded is returned by Lookup when the admission queue is full: the
+// client should back off and retry. Typed so load generators and HTTP
+// handlers can distinguish overload (retryable, 429) from closure.
+var ErrOverloaded = errors.New("serve: admission queue full")
+
+// ErrClosed is returned by Lookup once Shutdown has begun.
+var ErrClosed = errors.New("serve: server closed")
+
+// Config configures a Server. The zero value of every field has a usable
+// default except Side, which must be a positive power of two.
+type Config struct {
+	// Side is the mesh side length √n; required, power of two.
+	Side int
+	// Keys is the dictionary key set. Nil defaults to n/4 odd keys
+	// 1, 3, 5, …, so even needles miss and odd needles below the range hit.
+	Keys []int64
+	// A, B select the (a,b)-tree arity; 0,0 defaults to a 2-3 tree.
+	A, B int
+	// Model selects the mesh cost model (default CostCounted).
+	Model mesh.CostModel
+	// MaxBatch caps the queries per multisearch round. 0 defaults to n,
+	// one query per processor; larger values are clamped to n.
+	MaxBatch int
+	// QueueDepth bounds the admission queue. 0 defaults to 4×MaxBatch.
+	QueueDepth int
+	// Linger is how long the collector waits to fill a batch after its
+	// first query arrives. ≤ 0 means no waiting: a round starts with
+	// whatever is already queued.
+	Linger time.Duration
+	// Budget is the per-round step budget (the clock resets every round);
+	// a round that exceeds it fails with a *mesh.BudgetExceededError
+	// delivered to every query of the batch. 0 = unlimited.
+	Budget int64
+	// Tracer, when set, records one traced run per round (retention is
+	// bounded by RetainRuns) and feeds the /metrics live snapshot.
+	Tracer *trace.Tracer
+	// RetainRuns bounds the tracer's retained runs (default 64).
+	RetainRuns int
+	// Parallelism bounds the simulator's goroutines (default GOMAXPROCS).
+	Parallelism int
+}
+
+// Result is the answer to one lookup.
+type Result struct {
+	Needle  int64 `json:"needle"`
+	Found   bool  `json:"found"`
+	LeafKey int64 `json:"leaf_key"` // key of the reached leaf
+	Steps   int32 `json:"steps"`    // search-path length of this query
+	Round   int64 `json:"round"`    // multisearch round that served it
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	Accepted   int64 `json:"accepted"`    // lookups admitted to the queue
+	Rejected   int64 `json:"rejected"`    // lookups refused with ErrOverloaded
+	Served     int64 `json:"served"`      // lookups answered successfully
+	Failed     int64 `json:"failed"`      // lookups answered with a round error
+	Rounds     int64 `json:"rounds"`      // multisearch rounds executed
+	SimSteps   int64 `json:"sim_steps"`   // simulated mesh steps across all rounds
+	LastBatch  int64 `json:"last_batch"`  // size of the most recent batch
+	PeakBatch  int64 `json:"peak_batch"`  // largest batch so far
+	StepBudget int64 `json:"step_budget"` // configured per-round budget (0 = unlimited)
+}
+
+type request struct {
+	needle int64
+	resp   chan response
+}
+
+type response struct {
+	res Result
+	err error
+}
+
+// Server owns one mesh with a built dictionary and serves batched lookups
+// against it. Safe for concurrent use.
+type Server struct {
+	cfg      Config
+	m        *mesh.Mesh
+	bt       *dict.BTree
+	in       *core.Instance
+	maxPart  int
+	maxBatch int
+
+	queue   chan request
+	batches chan []request
+	cancel  context.CancelFunc
+	done    chan struct{}
+
+	mu     sync.RWMutex // guards closed against Lookup's queue send
+	closed bool
+
+	accepted, rejected, served, failed atomic.Int64
+	rounds, simSteps                   atomic.Int64
+	lastBatch, peakBatch               atomic.Int64
+}
+
+// New builds the dictionary, loads it onto a fresh mesh, and starts the
+// serving loop. The returned server answers Lookups until Shutdown.
+func New(cfg Config) (*Server, error) {
+	if cfg.Side <= 0 || cfg.Side&(cfg.Side-1) != 0 {
+		return nil, fmt.Errorf("serve: side must be a positive power of two, got %d", cfg.Side)
+	}
+	n := cfg.Side * cfg.Side
+	keys := cfg.Keys
+	if keys == nil {
+		keys = make([]int64, n/4)
+		for i := range keys {
+			keys[i] = int64(2*i + 1)
+		}
+	}
+	a, b := cfg.A, cfg.B
+	if a == 0 && b == 0 {
+		a, b = 2, 3
+	}
+	bt := dict.New(keys, a, b)
+	if bt.G.N() > n {
+		return nil, fmt.Errorf("serve: (%d,%d)-tree over %d keys needs %d processors, mesh has %d",
+			a, b, len(keys), bt.G.N(), n)
+	}
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 || maxBatch > n {
+		maxBatch = n
+	}
+	depth := cfg.QueueDepth
+	if depth <= 0 {
+		depth = 4 * maxBatch
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	opts := []mesh.Option{
+		mesh.WithCostModel(cfg.Model),
+		mesh.WithBudget(cfg.Budget),
+		mesh.WithContext(ctx),
+	}
+	if cfg.Tracer != nil {
+		retain := cfg.RetainRuns
+		if retain <= 0 {
+			retain = 64
+		}
+		cfg.Tracer.SetRetain(retain)
+		opts = append(opts, mesh.WithTracer(cfg.Tracer))
+	}
+	if cfg.Parallelism > 0 {
+		opts = append(opts, mesh.WithParallelism(cfg.Parallelism))
+	}
+	m := mesh.New(cfg.Side, opts...)
+
+	s := &Server{
+		cfg:      cfg,
+		m:        m,
+		bt:       bt,
+		maxPart:  bt.InstallSplitter(),
+		maxBatch: maxBatch,
+		queue:    make(chan request, depth),
+		batches:  make(chan []request, 1),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	s.in = core.NewInstance(m, bt.G, nil, dict.Successor)
+	go s.collect()
+	go s.execute()
+	return s, nil
+}
+
+// Tree exposes the served dictionary (for oracle checks in tests and the
+// load generator).
+func (s *Server) Tree() *dict.BTree { return s.bt }
+
+// MaxBatch reports the effective per-round batch cap.
+func (s *Server) MaxBatch() int { return s.maxBatch }
+
+// Lookup submits one membership query and blocks until its round completes,
+// ctx is done, or the server refuses it (ErrOverloaded when the admission
+// queue is full, ErrClosed after Shutdown).
+func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
+	req := request{needle: needle, resp: make(chan response, 1)}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return Result{}, ErrClosed
+	}
+	// Non-blocking admission under the read lock: Shutdown takes the write
+	// lock before closing the queue, so this send cannot race the close.
+	select {
+	case s.queue <- req:
+		s.mu.RUnlock()
+		s.accepted.Add(1)
+	default:
+		s.mu.RUnlock()
+		s.rejected.Add(1)
+		return Result{}, ErrOverloaded
+	}
+	select {
+	case r := <-req.resp:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The round still answers into the buffered resp channel; the
+		// abandoned reply is garbage-collected with it.
+		return Result{}, ctx.Err()
+	}
+}
+
+// collect is the admission stage: it blocks for a round's first query, then
+// fills the batch until MaxBatch or the linger deadline, and hands it to the
+// executor. The one-slot batches channel lets the next batch assemble while
+// the current round simulates.
+func (s *Server) collect() {
+	defer close(s.batches)
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := append(make([]request, 0, s.maxBatch), first)
+		if s.cfg.Linger > 0 {
+			timer := time.NewTimer(s.cfg.Linger)
+		fill:
+			for len(batch) < s.maxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, r)
+				case <-timer.C:
+					break fill
+				}
+			}
+			timer.Stop()
+		} else {
+		greedy:
+			for len(batch) < s.maxBatch {
+				select {
+				case r, ok := <-s.queue:
+					if !ok {
+						break greedy
+					}
+					batch = append(batch, r)
+				default:
+					break greedy
+				}
+			}
+		}
+		s.batches <- batch
+	}
+}
+
+// execute runs one multisearch round per batch until the collector drains.
+func (s *Server) execute() {
+	defer close(s.done)
+	for batch := range s.batches {
+		s.runRound(batch)
+	}
+}
+
+// runRound answers one batch with one multisearch round: reset the step
+// clock (making the budget per-round and starting a fresh traced run), load
+// the batch's queries against the resident tree, run Algorithm 2 to
+// completion inside the core.Run containment boundary, and deliver each
+// query's result — or, on a contained fault (budget overrun, cancellation),
+// the typed error — to its waiting client.
+func (s *Server) runRound(batch []request) {
+	round := s.rounds.Add(1)
+	s.lastBatch.Store(int64(len(batch)))
+	if int64(len(batch)) > s.peakBatch.Load() {
+		s.peakBatch.Store(int64(len(batch)))
+	}
+	queries := make([]core.Query, len(batch))
+	for i, r := range batch {
+		queries[i].Cur = s.bt.Root
+		queries[i].State[0] = r.needle
+	}
+	s.m.ResetSteps()
+	err := core.Run(fmt.Sprintf("serve round %d", round), func() error {
+		v := s.m.Root()
+		defer trace.Span(v, "round#%d q=%d", round, len(batch))()
+		s.in.ResetQueries(v, queries)
+		core.MultisearchAlpha(v, s.in, s.maxPart, 0)
+		return nil
+	})
+	s.simSteps.Add(s.m.Steps())
+	if err != nil {
+		s.failed.Add(int64(len(batch)))
+		for _, r := range batch {
+			r.resp <- response{err: err}
+		}
+		return
+	}
+	results := s.in.ResultQueries()
+	for i, r := range batch {
+		q := results[i]
+		r.resp <- response{res: Result{
+			Needle:  r.needle,
+			Found:   dict.Member(q),
+			LeafKey: q.State[dict.StateLeafKey],
+			Steps:   q.Steps,
+			Round:   round,
+		}}
+	}
+	s.served.Add(int64(len(batch)))
+}
+
+// Shutdown stops admission and drains: queued and in-flight batches are
+// answered through the normal round path. If ctx expires first, the mesh
+// run is cancelled through the run-control seam — the in-flight round (and
+// any still-queued batch) fails fast with a *mesh.CanceledError delivered
+// to its clients — and Shutdown returns ctx.Err(). Safe to call once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.done
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+
+	select {
+	case <-s.done:
+		s.cancel()
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-s.done
+		return ctx.Err()
+	}
+}
+
+// Stats returns a snapshot of the serving counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Accepted:   s.accepted.Load(),
+		Rejected:   s.rejected.Load(),
+		Served:     s.served.Load(),
+		Failed:     s.failed.Load(),
+		Rounds:     s.rounds.Load(),
+		SimSteps:   s.simSteps.Load(),
+		LastBatch:  s.lastBatch.Load(),
+		PeakBatch:  s.peakBatch.Load(),
+		StepBudget: s.cfg.Budget,
+	}
+}

@@ -20,9 +20,10 @@ func (t *Tracer) Live() LiveSnapshot {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	s := LiveSnapshot{
-		Runs:      len(t.runs),
-		SpansOpen: t.spans,
-		SpanPath:  t.lastPath,
+		Runs:       t.base + len(t.runs),
+		SpansOpen:  t.spans,
+		SpanPath:   t.lastPath,
+		TotalSteps: t.droppedSteps,
 	}
 	if t.lastRun != nil {
 		s.Run = t.lastRun.Label

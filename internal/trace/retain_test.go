@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// miniRun executes one tiny instrumented run on a fresh epoch of m.
+func miniRun(m *mesh.Mesh) {
+	v := m.Root()
+	r := mesh.NewReg[int](m)
+	defer Span(v, "round")()
+	mesh.Scan(v, r, func(a, b int) int { return a + b })
+}
+
+// TestSetRetainBoundsRunsAndKeepsMarks pins the serving-mode contract: a
+// retain bound caps the retained run list while NumRuns keeps counting every
+// attach, marks taken before discarded runs still resolve, and the live
+// snapshot's step total keeps the discarded runs' steps.
+func TestSetRetainBoundsRunsAndKeepsMarks(t *testing.T) {
+	tr := New()
+	tr.SetRetain(3)
+	m := mesh.New(4, mesh.WithTracer(tr))
+
+	mark := tr.NumRuns() // 1: the attach from New
+	if mark != 1 {
+		t.Fatalf("NumRuns after New = %d, want 1", mark)
+	}
+	miniRun(m)
+	perRun := m.Steps()
+	for i := 0; i < 9; i++ {
+		m.ResetSteps()
+		miniRun(m)
+	}
+
+	if got := tr.NumRuns(); got != 10 {
+		t.Fatalf("NumRuns = %d, want 10 (discards must not rewind the counter)", got)
+	}
+	runs := tr.Runs()
+	if len(runs) != 3 {
+		t.Fatalf("retained %d runs, want 3", len(runs))
+	}
+	if runs[len(runs)-1].Label != "run#10 4x4" {
+		t.Fatalf("newest retained run is %q, want run#10 4x4", runs[len(runs)-1].Label)
+	}
+	// A mark that predates the retain window resolves to what is retained.
+	if got := tr.RunsSince(mark); len(got) != 3 {
+		t.Fatalf("RunsSince(pre-window mark) returned %d runs, want the 3 retained", len(got))
+	}
+	// A mark inside the window slices normally.
+	if got := tr.RunsSince(9); len(got) != 1 {
+		t.Fatalf("RunsSince(9) returned %d runs, want 1", len(got))
+	}
+	// All 10 runs' steps stay in the live total.
+	if live := tr.Live(); live.TotalSteps != 10*perRun {
+		t.Fatalf("live TotalSteps = %d, want %d (10 runs × %d steps)", live.TotalSteps, 10*perRun, perRun)
+	} else if live.Runs != 10 {
+		t.Fatalf("live Runs = %d, want 10", live.Runs)
+	}
+}

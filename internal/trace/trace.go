@@ -65,6 +65,10 @@ type Tracer struct {
 	prefix string
 	runs   []*Run
 
+	retain       int   // max retained runs; 0 = unlimited
+	base         int   // runs discarded from the front, ever
+	droppedSteps int64 // sum of End over discarded runs, at discard time
+
 	spans    int64  // spans opened, ever
 	lastPath string // most recently opened span's path
 	lastRun  *Run
@@ -81,12 +85,41 @@ func (t *Tracer) SetPrefix(p string) {
 	t.prefix = p
 }
 
+// SetRetain bounds the number of retained runs to n (0 restores the default:
+// retain everything). A serving mesh starts one run per round via ResetSteps,
+// so an unbounded tracer grows without limit; with a retain bound the tracer
+// keeps a ring of the most recent runs while NumRuns keeps counting every
+// attach, so RunsSince marks taken earlier stay valid (they simply resolve to
+// whatever of their window is still retained). Discarded runs keep their
+// step total (as of discard time) in the live snapshot's TotalSteps.
+func (t *Tracer) SetRetain(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.retain = n
+	t.trimLocked()
+}
+
+// trimLocked discards the oldest runs beyond the retain bound. Caller holds
+// t.mu. Chains of a discarded run stay functional — the run is merely no
+// longer listed, and its steps are folded into the dropped tally.
+func (t *Tracer) trimLocked() {
+	if t.retain <= 0 || len(t.runs) <= t.retain {
+		return
+	}
+	k := len(t.runs) - t.retain
+	for _, r := range t.runs[:k] {
+		t.droppedSteps += r.End
+	}
+	t.base += k
+	t.runs = append(t.runs[:0:0], t.runs[k:]...)
+}
+
 // Attach implements mesh.Tracer: it starts a new Run and returns its root
 // chain. Called by mesh.New and Mesh.ResetSteps.
 func (t *Tracer) Attach(g mesh.Geometry) mesh.TraceContext {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	label := fmt.Sprintf("run#%d %dx%d", len(t.runs)+1, g.Side, g.Side)
+	label := fmt.Sprintf("run#%d %dx%d", t.base+len(t.runs)+1, g.Side, g.Side)
 	if t.prefix != "" {
 		label = t.prefix + " " + label
 	}
@@ -94,6 +127,7 @@ func (t *Tracer) Attach(g mesh.Geometry) mesh.TraceContext {
 	r.root = &chain{t: t, run: r}
 	t.runs = append(t.runs, r)
 	t.lastRun = r
+	t.trimLocked()
 	return r.root
 }
 
@@ -107,8 +141,12 @@ func (t *Tracer) Runs() []*Run { return t.RunsSince(0) }
 func (t *Tracer) RunsSince(mark int) []*Run {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if mark < 0 || mark > len(t.runs) {
-		mark = len(t.runs)
+	if mark < 0 || mark > t.base+len(t.runs) {
+		mark = t.base + len(t.runs)
+	}
+	mark -= t.base // runs before the retain window resolve to its start
+	if mark < 0 {
+		mark = 0
 	}
 	out := make([]*Run, 0, len(t.runs)-mark)
 	for _, r := range t.runs[mark:] {
@@ -125,7 +163,7 @@ func (t *Tracer) RunsSince(mark int) []*Run {
 func (t *Tracer) NumRuns() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.runs)
+	return t.base + len(t.runs)
 }
 
 // chain is the mesh.TraceContext of one execution chain. spans/stack are
