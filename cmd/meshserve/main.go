@@ -17,7 +17,12 @@
 //	meshserve -loadgen -clients 1,4,16,64 -duration 2s -side 16
 //
 // Every load-generated answer is verified against the host-side dictionary
-// oracle; any mismatch fails the run.
+// oracle; any mismatch fails the run. With -chaos N the serving mesh runs
+// under seeded fault injection (audit mode is forced on so faults trip the
+// recovery ladder of DESIGN.md §3.6 instead of corrupting answers); the
+// acceptance bar is zero mismatches and zero failed queries:
+//
+//	meshserve -loadgen -clients 8,32 -duration 1s -side 16 -chaos 42 -chaos-p 0.02
 package main
 
 import (
@@ -36,6 +41,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/mesh"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -54,15 +60,26 @@ func main() {
 	clients := flag.String("clients", "1,4,16,64", "comma-separated closed-loop client counts (loadgen)")
 	duration := flag.Duration("duration", 2*time.Second, "measurement window per client count (loadgen)")
 	seed := flag.Int64("seed", 1, "needle-stream seed (loadgen)")
+	audit := flag.Bool("audit", false, "run every round in audit mode (forced on by -chaos)")
+	chaos := flag.Int64("chaos", 0, "inject seeded faults with this seed (non-zero; see internal/faults)")
+	chaosP := flag.Float64("chaos-p", 0.01, "per-consultation fault probability for -chaos")
+	chaosLimit := flag.Int("chaos-limit", 0, "stop injecting after this many faults (0 = unlimited)")
+	retries := flag.Int("retries", 0, "audited re-executions per failed round (0 = default 3, negative = none)")
+	breakerWindow := flag.Int("breaker-window", 0, "circuit-breaker sliding window, in rounds (0 = default 16)")
+	canaryInterval := flag.Duration("canary-interval", 0, "how often an open circuit probes the mesh (0 = default 50ms, negative = never)")
+	queryDeadline := flag.Duration("query-deadline", 5*time.Second, "per-query deadline for loadgen lookups (0 = none)")
 	flag.Parse()
 
 	cfg := serve.Config{
-		Side:       *side,
-		Linger:     *linger,
-		Budget:     int64(*budget),
-		MaxBatch:   *maxBatch,
-		QueueDepth: *queueDepth,
-		Tracer:     trace.New(),
+		Side:           *side,
+		Linger:         *linger,
+		Budget:         int64(*budget),
+		MaxBatch:       *maxBatch,
+		QueueDepth:     *queueDepth,
+		Tracer:         trace.New(),
+		MaxRetries:     *retries,
+		BreakerWindow:  *breakerWindow,
+		CanaryInterval: *canaryInterval,
 	}
 	switch *model {
 	case "counted":
@@ -73,6 +90,19 @@ func main() {
 		fmt.Fprintf(os.Stderr, "meshserve: unknown cost model %q\n", *model)
 		os.Exit(2)
 	}
+	var injector *faults.Injector
+	if *chaos != 0 {
+		p := *chaosP
+		injector = faults.New(faults.Config{
+			Seed: *chaos, PSortLie: p, PCorrupt: p, PDrop: p, PDup: p, Limit: *chaosLimit,
+		})
+		cfg.Injector = injector
+		if !*audit {
+			fmt.Fprintln(os.Stderr, "meshserve: -chaos forces -audit on (faults must trip the audit, not corrupt answers)")
+			*audit = true
+		}
+	}
+	cfg.Audit = *audit
 
 	if *loadgen {
 		counts, err := parseCounts(*clients)
@@ -80,13 +110,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
 			os.Exit(2)
 		}
-		if err := runLoadgen(cfg, counts, *duration, *seed); err != nil {
+		if err := runLoadgen(cfg, counts, *duration, *seed, *queryDeadline, injector); err != nil {
 			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
 			os.Exit(1)
 		}
 		return
 	}
-	if err := runServe(cfg, *addr, *drain); err != nil {
+	if err := runServe(cfg, *addr, *drain, injector); err != nil {
 		fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
 		os.Exit(1)
 	}
@@ -94,7 +124,7 @@ func main() {
 
 // runServe is serve mode: HTTP until SIGINT/SIGTERM, then a bounded drain
 // that answers every admitted query before exiting.
-func runServe(cfg serve.Config, addr string, drain time.Duration) error {
+func runServe(cfg serve.Config, addr string, drain time.Duration, injector *faults.Injector) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
@@ -102,7 +132,7 @@ func runServe(cfg serve.Config, addr string, drain time.Duration) error {
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "meshserve: %dx%d mesh, %d keys, serving on %s (SIGINT drains)\n",
+	fmt.Fprintf(os.Stderr, "meshserve: %dx%d mesh, %d keys, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
 		cfg.Side, cfg.Side, len(s.Tree().Keys), addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -122,15 +152,34 @@ func runServe(cfg serve.Config, addr string, drain time.Duration) error {
 	st := s.Stats()
 	fmt.Fprintf(os.Stderr, "meshserve: served %d queries in %d rounds (%d rejected, %d failed), %d simulated steps\n",
 		st.Served, st.Rounds, st.Rejected, st.Failed, st.SimSteps)
+	printRecovery(st, injector)
 	if drainErr != nil {
 		return fmt.Errorf("drain incomplete: %w", drainErr)
 	}
 	return nil
 }
 
+// printRecovery reports the recovery ladder's work (DESIGN.md §3.6) when any
+// of it ran: silent on a fault-free, fully-healthy run.
+func printRecovery(st serve.Stats, injector *faults.Injector) {
+	if st.Retries+st.Recovered+st.Degraded+st.CircuitOpens+st.CanaryRounds == 0 && injector == nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr,
+		"meshserve: recovery — %d retries, %d rounds recovered, %d degraded answers in %d rounds, circuit %d opens/%d closes, canaries %d (%d failed), health %s\n",
+		st.Retries, st.Recovered, st.Degraded, st.DegradedRounds,
+		st.CircuitOpens, st.CircuitCloses, st.CanaryRounds, st.CanaryFails, st.Health)
+	if injector != nil {
+		fmt.Fprintf(os.Stderr, "meshserve: chaos injected %d fault(s)\n", injector.Count())
+	}
+}
+
 // runLoadgen sweeps closed-loop client counts against one long-lived server
-// and prints one throughput row per count from the stats deltas.
-func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) error {
+// and prints one throughput row per count from the stats deltas. Overloaded
+// lookups retry under the shared jittered backoff (not a fixed sleep), each
+// query carries its own deadline, and every answer — mesh-served or
+// degraded — is checked against the host oracle.
+func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, deadline time.Duration, injector *faults.Injector) error {
 	s, err := serve.New(cfg)
 	if err != nil {
 		return err
@@ -143,9 +192,13 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) e
 	keys := int64(len(s.Tree().Keys))
 	fmt.Printf("meshserve loadgen: %dx%d mesh (%s model), %d keys, max batch %d, linger %s, window %s/point\n",
 		cfg.Side, cfg.Side, cfg.Model, keys, s.MaxBatch(), cfg.Linger, dur)
-	fmt.Printf("%8s %12s %10s %10s %14s %10s\n",
-		"clients", "queries/s", "rounds/s", "q/round", "steps/query", "rejected")
+	if injector != nil {
+		fmt.Printf("chaos: audit %v, acceptance = zero oracle mismatches, zero failed queries\n", cfg.Audit)
+	}
+	fmt.Printf("%8s %12s %10s %10s %14s %10s %10s\n",
+		"clients", "queries/s", "rounds/s", "q/round", "steps/query", "rejected", "degraded")
 
+	backoff := serve.Backoff{Base: cfg.RetryBackoff}
 	for _, nc := range counts {
 		before := s.Stats()
 		start := time.Now()
@@ -158,20 +211,33 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) e
 			go func() {
 				defer wg.Done()
 				rng := rand.New(rand.NewSource(seed + int64(c)*7919))
+				overloads := 0
 				for ctx.Err() == nil {
 					needle := rng.Int63n(2 * keys) // ~half hits, half misses
-					res, err := s.Lookup(ctx, needle)
+					res, err := lookupWithDeadline(ctx, s, needle, deadline)
 					switch {
 					case errors.Is(err, serve.ErrOverloaded):
-						time.Sleep(200 * time.Microsecond) // back off, retry
-					case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+						if !backoff.Sleep(ctx, overloads) {
+							return
+						}
+						overloads++
+					case errors.Is(err, context.Canceled):
+						return
+					case errors.Is(err, context.DeadlineExceeded):
+						if ctx.Err() != nil {
+							return // measurement window closed, not a lost query
+						}
+						hardErrs.Add(1)
 						return
 					case err != nil:
 						hardErrs.Add(1)
 						return
-					case res.Found != s.Tree().Contains(needle):
+					case res.Found != s.Tree().Contains(needle),
+						res.Found && res.LeafKey != needle:
 						mismatches.Add(1)
 						return
+					default:
+						overloads = 0
 					}
 				}
 			}()
@@ -184,6 +250,7 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) e
 		rounds := d.Rounds - before.Rounds
 		steps := d.SimSteps - before.SimSteps
 		rejected := d.Rejected - before.Rejected
+		degraded := d.Degraded - before.Degraded
 		qPerRound, stepsPerQuery := 0.0, 0.0
 		if rounds > 0 {
 			qPerRound = float64(served) / float64(rounds)
@@ -191,8 +258,8 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) e
 		if served > 0 {
 			stepsPerQuery = float64(steps) / float64(served)
 		}
-		fmt.Printf("%8d %12.0f %10.1f %10.1f %14.0f %10d\n",
-			nc, float64(served)/wall, float64(rounds)/wall, qPerRound, stepsPerQuery, rejected)
+		fmt.Printf("%8d %12.0f %10.1f %10.1f %14.0f %10d %10d\n",
+			nc, float64(served)/wall, float64(rounds)/wall, qPerRound, stepsPerQuery, rejected, degraded)
 		if m := mismatches.Load(); m > 0 {
 			return fmt.Errorf("%d answers disagreed with the host oracle at %d clients", m, nc)
 		}
@@ -200,7 +267,19 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64) e
 			return fmt.Errorf("%d lookups failed at %d clients", e, nc)
 		}
 	}
+	printRecovery(s.Stats(), injector)
 	return nil
+}
+
+// lookupWithDeadline bounds one lookup by the per-query deadline (0 = none)
+// on top of the sweep context.
+func lookupWithDeadline(ctx context.Context, s *serve.Server, needle int64, deadline time.Duration) (serve.Result, error) {
+	if deadline <= 0 {
+		return s.Lookup(ctx, needle)
+	}
+	qctx, cancel := context.WithTimeout(ctx, deadline)
+	defer cancel()
+	return s.Lookup(qctx, needle)
 }
 
 func parseCounts(s string) ([]int, error) {

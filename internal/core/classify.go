@@ -1,0 +1,103 @@
+package core
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/mesh"
+)
+
+// FaultClass names the root cause of a failed Run, recovered from the
+// *RunError unwrap chain. The serving layer's recovery ladder keys its
+// policy off this classification: transient faults are re-executed,
+// deterministic ones go straight to the degraded path (DESIGN.md §3.6).
+type FaultClass int
+
+const (
+	// FaultNone is the classification of a nil error.
+	FaultNone FaultClass = iota
+	// FaultAudit is an audit-mode invariant violation (*mesh.AuditError):
+	// under fault injection, the detector firing; without it, a simulator
+	// bug. Either way the machine state of the run is untrustworthy.
+	FaultAudit
+	// FaultBudget is a step-budget overrun (*mesh.BudgetExceededError).
+	FaultBudget
+	// FaultCanceled is a context cancellation (*mesh.CanceledError, or a
+	// bare context error that leaked through fn's own return path).
+	FaultCanceled
+	// FaultPanic is a contained panic: a *mesh.PanicError from a RunParallel
+	// submesh body, or any other panic Run recovered (RunError.Stack != nil)
+	// that does not unwrap to one of the typed faults above.
+	FaultPanic
+	// FaultOther is an ordinary error return that matches none of the typed
+	// mesh faults.
+	FaultOther
+)
+
+func (c FaultClass) String() string {
+	switch c {
+	case FaultNone:
+		return "none"
+	case FaultAudit:
+		return "audit"
+	case FaultBudget:
+		return "budget"
+	case FaultCanceled:
+		return "canceled"
+	case FaultPanic:
+		return "panic"
+	default:
+		return "other"
+	}
+}
+
+// Classify walks err's unwrap chain and names the root cause. The typed
+// mesh faults are checked before the panic envelope on purpose: an audit
+// violation that fired inside a RunParallel body surfaces wrapped in a
+// *mesh.PanicError, and the violation — not the panic transport — is the
+// cause a recovery policy should act on.
+func Classify(err error) FaultClass {
+	if err == nil {
+		return FaultNone
+	}
+	var ae *mesh.AuditError
+	if errors.As(err, &ae) {
+		return FaultAudit
+	}
+	var be *mesh.BudgetExceededError
+	if errors.As(err, &be) {
+		return FaultBudget
+	}
+	var ce *mesh.CanceledError
+	if errors.As(err, &ce) {
+		return FaultCanceled
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return FaultCanceled
+	}
+	var pe *mesh.PanicError
+	if errors.As(err, &pe) {
+		return FaultPanic
+	}
+	var re *RunError
+	if errors.As(err, &re) && re.Stack != nil {
+		return FaultPanic
+	}
+	return FaultOther
+}
+
+// Retryable reports whether re-executing the failed run can plausibly
+// succeed. Audit violations, contained panics and unclassified errors are
+// transient under the fault model (a lying comparator or a corrupted cell
+// need not recur). A budget overrun is deterministic in the batch — audit
+// checks charge no steps, so a re-execution replays the same clock and
+// overruns again — and a cancellation means the run's context is gone for
+// good; both go straight to the degraded path.
+func (c FaultClass) Retryable() bool {
+	switch c {
+	case FaultAudit, FaultPanic, FaultOther:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/mesh"
+)
+
+// TestClassifyChains pins the classification of every error shape the
+// containment boundary can produce, including the doubly-wrapped ones
+// (typed fault inside a PanicError inside a RunError) that the serving
+// layer's retry policy depends on.
+func TestClassifyChains(t *testing.T) {
+	audit := &mesh.AuditError{Op: "Sort", Detail: "out of order"}
+	budget := &mesh.BudgetExceededError{Budget: 10, Steps: 11}
+	canceled := &mesh.CanceledError{Steps: 3, Cause: context.Canceled}
+	panicked := &mesh.PanicError{Val: "boom", Stack: []byte("stack")}
+
+	cases := []struct {
+		name string
+		err  error
+		want FaultClass
+	}{
+		{"nil", nil, FaultNone},
+		{"bare audit", audit, FaultAudit},
+		{"run-wrapped audit", &RunError{Label: "r", Err: audit}, FaultAudit},
+		{"audit inside parallel panic", &RunError{Label: "r", Err: &mesh.PanicError{Val: audit, Stack: []byte("s")}, Stack: []byte("s")}, FaultAudit},
+		{"run-wrapped budget", &RunError{Label: "r", Err: budget}, FaultBudget},
+		{"budget inside parallel panic", &RunError{Label: "r", Err: &mesh.PanicError{Val: budget, Stack: []byte("s")}, Stack: []byte("s")}, FaultBudget},
+		{"run-wrapped cancel", &RunError{Label: "r", Err: canceled}, FaultCanceled},
+		{"bare context error", fmt.Errorf("wrapped: %w", context.DeadlineExceeded), FaultCanceled},
+		{"contained submesh panic", &RunError{Label: "r", Err: panicked, Stack: panicked.Stack}, FaultPanic},
+		{"contained plain panic", &RunError{Label: "r", Err: errors.New("panic: nope"), Stack: []byte("s")}, FaultPanic},
+		{"ordinary error return", &RunError{Label: "r", Err: errors.New("bad input")}, FaultOther},
+		{"unwrapped error", errors.New("bad input"), FaultOther},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestClassifyRunBoundary classifies errors produced by the real Run
+// boundary rather than hand-built chains.
+func TestClassifyRunBoundary(t *testing.T) {
+	err := Run("panics", func() error { panic("kaboom") })
+	if got := Classify(err); got != FaultPanic {
+		t.Fatalf("recovered panic classified %v, want %v", got, FaultPanic)
+	}
+	err = Run("typed", func() error { panic(&mesh.AuditError{Op: "Scan", Detail: "prefix"}) })
+	if got := Classify(err); got != FaultAudit {
+		t.Fatalf("recovered audit panic classified %v, want %v", got, FaultAudit)
+	}
+	err = Run("plain", func() error { return errors.New("no") })
+	if got := Classify(err); got != FaultOther {
+		t.Fatalf("error return classified %v, want %v", got, FaultOther)
+	}
+	if got := Classify(Run("ok", func() error { return nil })); got != FaultNone {
+		t.Fatalf("nil run classified %v, want %v", got, FaultNone)
+	}
+}
+
+// TestRetryablePolicy pins which classes the recovery ladder re-executes.
+func TestRetryablePolicy(t *testing.T) {
+	want := map[FaultClass]bool{
+		FaultNone:     false,
+		FaultAudit:    true,
+		FaultBudget:   false,
+		FaultCanceled: false,
+		FaultPanic:    true,
+		FaultOther:    true,
+	}
+	for c, w := range want {
+		if c.Retryable() != w {
+			t.Errorf("%v.Retryable() = %v, want %v", c, c.Retryable(), w)
+		}
+	}
+}

@@ -180,11 +180,23 @@ func (t *BTree) Validate() error {
 
 // lookupHost descends sequentially and returns the reached leaf's key.
 func (t *BTree) lookupHost(needle int64) int64 {
+	k, _, _ := t.HostLookup(needle)
+	return k
+}
+
+// HostLookup descends the tree sequentially on the host and returns the
+// reached leaf's key, whether the needle is a member, and the number of
+// nodes visited on the way down. It is the degraded-mode analogue of one
+// mesh query's answer (same leaf, same search-path length as a faithful
+// round would report) — correct, but unaccounted in mesh steps — used by
+// the serving layer when the mesh is unavailable (DESIGN.md §3.6).
+func (t *BTree) HostLookup(needle int64) (leafKey int64, found bool, pathLen int32) {
 	cur := t.Root
 	for {
 		v := &t.G.Verts[cur]
+		pathLen++
 		if v.Data[dataLeaf] == 1 {
-			return v.Data[0]
+			return v.Data[0], v.Data[0] == needle, pathLen
 		}
 		cur = v.Adj[childFor(v, needle)]
 	}

@@ -170,6 +170,25 @@ func WithAudit() Option {
 	return func(ms *Mesh) { ms.audit = true }
 }
 
+// SetAudit toggles audit mode (see WithAudit) on a quiescent mesh. It is
+// the recovery ladder's escalation seam: a serving layer re-executes a
+// failed round with auditing forced on without rebuilding the mesh (and the
+// registers resident on it). The caller must guarantee no operation is in
+// flight — call it between runs, from the goroutine that issues the mesh's
+// operations; submesh goroutines spawned afterwards observe the new value
+// through RunParallel's happens-before edge.
+func (m *Mesh) SetAudit(on bool) { m.audit = on }
+
+// Audit reports whether audit mode is currently enabled.
+func (m *Mesh) Audit() bool { return m.audit }
+
+// SetInjector installs (or, with nil, removes) the fault injector on a
+// quiescent mesh, under the same caller contract as SetAudit. It exists so a
+// serving layer can build its resident data structure fault-free — a fault
+// injected during host-side setup would surface outside any containment
+// boundary — and begin chaos only once serving rounds start.
+func (m *Mesh) SetInjector(inj Injector) { m.inj = inj }
+
 // New creates a side×side mesh. side must be a positive power of two: the
 // recursive submesh partitionings of the multisearch algorithms require
 // every grid refinement to divide evenly.

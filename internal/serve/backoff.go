@@ -1,0 +1,63 @@
+package serve
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// Backoff is a jittered exponential backoff policy, shared by the server's
+// recovery ladder (sleeping between round re-executions) and by clients
+// backing off ErrOverloaded (the meshserve load generator). Full jitter:
+// attempt k (0-based) sleeps a uniform duration in (0, min(Cap, Base·2^k)],
+// so a thundering herd of rejected clients decorrelates instead of
+// re-colliding on a fixed boundary.
+//
+// The zero value is usable: Base defaults to 200µs (one mesh round on the
+// small meshes is in that range) and Cap to 50ms.
+type Backoff struct {
+	Base time.Duration // ceiling of the first sleep (default 200µs)
+	Cap  time.Duration // ceiling of any sleep (default 50ms)
+}
+
+// Delay returns the jittered sleep duration before retry attempt k
+// (0-based). Always positive, so callers can use it as a timer interval.
+func (b Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Cap
+	if base <= 0 {
+		base = 200 * time.Microsecond
+	}
+	if max <= 0 {
+		max = 50 * time.Millisecond
+	}
+	if base > max {
+		base = max
+	}
+	ceil := base
+	for i := 0; i < attempt && ceil < max; i++ {
+		ceil *= 2
+	}
+	if ceil > max {
+		ceil = max
+	}
+	return time.Duration(rand.Int63n(int64(ceil))) + 1
+}
+
+// Sleep blocks for Delay(attempt) or until ctx is done, whichever comes
+// first, and reports whether the full delay elapsed (false means the
+// context fired and the caller should stop retrying).
+func (b Backoff) Sleep(ctx context.Context, attempt int) bool {
+	d := b.Delay(attempt)
+	if ctx == nil {
+		time.Sleep(d)
+		return true
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

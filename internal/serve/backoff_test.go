@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestBackoffDelayBounds pins the jitter envelope: every delay is positive,
+// no delay exceeds the cap, and the ceiling grows with the attempt until
+// the cap absorbs it.
+func TestBackoffDelayBounds(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond}
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := time.Millisecond << attempt
+		if ceil > b.Cap {
+			ceil = b.Cap
+		}
+		for i := 0; i < 200; i++ {
+			d := b.Delay(attempt)
+			if d <= 0 || d > ceil {
+				t.Fatalf("attempt %d: delay %v outside (0, %v]", attempt, d, ceil)
+			}
+		}
+	}
+	// Zero value: usable defaults.
+	var zero Backoff
+	for i := 0; i < 100; i++ {
+		if d := zero.Delay(0); d <= 0 || d > 200*time.Microsecond {
+			t.Fatalf("zero-value delay %v outside (0, 200µs]", d)
+		}
+	}
+	// Base above cap clamps rather than panicking.
+	weird := Backoff{Base: time.Second, Cap: time.Millisecond}
+	if d := weird.Delay(5); d <= 0 || d > time.Millisecond {
+		t.Fatalf("clamped delay %v outside (0, 1ms]", d)
+	}
+}
+
+// TestBackoffSleepHonorsContext checks both exits: a live context sleeps
+// the full jittered delay, a canceled one returns false immediately.
+func TestBackoffSleepHonorsContext(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Cap: time.Millisecond}
+	if !b.Sleep(context.Background(), 0) {
+		t.Fatal("sleep under a live context reported cancellation")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if b.Sleep(ctx, 10) {
+		t.Fatal("sleep under a canceled context reported a full sleep")
+	}
+	if since := time.Since(start); since > 100*time.Millisecond {
+		t.Fatalf("canceled sleep took %v", since)
+	}
+}

@@ -5,22 +5,44 @@ import (
 	"errors"
 	"net/http"
 	"strconv"
+	"time"
 )
 
 // Handler returns the server's HTTP surface:
 //
 //	GET /search?key=K   — one lookup; the response rides the query's round.
 //	                      429 on ErrOverloaded (retryable), 503 after
-//	                      Shutdown, 500 for a failed round (budget overrun,
-//	                      cancellation), with the typed error's message.
-//	GET /metrics        — serving counters, per-round step-budget headroom,
-//	                      and, when a tracer is configured, its live span
-//	                      snapshot.
+//	                      Shutdown — both with a Retry-After hint — and 500
+//	                      for a failed round (only reachable with
+//	                      DisableDegrade), with the typed error's message.
+//	GET /healthz        — health state machine for load balancers: 200 while
+//	                      healthy, 503 while degraded (circuit open, answers
+//	                      come from the host oracle) or draining (lame-duck),
+//	                      with the state and recovery counters as JSON.
+//	GET /metrics        — serving counters (including the recovery ladder's),
+//	                      health state, per-round step-budget headroom, and,
+//	                      when a tracer is configured, its live span snapshot.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// retryAfterSeconds is the Retry-After hint for 429/503 responses: at least
+// one second (the header's resolution), enough for several rounds to drain
+// the admission queue or for a canary to close the circuit.
+func (s *Server) retryAfterSeconds() string {
+	hint := s.cfg.Linger
+	if s.canaryEvery > hint {
+		hint = s.canaryEvery
+	}
+	secs := int64((hint + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -32,9 +54,11 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	res, err := s.Lookup(r.Context(), key)
 	switch {
 	case errors.Is(err, ErrOverloaded):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
 		return
 	case errors.Is(err, ErrClosed):
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
 	case err != nil:
@@ -44,15 +68,55 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, res)
 }
 
+// handleHealthz is the load-balancer contract: 200 only while Healthy.
+// Degraded (oracle answers, canaries probing) and LameDuck (draining) are
+// both 503 — the server still answers /search correctly in the former, but
+// a balancer with a healthy replica should prefer it.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := s.Health()
+	st := s.Stats()
+	doc := map[string]any{
+		"health":         h.String(),
+		"circuit_opens":  st.CircuitOpens,
+		"circuit_closes": st.CircuitCloses,
+		"canary_rounds":  st.CanaryRounds,
+		"canary_fails":   st.CanaryFails,
+		"degraded":       st.Degraded,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if h != Healthy {
+		w.Header().Set("Retry-After", s.retryAfterSeconds())
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(doc)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	doc := map[string]any{
 		"serve":     st,
 		"max_batch": s.maxBatch,
+		"health":    st.Health,
 	}
 	if st.Rounds > 0 {
 		doc["queries_per_round"] = float64(st.Served+st.Failed) / float64(st.Rounds)
 		doc["sim_steps_per_round"] = float64(st.SimSteps) / float64(st.Rounds)
+	}
+	if st.Served > 0 {
+		doc["degraded_fraction"] = float64(st.Degraded) / float64(st.Served)
+	}
+	// Derived gauges subtract counters loaded at slightly different
+	// instants, so clamp anything that could transiently go negative under
+	// a concurrent snapshot (same class as the step_budget_headroom clamp).
+	inflight := st.Accepted - st.Served - st.Failed
+	if inflight < 0 {
+		inflight = 0
+	}
+	doc["in_flight"] = inflight
+	if recoveries := st.Recovered + st.DegradedRounds; recoveries > 0 {
+		doc["recovered_rounds"] = recoveries
 	}
 	if s.cfg.Tracer != nil {
 		live := s.cfg.Tracer.Live()

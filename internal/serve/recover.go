@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dict"
+	"repro/internal/trace"
+)
+
+// This file is the recovery ladder around the round executor (DESIGN.md
+// §3.6). Everything here runs on the executor goroutine — the only
+// goroutine that touches the mesh — so audit toggling, breaker bookkeeping
+// and canary scheduling need no locks; the rest of the server observes the
+// outcome through the atomic counters and the circuitOpen/lameduck flags.
+
+// serveBatch answers one batch. Circuit open: probe the mesh with a canary
+// if one is due, then either serve normally (canary closed the circuit) or
+// answer from the host oracle. Circuit closed: run the retry ladder —
+// attempt the round, classify any fault, re-execute with auditing forced on
+// under jittered backoff, and degrade to the oracle when the mesh keeps
+// failing.
+func (s *Server) serveBatch(batch []request) {
+	round := s.rounds.Add(1)
+	s.lastBatch.Store(int64(len(batch)))
+	if int64(len(batch)) > s.peakBatch.Load() {
+		s.peakBatch.Store(int64(len(batch)))
+	}
+
+	if s.circuitOpen.Load() {
+		if s.canaryDue() {
+			s.runCanary()
+		}
+		if s.circuitOpen.Load() {
+			s.degradeBatch(batch, round)
+			return
+		}
+	}
+
+	queries := make([]core.Query, len(batch))
+	for i, r := range batch {
+		queries[i].Cur = s.bt.Root
+		queries[i].State[0] = r.needle
+	}
+	var lastErr error
+	for attempt := 0; attempt <= s.maxRetries; attempt++ {
+		if attempt > 0 {
+			s.retries.Add(1)
+			s.m.SetAudit(true) // escalate strictness on every re-execution
+			if !s.backoff.Sleep(s.runCtx, attempt-1) {
+				break // server context gone: no point re-executing
+			}
+		}
+		tag := ""
+		if attempt > 0 {
+			tag = fmt.Sprintf("retry %d audited", attempt)
+		}
+		results, err := s.meshRound(fmt.Sprintf("serve round %d attempt %d", round, attempt), tag, queries)
+		if err == nil {
+			if attempt > 0 {
+				s.recovered.Add(1)
+				s.m.SetAudit(s.cfg.Audit)
+			}
+			for i, r := range batch {
+				q := results[i]
+				r.resp <- response{res: Result{
+					Needle:  r.needle,
+					Found:   dict.Member(q),
+					LeafKey: q.State[dict.StateLeafKey],
+					Steps:   q.Steps,
+					Round:   round,
+				}}
+			}
+			s.served.Add(int64(len(batch)))
+			s.observeRound(attempt > 0, false)
+			return
+		}
+		lastErr = err
+		class := core.Classify(err)
+		s.faults[class].Add(1)
+		if !class.Retryable() {
+			break
+		}
+	}
+	s.m.SetAudit(s.cfg.Audit)
+	s.observeRound(true, true)
+	if s.cfg.DisableDegrade {
+		s.failed.Add(int64(len(batch)))
+		for _, r := range batch {
+			r.resp <- response{err: lastErr}
+		}
+		return
+	}
+	s.degradeBatch(batch, round)
+}
+
+// meshRound executes one mesh attempt: reset the step clock (per-attempt
+// budget, fresh traced run — tagged when the attempt is a retry or canary),
+// load the queries against the resident tree, and run Algorithm 2 inside
+// the core.Run containment boundary.
+func (s *Server) meshRound(label, tag string, queries []core.Query) ([]core.Query, error) {
+	s.m.ResetSteps()
+	if s.cfg.Tracer != nil && tag != "" {
+		s.cfg.Tracer.TagRun(tag)
+	}
+	err := core.Run(label, func() error {
+		v := s.m.Root()
+		defer trace.Span(v, "%s q=%d", label, len(queries))()
+		s.in.ResetQueries(v, queries)
+		core.MultisearchAlpha(v, s.in, s.maxPart, 0)
+		return nil
+	})
+	s.simSteps.Add(s.m.Steps())
+	if err != nil {
+		return nil, err
+	}
+	return s.in.ResultQueries(), nil
+}
+
+// degradeBatch answers every query of the batch from the host-side
+// dictionary oracle: correct (same leaf, same search-path length a faithful
+// round would report) but unaccounted in mesh steps, and flagged Degraded.
+func (s *Server) degradeBatch(batch []request, round int64) {
+	for _, r := range batch {
+		leaf, found, path := s.bt.HostLookup(r.needle)
+		r.resp <- response{res: Result{
+			Needle:   r.needle,
+			Found:    found,
+			LeafKey:  leaf,
+			Steps:    path,
+			Round:    round,
+			Degraded: true,
+		}}
+	}
+	s.degraded.Add(int64(len(batch)))
+	s.degradedRounds.Add(1)
+	s.served.Add(int64(len(batch)))
+}
+
+// observeRound feeds the circuit breaker with one mesh-path outcome.
+// firstAttemptFailed is the breaker's signal (it measures mesh fault rate,
+// not user-visible failures — a recovered round still counts against the
+// window); terminal means the whole ladder failed, which opens the circuit
+// immediately rather than waiting for the window to fill.
+func (s *Server) observeRound(firstAttemptFailed, terminal bool) {
+	if s.cfg.DisableDegrade {
+		return
+	}
+	open := s.brk.record(firstAttemptFailed)
+	if terminal || open {
+		s.openCircuit()
+	}
+}
+
+// openCircuit transitions healthy → degraded (idempotent).
+func (s *Server) openCircuit() {
+	if s.circuitOpen.CompareAndSwap(false, true) {
+		s.circuitOpens.Add(1)
+		s.brk.reset()
+		s.lastCanary = time.Time{} // first canary is immediately due
+	}
+}
+
+// closeCircuit transitions degraded → healthy (idempotent).
+func (s *Server) closeCircuit() {
+	if s.circuitOpen.CompareAndSwap(true, false) {
+		s.circuitCloses.Add(1)
+		s.brk.reset()
+	}
+}
+
+// canaryDue reports whether an open circuit should probe the mesh now.
+// A non-positive CanaryInterval disables probing (tests drive recovery by
+// hand); lastCanary is executor-owned.
+func (s *Server) canaryDue() bool {
+	if s.canaryEvery <= 0 {
+		return false
+	}
+	return time.Since(s.lastCanary) >= s.canaryEvery
+}
+
+// runCanary probes the mesh with an audited round over a small synthetic
+// batch and closes the circuit when the round completes and every answer
+// agrees with the host oracle. Canary answers go nowhere — the probe exists
+// only to decide whether real traffic can trust the mesh again.
+func (s *Server) runCanary() {
+	s.lastCanary = time.Now()
+	s.canaryRounds.Add(1)
+	needles := s.canaryNeedles()
+	queries := make([]core.Query, len(needles))
+	for i, k := range needles {
+		queries[i].Cur = s.bt.Root
+		queries[i].State[0] = k
+	}
+	s.m.SetAudit(true)
+	results, err := s.meshRound(fmt.Sprintf("canary %d", s.canaryRounds.Load()), "canary", queries)
+	s.m.SetAudit(s.cfg.Audit)
+	ok := err == nil
+	if ok {
+		for i, k := range needles {
+			leaf, found, _ := s.bt.HostLookup(k)
+			if dict.Member(results[i]) != found || results[i].State[dict.StateLeafKey] != leaf {
+				ok = false // silent corruption the audit did not catch
+				break
+			}
+		}
+	}
+	if ok {
+		s.closeCircuit()
+		return
+	}
+	s.canaryFailures.Add(1)
+	if err != nil {
+		s.faults[core.Classify(err)].Add(1)
+	}
+}
+
+// canaryNeedles picks a small probe set spanning the key range: known
+// members at both ends and the middle, plus guaranteed leaf-boundary
+// probes on either side of them.
+func (s *Server) canaryNeedles() []int64 {
+	ks := s.bt.Keys
+	probes := []int64{ks[0], ks[len(ks)/2], ks[len(ks)-1], ks[0] - 1, ks[len(ks)-1] + 1, ks[len(ks)/2] + 1}
+	if len(probes) > s.m.N() {
+		probes = probes[:s.m.N()]
+	}
+	return probes
+}

@@ -13,6 +13,15 @@
 // closes admission, drains every in-flight batch through the normal round
 // path, and only cancels the mesh run (via the run-control context seam) if
 // the caller's drain deadline expires.
+//
+// Round failures are not user-visible (DESIGN.md §3.6): a faulted round is
+// classified (core.Classify), re-executed with auditing forced on under
+// jittered backoff, and — if the mesh keeps failing — the batch is answered
+// by the host-side dictionary oracle, flagged Degraded. A sliding-window
+// circuit breaker drives a health state machine (healthy → degraded →
+// lame-duck) exposed on /healthz; an open circuit routes batches straight
+// to the oracle while periodic audited canary rounds probe the mesh and
+// close the circuit on success.
 package serve
 
 import (
@@ -62,13 +71,46 @@ type Config struct {
 	// a round that exceeds it fails with a *mesh.BudgetExceededError
 	// delivered to every query of the batch. 0 = unlimited.
 	Budget int64
-	// Tracer, when set, records one traced run per round (retention is
-	// bounded by RetainRuns) and feeds the /metrics live snapshot.
+	// Tracer, when set, records one traced run per round — including every
+	// retry re-execution and canary probe, each tagged in its run label
+	// (retention is bounded by RetainRuns) — and feeds the /metrics live
+	// snapshot.
 	Tracer *trace.Tracer
 	// RetainRuns bounds the tracer's retained runs (default 64).
 	RetainRuns int
 	// Parallelism bounds the simulator's goroutines (default GOMAXPROCS).
 	Parallelism int
+
+	// Audit enables audit mode on every round, not only on retries. Under
+	// fault injection this is what guarantees zero wrong answers: a fault
+	// trips the audit and the round is retried or degraded instead of
+	// silently corrupting results.
+	Audit bool
+	// Injector installs a fault injector on the serving mesh (chaos
+	// testing; see internal/faults). Nil disables injection.
+	Injector mesh.Injector
+	// MaxRetries is how many audited re-executions a failed round gets
+	// before its batch falls back to the host oracle. 0 defaults to 3;
+	// negative means no retries.
+	MaxRetries int
+	// RetryBackoff is the base of the jittered exponential backoff slept
+	// between attempts (0 defaults to Backoff's 200µs base).
+	RetryBackoff time.Duration
+	// DisableDegrade turns off the oracle fallback and the circuit breaker:
+	// a round that exhausts its retries delivers the typed fault to every
+	// query of the batch (the pre-recovery behaviour). Diagnostics and
+	// tests; production serving wants the default.
+	DisableDegrade bool
+	// BreakerWindow is the number of recent mesh rounds in the circuit
+	// breaker's sliding window (0 defaults to 16).
+	BreakerWindow int
+	// BreakerThreshold is the windowed first-attempt failure rate at or
+	// above which the circuit opens (0 defaults to 0.5; clamped to (0,1]).
+	BreakerThreshold float64
+	// CanaryInterval is how often an open circuit probes the mesh with an
+	// audited, oracle-checked canary round (0 defaults to 50ms; negative
+	// disables canaries — the circuit then only closes by hand, for tests).
+	CanaryInterval time.Duration
 }
 
 // Result is the answer to one lookup.
@@ -77,20 +119,41 @@ type Result struct {
 	Found   bool  `json:"found"`
 	LeafKey int64 `json:"leaf_key"` // key of the reached leaf
 	Steps   int32 `json:"steps"`    // search-path length of this query
-	Round   int64 `json:"round"`    // multisearch round that served it
+	Round   int64 `json:"round"`    // serving round that answered it
+	// Degraded marks an answer produced by the host-side oracle instead of
+	// a mesh round: correct, but unaccounted in simulated mesh steps.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
-// Stats is a point-in-time snapshot of the serving counters.
+// Stats is a point-in-time snapshot of the serving counters. Served counts
+// every successfully answered lookup, mesh-served and degraded alike;
+// Degraded is the oracle-answered subset.
 type Stats struct {
 	Accepted   int64 `json:"accepted"`    // lookups admitted to the queue
 	Rejected   int64 `json:"rejected"`    // lookups refused with ErrOverloaded
 	Served     int64 `json:"served"`      // lookups answered successfully
 	Failed     int64 `json:"failed"`      // lookups answered with a round error
-	Rounds     int64 `json:"rounds"`      // multisearch rounds executed
+	Rounds     int64 `json:"rounds"`      // serving rounds (batches) processed
 	SimSteps   int64 `json:"sim_steps"`   // simulated mesh steps across all rounds
 	LastBatch  int64 `json:"last_batch"`  // size of the most recent batch
 	PeakBatch  int64 `json:"peak_batch"`  // largest batch so far
 	StepBudget int64 `json:"step_budget"` // configured per-round budget (0 = unlimited)
+
+	// Recovery accounting (DESIGN.md §3.6).
+	Retries        int64  `json:"retries"`         // audited re-executions of failed rounds
+	Recovered      int64  `json:"recovered"`       // rounds that failed, then succeeded on a retry
+	Degraded       int64  `json:"degraded"`        // lookups answered by the host oracle
+	DegradedRounds int64  `json:"degraded_rounds"` // batches that fell back to the oracle
+	CircuitOpens   int64  `json:"circuit_opens"`   // healthy → degraded transitions
+	CircuitCloses  int64  `json:"circuit_closes"`  // degraded → healthy transitions
+	CanaryRounds   int64  `json:"canary_rounds"`   // audited canary probes executed
+	CanaryFails    int64  `json:"canary_fails"`    // canary probes that failed
+	FaultsAudit    int64  `json:"faults_audit"`    // round attempts failed by fault class
+	FaultsBudget   int64  `json:"faults_budget"`
+	FaultsCanceled int64  `json:"faults_canceled"`
+	FaultsPanic    int64  `json:"faults_panic"`
+	FaultsOther    int64  `json:"faults_other"`
+	Health         string `json:"health"` // healthy | degraded | lame-duck
 }
 
 type request struct {
@@ -115,6 +178,7 @@ type Server struct {
 
 	queue   chan request
 	batches chan []request
+	runCtx  context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
 
@@ -124,6 +188,26 @@ type Server struct {
 	accepted, rejected, served, failed atomic.Int64
 	rounds, simSteps                   atomic.Int64
 	lastBatch, peakBatch               atomic.Int64
+
+	// Recovery state (DESIGN.md §3.6). maxRetries/backoff/canaryEvery are
+	// the resolved Config knobs; brk and lastCanary are owned by the
+	// executor goroutine; circuitOpen mirrors brk's verdict for readers
+	// (Health, /healthz) and lameduck is set once by Shutdown. nudge wakes
+	// the executor for idle canaries when the circuit is open.
+	maxRetries  int
+	backoff     Backoff
+	canaryEvery time.Duration
+	brk         *breaker
+	lastCanary  time.Time
+	nudge       chan struct{}
+	circuitOpen atomic.Bool
+	lameduck    atomic.Bool
+
+	retries, recovered           atomic.Int64
+	degraded, degradedRounds     atomic.Int64
+	circuitOpens, circuitCloses  atomic.Int64
+	canaryRounds, canaryFailures atomic.Int64
+	faults                       [core.FaultOther + 1]atomic.Int64
 }
 
 // New builds the dictionary, loads it onto a fresh mesh, and starts the
@@ -164,6 +248,9 @@ func New(cfg Config) (*Server, error) {
 		mesh.WithBudget(cfg.Budget),
 		mesh.WithContext(ctx),
 	}
+	if cfg.Audit {
+		opts = append(opts, mesh.WithAudit())
+	}
 	if cfg.Tracer != nil {
 		retain := cfg.RetainRuns
 		if retain <= 0 {
@@ -177,21 +264,69 @@ func New(cfg Config) (*Server, error) {
 	}
 	m := mesh.New(cfg.Side, opts...)
 
+	maxRetries := cfg.MaxRetries
+	if maxRetries == 0 {
+		maxRetries = 3
+	} else if maxRetries < 0 {
+		maxRetries = 0
+	}
+	window := cfg.BreakerWindow
+	if window <= 0 {
+		window = 16
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold <= 0 || threshold > 1 {
+		threshold = 0.5
+	}
+	canaryEvery := cfg.CanaryInterval
+	if canaryEvery == 0 {
+		canaryEvery = 50 * time.Millisecond
+	}
+
 	s := &Server{
-		cfg:      cfg,
-		m:        m,
-		bt:       bt,
-		maxPart:  bt.InstallSplitter(),
-		maxBatch: maxBatch,
-		queue:    make(chan request, depth),
-		batches:  make(chan []request, 1),
-		cancel:   cancel,
-		done:     make(chan struct{}),
+		cfg:         cfg,
+		m:           m,
+		bt:          bt,
+		maxPart:     bt.InstallSplitter(),
+		maxBatch:    maxBatch,
+		queue:       make(chan request, depth),
+		batches:     make(chan []request, 1),
+		runCtx:      ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		maxRetries:  maxRetries,
+		backoff:     Backoff{Base: cfg.RetryBackoff},
+		canaryEvery: canaryEvery,
+		brk:         newBreaker(window, threshold),
+		nudge:       make(chan struct{}, 1),
 	}
 	s.in = core.NewInstance(m, bt.G, nil, dict.Successor)
+	// The injector goes in only after the dictionary is resident: a fault
+	// injected during host-side construction would surface outside the
+	// core.Run containment boundary and crash the process instead of
+	// entering the recovery ladder. The serving goroutines have not started,
+	// so the mesh is quiescent as SetInjector requires.
+	if cfg.Injector != nil {
+		m.SetInjector(cfg.Injector)
+	}
 	go s.collect()
 	go s.execute()
+	if canaryEvery > 0 && !cfg.DisableDegrade {
+		go s.canaryTicker()
+	}
 	return s, nil
+}
+
+// Health reports the server's current admission-facing state.
+func (s *Server) Health() Health {
+	switch {
+	case s.lameduck.Load():
+		return LameDuck
+	case s.circuitOpen.Load():
+		return Degraded
+	default:
+		return Healthy
+	}
 }
 
 // Tree exposes the served dictionary (for oracle checks in tests and the
@@ -277,59 +412,45 @@ func (s *Server) collect() {
 	}
 }
 
-// execute runs one multisearch round per batch until the collector drains.
+// execute serves batches until the collector drains, waking for idle
+// canary probes while the circuit is open. It is the only goroutine that
+// touches the mesh, which is what makes the recovery ladder's audit
+// toggling and breaker bookkeeping lock-free.
 func (s *Server) execute() {
 	defer close(s.done)
-	for batch := range s.batches {
-		s.runRound(batch)
+	for {
+		select {
+		case batch, ok := <-s.batches:
+			if !ok {
+				return
+			}
+			s.serveBatch(batch)
+		case <-s.nudge:
+			if s.circuitOpen.Load() && !s.lameduck.Load() && s.canaryDue() {
+				s.runCanary()
+			}
+		}
 	}
 }
 
-// runRound answers one batch with one multisearch round: reset the step
-// clock (making the budget per-round and starting a fresh traced run), load
-// the batch's queries against the resident tree, run Algorithm 2 to
-// completion inside the core.Run containment boundary, and deliver each
-// query's result — or, on a contained fault (budget overrun, cancellation),
-// the typed error — to its waiting client.
-func (s *Server) runRound(batch []request) {
-	round := s.rounds.Add(1)
-	s.lastBatch.Store(int64(len(batch)))
-	if int64(len(batch)) > s.peakBatch.Load() {
-		s.peakBatch.Store(int64(len(batch)))
-	}
-	queries := make([]core.Query, len(batch))
-	for i, r := range batch {
-		queries[i].Cur = s.bt.Root
-		queries[i].State[0] = r.needle
-	}
-	s.m.ResetSteps()
-	err := core.Run(fmt.Sprintf("serve round %d", round), func() error {
-		v := s.m.Root()
-		defer trace.Span(v, "round#%d q=%d", round, len(batch))()
-		s.in.ResetQueries(v, queries)
-		core.MultisearchAlpha(v, s.in, s.maxPart, 0)
-		return nil
-	})
-	s.simSteps.Add(s.m.Steps())
-	if err != nil {
-		s.failed.Add(int64(len(batch)))
-		for _, r := range batch {
-			r.resp <- response{err: err}
+// canaryTicker nudges the executor every CanaryInterval while the circuit
+// is open, so a degraded server recovers even with no traffic arriving.
+func (s *Server) canaryTicker() {
+	t := time.NewTicker(s.canaryEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.circuitOpen.Load() && !s.lameduck.Load() {
+				select {
+				case s.nudge <- struct{}{}:
+				default:
+				}
+			}
+		case <-s.done:
+			return
 		}
-		return
 	}
-	results := s.in.ResultQueries()
-	for i, r := range batch {
-		q := results[i]
-		r.resp <- response{res: Result{
-			Needle:  r.needle,
-			Found:   dict.Member(q),
-			LeafKey: q.State[dict.StateLeafKey],
-			Steps:   q.Steps,
-			Round:   round,
-		}}
-	}
-	s.served.Add(int64(len(batch)))
 }
 
 // Shutdown stops admission and drains: queued and in-flight batches are
@@ -345,6 +466,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		return nil
 	}
 	s.closed = true
+	s.lameduck.Store(true) // /healthz flips to 503 while the drain runs
 	close(s.queue)
 	s.mu.Unlock()
 
@@ -371,5 +493,20 @@ func (s *Server) Stats() Stats {
 		LastBatch:  s.lastBatch.Load(),
 		PeakBatch:  s.peakBatch.Load(),
 		StepBudget: s.cfg.Budget,
+
+		Retries:        s.retries.Load(),
+		Recovered:      s.recovered.Load(),
+		Degraded:       s.degraded.Load(),
+		DegradedRounds: s.degradedRounds.Load(),
+		CircuitOpens:   s.circuitOpens.Load(),
+		CircuitCloses:  s.circuitCloses.Load(),
+		CanaryRounds:   s.canaryRounds.Load(),
+		CanaryFails:    s.canaryFailures.Load(),
+		FaultsAudit:    s.faults[core.FaultAudit].Load(),
+		FaultsBudget:   s.faults[core.FaultBudget].Load(),
+		FaultsCanceled: s.faults[core.FaultCanceled].Load(),
+		FaultsPanic:    s.faults[core.FaultPanic].Load(),
+		FaultsOther:    s.faults[core.FaultOther].Load(),
+		Health:         s.Health().String(),
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -123,32 +124,76 @@ func TestBatchingAmortizesRounds(t *testing.T) {
 	}
 }
 
-// TestOverloadRejectsTyped fills the admission queue while no round can
-// drain it and requires the typed fast-fail.
+// stallInjector wedges the executor: once armed, the first injector
+// consultation inside a round blocks until release is closed. It injects no
+// faults (every answer is 0 = "no lie"), so the stalled round completes
+// normally once released — a pure wall-clock stall for admission tests.
+type stallInjector struct {
+	armed   atomic.Bool
+	once    sync.Once
+	stalled chan struct{} // closed when the executor first blocks
+	release chan struct{} // close to let the round proceed
+}
+
+func newStallInjector() *stallInjector {
+	return &stallInjector{stalled: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (g *stallInjector) block() {
+	if g.armed.Load() {
+		g.once.Do(func() { close(g.stalled) })
+		<-g.release
+	}
+}
+func (g *stallInjector) SortLie(string, int) int64                { g.block(); return 0 }
+func (g *stallInjector) CorruptCell(string, int) (int, int, bool) { g.block(); return 0, 0, false }
+func (g *stallInjector) DropReply(int) (int, bool)                { g.block(); return 0, false }
+func (g *stallInjector) DuplicateReply(int) (int, int, bool)      { g.block(); return 0, 0, false }
+
+// TestOverloadRejectsTyped wedges the executor mid-round and requires the
+// typed fast-fail once the bounded pipeline is full. With the round stalled,
+// the pipeline absorbs at most 4 more lookups (one-slot batches channel,
+// one batch held by the collector, two queued), so 11 further clients must
+// see at least 7 rejections — deterministically, not by racing the round.
 func TestOverloadRejectsTyped(t *testing.T) {
-	// MaxBatch 1 and a long linger make the executor slow enough to back up
-	// the 2-deep queue deterministically: one query in flight, two queued.
-	s := newTestServer(t, Config{Side: 8, MaxBatch: 1, QueueDepth: 2, Linger: 0})
+	inj := newStallInjector()
+	s := newTestServer(t, Config{Side: 8, MaxBatch: 1, QueueDepth: 2, Linger: 0, Injector: inj})
+	inj.armed.Store(true)
 	var wg sync.WaitGroup
-	overloaded := make(chan struct{}, 64)
-	for i := 0; i < 64; i++ {
-		i := i
+	errs := make(chan error, 12)
+	lookup := func(i int) {
+		defer wg.Done()
+		_, err := s.Lookup(context.Background(), int64(i))
+		errs <- err
+	}
+	wg.Add(1)
+	go lookup(0)
+	<-inj.stalled // the executor is now blocked inside round 1
+	for i := 1; i < 12; i++ {
 		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			if _, err := s.Lookup(context.Background(), int64(i)); errors.Is(err, ErrOverloaded) {
-				overloaded <- struct{}{}
-			} else if err != nil {
-				t.Errorf("unexpected lookup error: %v", err)
-			}
-		}()
+		go lookup(i)
 	}
+	// Rejections are immediate; admitted lookups block until release. Wait
+	// for the guaranteed-excess rejections before unblocking the round.
+	var overloaded int
+	for overloaded < 7 {
+		if err := <-errs; errors.Is(err, ErrOverloaded) {
+			overloaded++
+		} else if err != nil {
+			t.Fatalf("unexpected lookup error: %v", err)
+		}
+	}
+	inj.armed.Store(false)
+	close(inj.release)
 	wg.Wait()
-	if len(overloaded) == 0 {
-		t.Fatal("64 concurrent clients against a depth-2 queue never saw ErrOverloaded")
+	close(errs)
+	for err := range errs {
+		if err != nil && !errors.Is(err, ErrOverloaded) {
+			t.Errorf("unexpected lookup error: %v", err)
+		}
 	}
-	if st := s.Stats(); st.Rejected == 0 {
-		t.Fatalf("stats recorded no rejections: %+v", st)
+	if st := s.Stats(); st.Rejected < 7 {
+		t.Fatalf("stats recorded %d rejections, want ≥ 7: %+v", st.Rejected, st)
 	}
 }
 
@@ -193,11 +238,13 @@ func TestShutdownDrainsQueuedLookups(t *testing.T) {
 }
 
 // TestBudgetAbortDeliversTypedError serves with an absurdly small per-round
-// budget: the round must fail and every query of the batch must receive an
-// error unwrapping to *mesh.BudgetExceededError — proving the run-control
-// seam composes with serving.
+// budget and the oracle fallback disabled: the round must fail and every
+// query of the batch must receive an error unwrapping to
+// *mesh.BudgetExceededError — proving the run-control seam composes with
+// serving. (With the fallback enabled the same overrun is answered degraded;
+// see TestBudgetOverrunDegradesToOracle.)
 func TestBudgetAbortDeliversTypedError(t *testing.T) {
-	s := newTestServer(t, Config{Side: 8, Budget: 3})
+	s := newTestServer(t, Config{Side: 8, Budget: 3, DisableDegrade: true})
 	_, err := s.Lookup(context.Background(), 1)
 	if err == nil {
 		t.Fatal("lookup under a 3-step budget succeeded")

@@ -85,6 +85,19 @@ func (t *Tracer) SetPrefix(p string) {
 	t.prefix = p
 }
 
+// TagRun appends " [tag]" to the label of the most recently attached run.
+// The serving layer tags its non-standard rounds — retry re-executions,
+// canary probes — right after the per-round ResetSteps, so retained runs
+// (and the live snapshot's open-span path, which is prefixed by the run
+// label) say which rung of the recovery ladder produced them.
+func (t *Tracer) TagRun(tag string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.lastRun != nil {
+		t.lastRun.Label += " [" + tag + "]"
+	}
+}
+
 // SetRetain bounds the number of retained runs to n (0 restores the default:
 // retain everything). A serving mesh starts one run per round via ResetSteps,
 // so an unbounded tracer grows without limit; with a retain bound the tracer

@@ -168,6 +168,35 @@ func TestResetStepsStartsFreshRun(t *testing.T) {
 	}
 }
 
+// TagRun must label the most recently attached run — the serving layer's
+// marker for retry and canary rounds — and survive a following reset.
+func TestTagRunLabelsCurrentRun(t *testing.T) {
+	tr := New()
+	m := mesh.New(8, mesh.WithTracer(tr))
+	v := m.Root()
+	func() {
+		defer Span(v, "round")()
+		v.Charge(2)
+	}()
+	m.ResetSteps()
+	tr.TagRun("retry 1 audited")
+	v = m.Root()
+	func() {
+		defer Span(v, "round")()
+		v.Charge(2)
+	}()
+	runs := tr.Runs()
+	if len(runs) != 2 {
+		t.Fatalf("got %d runs, want 2", len(runs))
+	}
+	if strings.Contains(runs[0].Label, "[retry 1 audited]") {
+		t.Fatalf("tag leaked onto the pre-reset run: %q", runs[0].Label)
+	}
+	if !strings.Contains(runs[1].Label, "[retry 1 audited]") {
+		t.Fatalf("tag missing from the tagged run: %q", runs[1].Label)
+	}
+}
+
 // The Chrome export must be valid JSON in trace-event format with one
 // complete event per span and durations in step time.
 func TestWriteChromeProducesValidTraceEvents(t *testing.T) {
