@@ -23,6 +23,19 @@
 // acceptance bar is zero mismatches and zero failed queries:
 //
 //	meshserve -loadgen -clients 8,32 -duration 1s -side 16 -chaos 42 -chaos-p 0.02
+//
+// Workload mode (-workload, DESIGN.md §3.7) is the open-loop counterpart:
+// arrivals follow a seeded Poisson or ON/OFF-bursty process whose clock does
+// not wait for answers, so queueing delay and saturation become observable.
+// It reports per-window latency percentiles, offered vs achieved qps, and
+// degraded/rejected fractions; -trace-out records the arrival plan plus the
+// answer stream to JSONL, -workload replay -trace-in re-runs it and requires
+// the answers to reproduce exactly; -saturate binary-searches the max
+// sustainable rate under an SLO and prints the knee (EXPERIMENTS.md E22):
+//
+//	meshserve -workload poisson -rate 200x2s,800x500ms,200x2s -side 16 -trace-out run.jsonl
+//	meshserve -workload replay -trace-in run.jsonl -side 16
+//	meshserve -workload poisson -rate 256 -saturate -slo-p99 50ms -bench-out BENCH_PR6.json
 package main
 
 import (
@@ -30,6 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"os"
@@ -37,7 +51,6 @@ import (
 	"strconv"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -68,7 +81,34 @@ func main() {
 	breakerWindow := flag.Int("breaker-window", 0, "circuit-breaker sliding window, in rounds (0 = default 16)")
 	canaryInterval := flag.Duration("canary-interval", 0, "how often an open circuit probes the mesh (0 = default 50ms, negative = never)")
 	queryDeadline := flag.Duration("query-deadline", 5*time.Second, "per-query deadline for loadgen lookups (0 = none)")
+
+	workload := flag.String("workload", "", "open-loop workload mode: poisson | burst | replay (see DESIGN.md §3.7)")
+	rate := flag.String("rate", "256", "offered-rate schedule, qps: \"400\" or \"200x2s,800x500ms,200x2s\" (workload)")
+	workloadDur := flag.Duration("workload-dur", 4*time.Second, "duration of bare-rate schedule phases (workload)")
+	window := flag.Duration("window", time.Second, "reporting window for per-window percentiles (workload)")
+	burstOn := flag.Duration("on", 200*time.Millisecond, "burst ON-window length (workload burst)")
+	burstOff := flag.Duration("off", 200*time.Millisecond, "burst OFF-window length (workload burst)")
+	zipf := flag.Float64("zipf", 0, "Zipfian key-popularity exponent, > 1 (0 = uniform; workload)")
+	maxInflight := flag.Int("max-inflight", 0, "client-side cap on outstanding open-loop lookups (0 = 4096; workload)")
+	traceOut := flag.String("trace-out", "", "record the arrival plan + answers to this JSONL file (workload poisson|burst)")
+	traceIn := flag.String("trace-in", "", "replay this recorded JSONL trace (workload replay)")
+	benchOut := flag.String("bench-out", "", "write the machine-readable run report to this JSON file (workload)")
+	saturate := flag.Bool("saturate", false, "binary-search the max sustainable rate under the SLO instead of a single run (workload)")
+	sloP99 := flag.Duration("slo-p99", 50*time.Millisecond, "SLO: answered-query p99 latency bound (saturate)")
+	sloDegraded := flag.Float64("slo-degraded", 0.01, "SLO: max degraded fraction of answered queries (saturate)")
+	sloRejected := flag.Float64("slo-rejected", 0.01, "SLO: max rejected+shed fraction of offered queries (saturate)")
+	satBisect := flag.Int("sat-bisect", 5, "bisection refinements after the SLO first breaks (saturate)")
+	satMax := flag.Float64("sat-max", 1e6, "rate ceiling for the saturation search, qps (saturate)")
+	probeDur := flag.Duration("probe-dur", 2*time.Second, "measurement window per saturation probe (saturate)")
 	flag.Parse()
+
+	// -budget parses as float64 so 1e6-style spellings work, but the serve
+	// layer counts integral steps: validate instead of silently truncating
+	// (a -budget 0.5 used to become 0 = unlimited — the opposite of asked).
+	if *budget < 0 || *budget != math.Trunc(*budget) || *budget > math.MaxInt64 {
+		fmt.Fprintf(os.Stderr, "meshserve: -budget must be a non-negative integral step count, got %v\n", *budget)
+		os.Exit(2)
+	}
 
 	cfg := serve.Config{
 		Side:           *side,
@@ -104,6 +144,26 @@ func main() {
 	}
 	cfg.Audit = *audit
 
+	if *loadgen && *workload != "" {
+		fmt.Fprintln(os.Stderr, "meshserve: -loadgen (closed-loop sweep) and -workload (open-loop harness) are mutually exclusive")
+		os.Exit(2)
+	}
+	if *workload != "" {
+		f := workloadFlags{
+			mode: *workload, rate: *rate, dur: *workloadDur, window: *window,
+			on: *burstOn, off: *burstOff, zipf: *zipf, seed: *seed,
+			deadline: *queryDeadline, maxInFl: *maxInflight,
+			traceOut: *traceOut, traceIn: *traceIn, benchOut: *benchOut,
+			saturate: *saturate, sloP99: *sloP99, sloDegraded: *sloDegraded,
+			sloRejected: *sloRejected, satBisect: *satBisect, satMax: *satMax,
+			probeDur: *probeDur,
+		}
+		if err := runWorkload(cfg, f); err != nil {
+			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *loadgen {
 		counts, err := parseCounts(*clients)
 		if err != nil {
@@ -204,7 +264,18 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, d
 		start := time.Now()
 		ctx, cancel := context.WithTimeout(context.Background(), dur)
 		var wg sync.WaitGroup
-		var mismatches, hardErrs atomic.Int64
+		// First mismatch or hard error aborts the whole window: a client
+		// goroutine that silently returned used to shrink the offered
+		// concurrency for the rest of the window, quietly corrupting the
+		// throughput row it was about to print. fail() records the first
+		// cause and cancels every client; the row is only printed if the
+		// acceptance bar passed.
+		var failOnce sync.Once
+		var failErr error
+		fail := func(err error) {
+			failOnce.Do(func() { failErr = err })
+			cancel()
+		}
 		for c := 0; c < nc; c++ {
 			c := c
 			wg.Add(1)
@@ -227,14 +298,15 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, d
 						if ctx.Err() != nil {
 							return // measurement window closed, not a lost query
 						}
-						hardErrs.Add(1)
+						fail(fmt.Errorf("lookup of %d exceeded its %s deadline", needle, deadline))
 						return
 					case err != nil:
-						hardErrs.Add(1)
+						fail(fmt.Errorf("lookup of %d failed: %w", needle, err))
 						return
 					case res.Found != s.Tree().Contains(needle),
 						res.Found && res.LeafKey != needle:
-						mismatches.Add(1)
+						fail(fmt.Errorf("answer for %d disagrees with the host oracle (found=%v leaf=%d)",
+							needle, res.Found, res.LeafKey))
 						return
 					default:
 						overloads = 0
@@ -244,6 +316,9 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, d
 		}
 		wg.Wait()
 		cancel()
+		if failErr != nil {
+			return fmt.Errorf("at %d clients: %w", nc, failErr)
+		}
 		wall := time.Since(start).Seconds()
 		d := s.Stats()
 		served := d.Served - before.Served
@@ -260,12 +335,6 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, d
 		}
 		fmt.Printf("%8d %12.0f %10.1f %10.1f %14.0f %10d %10d\n",
 			nc, float64(served)/wall, float64(rounds)/wall, qPerRound, stepsPerQuery, rejected, degraded)
-		if m := mismatches.Load(); m > 0 {
-			return fmt.Errorf("%d answers disagreed with the host oracle at %d clients", m, nc)
-		}
-		if e := hardErrs.Load(); e > 0 {
-			return fmt.Errorf("%d lookups failed at %d clients", e, nc)
-		}
 	}
 	printRecovery(s.Stats(), injector)
 	return nil

@@ -1,0 +1,328 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/loadgen"
+	"repro/internal/serve"
+)
+
+func context30s() (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), 30*time.Second)
+}
+
+// workloadFlags collects the open-loop harness knobs (-workload and
+// friends); see DESIGN.md §3.7 and EXPERIMENTS.md E22.
+type workloadFlags struct {
+	mode     string // poisson | burst | replay
+	rate     string // schedule spec: "400" or "200x2s,800x500ms"
+	dur      time.Duration
+	window   time.Duration
+	on, off  time.Duration
+	zipf     float64 // 0 = uniform, else Zipf exponent (> 1)
+	seed     int64
+	deadline time.Duration
+	maxInFl  int
+
+	traceOut string
+	traceIn  string
+	benchOut string
+
+	saturate    bool
+	sloP99      time.Duration
+	sloDegraded float64
+	sloRejected float64
+	satBisect   int
+	satMax      float64
+	probeDur    time.Duration
+}
+
+// runWorkload is the open-loop serving-mode counterpart of runLoadgen: it
+// drives the server with an arrival process that does not wait for answers,
+// reports per-window SLO metrics, and (optionally) binary-searches the
+// saturation knee. Exit is non-zero on any oracle mismatch, failed query,
+// or replay divergence.
+func runWorkload(cfg serve.Config, f workloadFlags) error {
+	s, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context30s()
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	nKeys := len(s.Tree().Keys)
+	fmt.Printf("meshserve workload: %s arrivals, %dx%d mesh (%s model), %d keys, window %s\n",
+		f.mode, cfg.Side, cfg.Side, cfg.Model, nKeys, f.window)
+
+	if f.saturate {
+		if f.mode == "replay" {
+			return fmt.Errorf("-saturate replays nothing: use -workload poisson or burst")
+		}
+		return runSaturation(s, cfg, f, nKeys)
+	}
+
+	var events []loadgen.TraceEvent
+	var recorded []loadgen.TraceEvent // replay mode: the answer stream to reproduce
+	switch f.mode {
+	case "replay":
+		if f.traceIn == "" {
+			return fmt.Errorf("-workload replay needs -trace-in")
+		}
+		fh, err := os.Open(f.traceIn)
+		if err != nil {
+			return err
+		}
+		header, rec, err := loadgen.ReadTrace(fh)
+		fh.Close()
+		if err != nil {
+			return err
+		}
+		if header.Side != cfg.Side || header.Keys != nKeys {
+			return fmt.Errorf("trace was recorded against a %dx%d mesh with %d keys; this server is %dx%d with %d",
+				header.Side, header.Side, header.Keys, cfg.Side, cfg.Side, nKeys)
+		}
+		recorded = rec
+		events = loadgen.StripAnswers(rec)
+		fmt.Printf("replaying %d arrivals recorded from a %s workload (seed %d)\n",
+			len(events), header.Workload, header.Seed)
+	case "poisson", "burst":
+		events, err = generateEvents(f, nKeys)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -workload %q (want poisson, burst, or replay)", f.mode)
+	}
+
+	rep, err := loadgen.Run(loadgen.Config{
+		Server:      s,
+		Events:      events,
+		Window:      f.window,
+		Deadline:    f.deadline,
+		MaxInFlight: f.maxInFl,
+		Contains:    s.Tree().Contains,
+	})
+	if err != nil {
+		return err
+	}
+	printReport(rep)
+
+	if recorded != nil {
+		n, first := loadgen.CompareAnswers(recorded, events)
+		if n > 0 {
+			return fmt.Errorf("replay diverged from the recorded answer stream on %d of %d events: %v",
+				n, len(recorded), first)
+		}
+		fmt.Printf("replay reproduced all %d recorded answers exactly (digest %.16s…)\n",
+			len(recorded), rep.Digest)
+	}
+	if rep.Total.Mismatched > 0 {
+		return fmt.Errorf("%d answers disagreed with the host oracle", rep.Total.Mismatched)
+	}
+	if rep.Total.Failed > 0 {
+		return fmt.Errorf("%d queries failed", rep.Total.Failed)
+	}
+
+	if f.traceOut != "" && recorded == nil {
+		fh, err := os.Create(f.traceOut)
+		if err != nil {
+			return err
+		}
+		header := loadgen.TraceHeader{Workload: f.mode, Side: cfg.Side, Keys: nKeys, Seed: f.seed}
+		werr := loadgen.WriteTrace(fh, header, events)
+		if cerr := fh.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("recorded %d arrivals + answers to %s\n", len(events), f.traceOut)
+	}
+	if f.benchOut != "" {
+		if err := writeBench(f.benchOut, cfg, f, rep, nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// generateEvents materializes the arrival plan from the flag set.
+func generateEvents(f workloadFlags, nKeys int) ([]loadgen.TraceEvent, error) {
+	sched, err := loadgen.ParseSchedule(f.rate, f.dur)
+	if err != nil {
+		return nil, err
+	}
+	var arr *loadgen.Arrivals
+	switch f.mode {
+	case "poisson":
+		arr, err = loadgen.Poisson(sched, f.seed)
+	case "burst":
+		arr, err = loadgen.Bursty(sched, f.on, f.off, f.seed)
+	default:
+		return nil, fmt.Errorf("unknown workload %q", f.mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	keys, err := keyDraw(f, nKeys)
+	if err != nil {
+		return nil, err
+	}
+	return loadgen.Generate(arr, keys, 0)
+}
+
+func keyDraw(f workloadFlags, nKeys int) (loadgen.KeyDraw, error) {
+	if f.zipf > 0 {
+		return loadgen.ZipfKeys(nKeys, f.zipf, f.seed)
+	}
+	return loadgen.UniformKeys(nKeys, f.seed)
+}
+
+// runSaturation binary-searches the knee: max offered rate whose whole probe
+// run meets the SLO. Probes share one long-lived server (the realistic
+// capacity question) with fresh arrival plans per rate.
+func runSaturation(s *serve.Server, cfg serve.Config, f workloadFlags, nKeys int) error {
+	slo := loadgen.SLO{P99: f.sloP99, MaxDegraded: f.sloDegraded, MaxRejected: f.sloRejected}
+	startRate, err := firstScheduleRate(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("saturation search: SLO p99 < %s, degraded ≤ %.2f%%, rejected ≤ %.2f%%; probes %s at %g qps and up\n",
+		slo.P99, 100*slo.MaxDegraded, 100*slo.MaxRejected, f.probeDur, startRate)
+	fmt.Printf("%10s %6s %12s %10s %10s %10s %10s  %s\n",
+		"rate", "pass", "achieved/s", "p50", "p99", "p999", "degraded", "reason")
+	probeIdx := 0
+	run := func(rate float64) (*loadgen.Report, error) {
+		probeIdx++
+		pf := f
+		pf.rate = fmt.Sprintf("%g", rate)
+		pf.dur = f.probeDur
+		pf.seed = f.seed + int64(probeIdx) // decorrelate probes, still deterministic
+		events, err := generateEvents(pf, nKeys)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := loadgen.Run(loadgen.Config{
+			Server:      s,
+			Events:      events,
+			Window:      f.window,
+			Deadline:    f.deadline,
+			MaxInFlight: f.maxInFl,
+			Contains:    s.Tree().Contains,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pass, reason := slo.Pass(rep)
+		t := rep.Total
+		degFrac := 0.0
+		if t.Answered > 0 {
+			degFrac = float64(t.Degraded) / float64(t.Answered)
+		}
+		fmt.Printf("%10.1f %6v %12.0f %10s %10s %10s %9.2f%%  %s\n",
+			rate, pass, t.AchievedQPS, t.P50.Round(time.Microsecond), t.P99.Round(time.Microsecond),
+			t.P999.Round(time.Microsecond), 100*degFrac, reason)
+		return rep, nil
+	}
+	kr, err := loadgen.Saturate(run, startRate, f.satMax, f.satBisect, slo)
+	if err != nil {
+		return err
+	}
+	if kr.Capped {
+		fmt.Printf("knee: ≥ %.1f qps (search capped at -sat-max before the SLO broke)\n", kr.Knee)
+	} else {
+		fmt.Printf("knee: %.1f qps — the max sustainable rate under the SLO (%d probes)\n", kr.Knee, len(kr.Probes))
+	}
+	if f.benchOut != "" {
+		return writeBench(f.benchOut, cfg, f, nil, kr)
+	}
+	return nil
+}
+
+// firstScheduleRate extracts the saturation search's starting rate from the
+// -rate spec (its first phase's rate).
+func firstScheduleRate(f workloadFlags) (float64, error) {
+	sched, err := loadgen.ParseSchedule(f.rate, f.dur)
+	if err != nil {
+		return 0, err
+	}
+	for _, p := range sched {
+		if p.Rate > 0 {
+			return p.Rate, nil
+		}
+	}
+	return 0, fmt.Errorf("schedule offers no load")
+}
+
+// printReport renders the per-window table and totals of one open-loop run.
+func printReport(rep *loadgen.Report) {
+	fmt.Printf("%8s %11s %12s %10s %10s %10s %10s %9s %5s %5s %5s %5s\n",
+		"window", "offered/s", "achieved/s", "p50", "p95", "p99", "p999", "steps/q", "rej", "shed", "degr", "fail")
+	row := func(label string, w loadgen.WindowStats) {
+		stepsPerQ := w.SimStepsPerQuery
+		fmt.Printf("%8s %11.0f %12.0f %10s %10s %10s %10s %9.0f %5d %5d %5d %5d\n",
+			label, w.OfferedQPS, w.AchievedQPS,
+			w.P50.Round(time.Microsecond), w.P95.Round(time.Microsecond),
+			w.P99.Round(time.Microsecond), w.P999.Round(time.Microsecond),
+			stepsPerQ, w.Rejected, w.Shed, w.Degraded, w.Failed)
+	}
+	for _, w := range rep.Windows {
+		row(w.Start.Round(time.Millisecond).String(), w)
+	}
+	row("total", rep.Total)
+	fmt.Printf("answered %d/%d offered in %s (answer digest %.16s…)\n",
+		rep.Total.Answered, rep.Total.Offered, rep.Wall.Round(time.Millisecond), rep.Digest)
+}
+
+// benchDoc is the machine-readable result trajectory entry (BENCH_PR6.json).
+type benchDoc struct {
+	PR         int                 `json:"pr"`
+	Title      string              `json:"title"`
+	Harness    string              `json:"harness"`
+	Mode       string              `json:"mode"`
+	Side       int                 `json:"side"`
+	RateSpec   string              `json:"rate_spec"`
+	Zipf       float64             `json:"zipf_s,omitempty"`
+	Seed       int64               `json:"seed"`
+	Window     string              `json:"window"`
+	Report     *loadgen.Report     `json:"report,omitempty"`
+	Saturation *loadgen.KneeReport `json:"saturation,omitempty"`
+}
+
+func writeBench(path string, cfg serve.Config, f workloadFlags, rep *loadgen.Report, kr *loadgen.KneeReport) error {
+	doc := benchDoc{
+		PR:       6,
+		Title:    "Open-loop workload & SLO harness (E22)",
+		Harness:  "meshserve -workload (internal/loadgen)",
+		Mode:     f.mode,
+		Side:     cfg.Side,
+		RateSpec: f.rate,
+		Zipf:     f.zipf,
+		Seed:     f.seed,
+		Window:   f.window.String(),
+		Report:   rep,
+	}
+	if kr != nil {
+		doc.Saturation = kr
+	}
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(fh)
+	enc.SetIndent("", "  ")
+	werr := enc.Encode(doc)
+	if cerr := fh.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		fmt.Printf("wrote %s\n", path)
+	}
+	return werr
+}

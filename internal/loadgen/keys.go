@@ -1,0 +1,53 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// KeyDraw picks the needle for one query. Implementations are seeded and
+// deterministic; the needle domain is [0, 2·keys), matching the serve
+// layer's default dictionary layout (odd keys resident) so roughly half the
+// domain hits and half misses under uniform draw.
+type KeyDraw interface {
+	Draw() int64
+}
+
+type uniformDraw struct {
+	rng *rand.Rand
+	n   int64
+}
+
+func (u *uniformDraw) Draw() int64 { return u.rng.Int63n(u.n) }
+
+// UniformKeys draws needles uniformly over [0, 2·keys).
+func UniformKeys(keys int, seed int64) (KeyDraw, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("loadgen: uniform draw needs a positive key count, got %d", keys)
+	}
+	return &uniformDraw{rng: rand.New(rand.NewSource(seed)), n: 2 * int64(keys)}, nil
+}
+
+type zipfDraw struct {
+	z *rand.Zipf
+}
+
+func (z *zipfDraw) Draw() int64 { return int64(z.z.Uint64()) }
+
+// ZipfKeys draws needles from a Zipfian(s) distribution over [0, 2·keys):
+// needle 0 is the hottest key, with probability ∝ 1/(1+k)^s. s must exceed
+// 1 (the math/rand parameterization); s around 1.1 is a mild hot-key skew,
+// 2+ concentrates most traffic on a handful of needles.
+func ZipfKeys(keys int, s float64, seed int64) (KeyDraw, error) {
+	if keys <= 0 {
+		return nil, fmt.Errorf("loadgen: zipf draw needs a positive key count, got %d", keys)
+	}
+	if s <= 1 {
+		return nil, fmt.Errorf("loadgen: zipf exponent must be > 1, got %g", s)
+	}
+	z := rand.NewZipf(rand.New(rand.NewSource(seed)), s, 1, uint64(2*keys-1))
+	if z == nil {
+		return nil, fmt.Errorf("loadgen: bad zipf parameters (s=%g, keys=%d)", s, keys)
+	}
+	return &zipfDraw{z: z}, nil
+}

@@ -1,0 +1,343 @@
+package loadgen
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Generate materializes an arrival plan: every arrival the process emits,
+// paired with a needle from the popularity draw. The result is the unit of
+// record/replay — a run is a pure function of its event slice, so replaying
+// the slice reproduces the answer stream. max bounds the plan size (a rate
+// schedule is user input; a typo must not OOM the harness).
+func Generate(a *Arrivals, k KeyDraw, max int) ([]TraceEvent, error) {
+	if max <= 0 {
+		max = 2_000_000
+	}
+	var events []TraceEvent
+	for {
+		at, ok := a.Next()
+		if !ok {
+			break
+		}
+		if len(events) >= max {
+			return nil, fmt.Errorf("loadgen: schedule generates more than %d arrivals; lower the rate or raise the cap", max)
+		}
+		events = append(events, TraceEvent{I: len(events), AtNS: int64(at), Needle: k.Draw()})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("loadgen: schedule produced no arrivals")
+	}
+	return events, nil
+}
+
+// Config drives one open-loop run.
+type Config struct {
+	// Server is the in-process target. Required, already serving.
+	Server *serve.Server
+	// Events is the materialized arrival plan (Generate or a replayed
+	// trace). Run fills each event's answer fields in place.
+	Events []TraceEvent
+	// Window is the reporting bucket width (default 1s).
+	Window time.Duration
+	// Deadline bounds each lookup (default 5s; ≤0 keeps the default —
+	// an open-loop run must never block forever on one query).
+	Deadline time.Duration
+	// MaxInFlight caps concurrent outstanding lookups (default 4096). When
+	// the cap is hit the arrival is shed client-side and counted — blocking
+	// would silently turn the generator closed-loop.
+	MaxInFlight int
+	// Contains is the host oracle for answer checking; nil disables checks.
+	Contains func(int64) bool
+}
+
+// Outcome classifies one arrival's fate.
+type outcome struct {
+	status   uint8
+	latNS    int64
+	pathLen  int32
+	mismatch bool
+}
+
+const (
+	outcomeOK       = iota // answered by a mesh round
+	outcomeDegraded        // answered by the host oracle (still correct)
+	outcomeRejected        // ErrOverloaded from admission
+	outcomeShed            // shed client-side at MaxInFlight
+	outcomeFailed          // any other error (round fault, deadline)
+)
+
+// WindowStats aggregates one reporting window (and, for Total, the whole
+// run). Quantiles come from the shared fixed-boundary histogram
+// (serve.Histogram); offered is by arrival time, so a query is attributed
+// to the window that offered it even if it completed later.
+type WindowStats struct {
+	Start      time.Duration `json:"start_ns"`
+	Offered    int64         `json:"offered"`
+	Answered   int64         `json:"answered"` // mesh-served + degraded
+	Rejected   int64         `json:"rejected"`
+	Shed       int64         `json:"shed"`
+	Failed     int64         `json:"failed"`
+	Degraded   int64         `json:"degraded"`
+	Mismatched int64         `json:"mismatched"`
+
+	OfferedQPS  float64 `json:"offered_qps"`
+	AchievedQPS float64 `json:"achieved_qps"`
+
+	P50  time.Duration `json:"p50_ns"`
+	P95  time.Duration `json:"p95_ns"`
+	P99  time.Duration `json:"p99_ns"`
+	P999 time.Duration `json:"p999_ns"`
+	Max  time.Duration `json:"max_ns"`
+
+	// MeanPathSteps is the mean search-path length of answered queries (the
+	// per-query cost the paper's tree height bounds); SimStepsPerQuery is
+	// simulated mesh steps per mesh-served query over the window, from the
+	// server's own counters sampled at window boundaries.
+	MeanPathSteps    float64 `json:"mean_path_steps"`
+	SimStepsPerQuery float64 `json:"sim_steps_per_query"`
+}
+
+// Report is the result of one open-loop run.
+type Report struct {
+	Windows []WindowStats `json:"windows"`
+	Total   WindowStats   `json:"total"`
+	// Digest is a SHA-256 over the answered events in arrival order
+	// (needle, membership, leaf, path length): two runs with identical
+	// digests produced identical answer streams.
+	Digest string        `json:"answer_digest"`
+	Wall   time.Duration `json:"wall_ns"`
+}
+
+func (cfg Config) check() error {
+	if cfg.Server == nil {
+		return fmt.Errorf("loadgen: Config.Server is required")
+	}
+	if len(cfg.Events) == 0 {
+		return fmt.Errorf("loadgen: no events to run")
+	}
+	return nil
+}
+
+// Run plays the arrival plan against the server: open loop, each arrival
+// fired at its scheduled offset regardless of outstanding queries. The hot
+// path does no per-query allocation beyond the one goroutine per in-flight
+// lookup — outcomes land in a preallocated slice, latency quantiles come
+// from fixed-boundary histograms built at report time.
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.check(); err != nil {
+		return nil, err
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = time.Second
+	}
+	deadline := cfg.Deadline
+	if deadline <= 0 {
+		deadline = 5 * time.Second
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 4096
+	}
+
+	events := cfg.Events
+	outcomes := make([]outcome, len(events))
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+
+	// Sample the server's counters at window boundaries so per-window
+	// sim-steps/query can be computed from deltas (the counters are global;
+	// boundary samples attribute them to windows to histogram precision).
+	lastAt := time.Duration(events[len(events)-1].AtNS)
+	numWindows := int(lastAt/window) + 1
+	boundarySamples := make([]serve.Stats, 0, numWindows+1)
+	boundarySamples = append(boundarySamples, cfg.Server.Stats())
+	samplerDone := make(chan struct{})
+	samplerStop := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		tick := time.NewTicker(window)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				if len(boundarySamples) <= numWindows {
+					boundarySamples = append(boundarySamples, cfg.Server.Stats())
+				}
+			case <-samplerStop:
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	for i := range events {
+		ev := &events[i]
+		if wait := time.Duration(ev.AtNS) - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		select {
+		case sem <- struct{}{}:
+		default:
+			outcomes[i].status = outcomeShed
+			continue
+		}
+		wg.Add(1)
+		go func(ev *TraceEvent, o *outcome) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			qctx, cancel := context.WithTimeout(context.Background(), deadline)
+			defer cancel()
+			qstart := time.Now()
+			res, err := cfg.Server.Lookup(qctx, ev.Needle)
+			o.latNS = time.Since(qstart).Nanoseconds()
+			switch {
+			case errors.Is(err, serve.ErrOverloaded):
+				o.status = outcomeRejected
+			case err != nil:
+				o.status = outcomeFailed
+			default:
+				ev.OK, ev.Found, ev.Leaf, ev.Steps = true, res.Found, res.LeafKey, res.Steps
+				o.pathLen = res.Steps
+				if cfg.Contains != nil &&
+					(res.Found != cfg.Contains(ev.Needle) || (res.Found && res.LeafKey != ev.Needle)) {
+					o.mismatch = true
+				}
+				if res.Degraded {
+					o.status = outcomeDegraded
+				} else {
+					o.status = outcomeOK
+				}
+			}
+		}(ev, &outcomes[i])
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	close(samplerStop)
+	<-samplerDone
+	boundarySamples = append(boundarySamples, cfg.Server.Stats())
+
+	return buildReport(events, outcomes, boundarySamples, window, wall), nil
+}
+
+func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats, window time.Duration, wall time.Duration) *Report {
+	lastAt := time.Duration(events[len(events)-1].AtNS)
+	numWindows := int(lastAt/window) + 1
+	hists := make([]*serve.Histogram, numWindows)
+	var totalHist serve.Histogram
+	wins := make([]WindowStats, numWindows)
+	var total WindowStats
+	var totalPath int64
+	winPath := make([]int64, numWindows)
+	for i := range events {
+		w := int(time.Duration(events[i].AtNS) / window)
+		ws := &wins[w]
+		o := &outcomes[i]
+		ws.Offered++
+		total.Offered++
+		switch o.status {
+		case outcomeOK, outcomeDegraded:
+			ws.Answered++
+			total.Answered++
+			if o.status == outcomeDegraded {
+				ws.Degraded++
+				total.Degraded++
+			}
+			if hists[w] == nil {
+				hists[w] = &serve.Histogram{}
+			}
+			hists[w].Observe(time.Duration(o.latNS))
+			totalHist.Observe(time.Duration(o.latNS))
+			winPath[w] += int64(o.pathLen)
+			totalPath += int64(o.pathLen)
+		case outcomeRejected:
+			ws.Rejected++
+			total.Rejected++
+		case outcomeShed:
+			ws.Shed++
+			total.Shed++
+		case outcomeFailed:
+			ws.Failed++
+			total.Failed++
+		}
+		if o.mismatch {
+			ws.Mismatched++
+			total.Mismatched++
+		}
+	}
+
+	winSecs := window.Seconds()
+	for w := range wins {
+		ws := &wins[w]
+		ws.Start = time.Duration(w) * window
+		ws.OfferedQPS = float64(ws.Offered) / winSecs
+		ws.AchievedQPS = float64(ws.Answered) / winSecs
+		if hists[w] != nil {
+			fillQuantiles(ws, hists[w].Snapshot())
+		}
+		if ws.Answered > 0 {
+			ws.MeanPathSteps = float64(winPath[w]) / float64(ws.Answered)
+		}
+		// Per-window mesh steps from the boundary samples: sample w is the
+		// state at the window's start, w+1 at its end (clamped — the run
+		// tail may outlive the last full window).
+		lo, hi := w, w+1
+		if hi >= len(samples) {
+			hi = len(samples) - 1
+		}
+		if lo < hi {
+			dSteps := samples[hi].SimSteps - samples[lo].SimSteps
+			dMesh := (samples[hi].Served - samples[hi].Degraded) - (samples[lo].Served - samples[lo].Degraded)
+			if dMesh > 0 {
+				ws.SimStepsPerQuery = float64(dSteps) / float64(dMesh)
+			}
+		}
+	}
+
+	wallSecs := wall.Seconds()
+	if wallSecs <= 0 {
+		wallSecs = winSecs
+	}
+	total.OfferedQPS = float64(total.Offered) / wallSecs
+	total.AchievedQPS = float64(total.Answered) / wallSecs
+	fillQuantiles(&total, totalHist.Snapshot())
+	if total.Answered > 0 {
+		total.MeanPathSteps = float64(totalPath) / float64(total.Answered)
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	if dMesh := (last.Served - last.Degraded) - (first.Served - first.Degraded); dMesh > 0 {
+		total.SimStepsPerQuery = float64(last.SimSteps-first.SimSteps) / float64(dMesh)
+	}
+
+	return &Report{Windows: wins, Total: total, Digest: Digest(events), Wall: wall}
+}
+
+func fillQuantiles(ws *WindowStats, snap serve.HistSnapshot) {
+	ws.P50 = snap.Quantile(0.50)
+	ws.P95 = snap.Quantile(0.95)
+	ws.P99 = snap.Quantile(0.99)
+	ws.P999 = snap.Quantile(0.999)
+	ws.Max = time.Duration(snap.Max)
+}
+
+// Digest hashes the answered events in arrival order. Two runs over the
+// same plan with equal digests produced byte-identical answer streams.
+func Digest(events []TraceEvent) string {
+	h := sha256.New()
+	for i := range events {
+		ev := &events[i]
+		if !ev.OK {
+			continue
+		}
+		fmt.Fprintf(h, "%d:%d:%t:%d:%d\n", ev.I, ev.Needle, ev.Found, ev.Leaf, ev.Steps)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,149 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceHeader is the first JSONL line of a workload trace: enough context to
+// refuse a replay against the wrong server shape.
+type TraceHeader struct {
+	Kind     string `json:"kind"` // always traceKind
+	Version  int    `json:"version"`
+	Workload string `json:"workload"` // poisson | burst
+	Side     int    `json:"side"`
+	Keys     int    `json:"keys"`
+	Seed     int64  `json:"seed"`
+	Events   int    `json:"events"`
+}
+
+const (
+	traceKind    = "meshserve-workload-trace"
+	traceVersion = 1
+)
+
+// TraceEvent is one arrival: its offset on the open-loop clock, its needle,
+// and — once the run has answered it — the recorded answer. Replay re-fires
+// the same needles on the same clock and compares its answers to these.
+type TraceEvent struct {
+	I      int   `json:"i"`
+	AtNS   int64 `json:"at_ns"`
+	Needle int64 `json:"needle"`
+
+	// Answer fields, filled by Run. OK means the query was answered by the
+	// server (mesh-served or degraded); rejected/shed/failed arrivals keep
+	// OK=false and are excluded from the answer stream.
+	OK    bool  `json:"ok,omitempty"`
+	Found bool  `json:"found,omitempty"`
+	Leaf  int64 `json:"leaf,omitempty"`
+	Steps int32 `json:"steps,omitempty"`
+}
+
+// WriteTrace emits the header and one event per line as JSONL.
+func WriteTrace(w io.Writer, h TraceHeader, events []TraceEvent) error {
+	h.Kind = traceKind
+	h.Version = traceVersion
+	h.Events = len(events)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(h); err != nil {
+		return fmt.Errorf("loadgen: write trace header: %w", err)
+	}
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("loadgen: write trace event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a JSONL trace written by WriteTrace.
+func ReadTrace(r io.Reader) (TraceHeader, []TraceEvent, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	if !sc.Scan() {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: empty trace")
+	}
+	var h TraceHeader
+	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: bad trace header: %w", err)
+	}
+	if h.Kind != traceKind || h.Version != traceVersion {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: not a v%d %s (got kind %q version %d)",
+			traceVersion, traceKind, h.Kind, h.Version)
+	}
+	events := make([]TraceEvent, 0, h.Events)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return TraceHeader{}, nil, fmt.Errorf("loadgen: bad trace event %d: %w", len(events), err)
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: read trace: %w", err)
+	}
+	if len(events) != h.Events {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: trace truncated: header says %d events, read %d", h.Events, len(events))
+	}
+	for i := range events {
+		if events[i].I != i {
+			return TraceHeader{}, nil, fmt.Errorf("loadgen: trace event order broken at %d (got index %d)", i, events[i].I)
+		}
+		if events[i].AtNS < 0 || (i > 0 && events[i].AtNS < events[i-1].AtNS) {
+			return TraceHeader{}, nil, fmt.Errorf("loadgen: trace arrival clock not monotone at event %d", i)
+		}
+	}
+	return h, events, nil
+}
+
+// StripAnswers returns a copy of events with the answer fields cleared — the
+// replay input, leaving the recorded answers untouched for comparison.
+func StripAnswers(events []TraceEvent) []TraceEvent {
+	out := make([]TraceEvent, len(events))
+	for i, ev := range events {
+		out[i] = TraceEvent{I: ev.I, AtNS: ev.AtNS, Needle: ev.Needle}
+	}
+	return out
+}
+
+// CompareAnswers checks a replayed answer stream against the recorded one,
+// returning the number of diverging events and a description of the first.
+// Every recorded answer must be reproduced exactly (needle, membership,
+// leaf, path length); an arrival the replay failed to get answered counts
+// as a divergence too.
+func CompareAnswers(recorded, replayed []TraceEvent) (int, error) {
+	if len(recorded) != len(replayed) {
+		return 1, fmt.Errorf("event count differs: recorded %d, replayed %d", len(recorded), len(replayed))
+	}
+	mismatches := 0
+	var first error
+	for i := range recorded {
+		rec, rep := recorded[i], replayed[i]
+		if rec.Needle != rep.Needle || rec.AtNS != rep.AtNS {
+			mismatches++
+			if first == nil {
+				first = fmt.Errorf("event %d: arrival differs (needle %d@%dns vs %d@%dns)",
+					i, rec.Needle, rec.AtNS, rep.Needle, rep.AtNS)
+			}
+			continue
+		}
+		if !rec.OK {
+			continue // nothing recorded to reproduce
+		}
+		if !rep.OK || rec.Found != rep.Found || rec.Leaf != rep.Leaf || rec.Steps != rep.Steps {
+			mismatches++
+			if first == nil {
+				first = fmt.Errorf("event %d (needle %d): recorded ok=%v found=%v leaf=%d steps=%d, replayed ok=%v found=%v leaf=%d steps=%d",
+					i, rec.Needle, rec.OK, rec.Found, rec.Leaf, rec.Steps,
+					rep.OK, rep.Found, rep.Leaf, rep.Steps)
+			}
+		}
+	}
+	return mismatches, first
+}

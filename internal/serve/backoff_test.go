@@ -23,6 +23,31 @@ func TestBackoffDelayBounds(t *testing.T) {
 			}
 		}
 	}
+	// Monotone ceiling growth: the per-attempt envelope min(Base·2^k, Cap)
+	// never shrinks, and before the cap absorbs it the observed maximum at a
+	// later attempt must actually exceed the earlier attempt's whole ceiling
+	// (200 uniform draws over (0, 8ms] miss (1ms, 8ms] with p = (1/8)^200).
+	prevCeil := time.Duration(0)
+	for attempt := 0; attempt < 10; attempt++ {
+		ceil := time.Millisecond << attempt
+		if ceil > b.Cap {
+			ceil = b.Cap
+		}
+		if ceil < prevCeil {
+			t.Fatalf("attempt %d: ceiling %v shrank from %v", attempt, ceil, prevCeil)
+		}
+		prevCeil = ceil
+	}
+	var maxAt3 time.Duration
+	for i := 0; i < 200; i++ {
+		if d := b.Delay(3); d > maxAt3 {
+			maxAt3 = d
+		}
+	}
+	if maxAt3 <= time.Millisecond {
+		t.Fatalf("attempt 3 max observed delay %v never exceeded attempt 0's ceiling", maxAt3)
+	}
+
 	// Zero value: usable defaults.
 	var zero Backoff
 	for i := 0; i < 100; i++ {

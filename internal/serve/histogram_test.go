@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketsPartition checks the bucket mapping is a partition:
+// every value lands in exactly one bucket whose bounds contain it, bucket
+// indices are monotone in the value, and upper bounds invert the mapping.
+func TestHistogramBucketsPartition(t *testing.T) {
+	values := []int64{0, 1, 15, 16, 17, 31, 32, 33, 63, 64, 1000, 1 << 20, (1 << 40) - 1, 1 << 40, 1<<62 + 12345}
+	prev := -1
+	for _, v := range values {
+		i := histIndex(v)
+		if i < prev {
+			t.Fatalf("bucket index not monotone: value %d → bucket %d after bucket %d", v, i, prev)
+		}
+		prev = i
+		if u := histUpper(i); v > u {
+			t.Fatalf("value %d above its bucket's upper bound %d (bucket %d)", v, u, i)
+		}
+		if i > 0 {
+			if lo := histUpper(i - 1); v <= lo {
+				t.Fatalf("value %d not above previous bucket's upper bound %d (bucket %d)", v, lo, i)
+			}
+		}
+	}
+	// Relative error bound: the bucket width is ≤ 1/16 of the value.
+	for _, v := range []int64{100, 10_000, 1_000_000, 1 << 30} {
+		i := histIndex(v)
+		width := histUpper(i) - histUpper(i-1)
+		if 16*width > 2*v {
+			t.Fatalf("bucket width %d too coarse for value %d", width, v)
+		}
+	}
+}
+
+// TestHistogramQuantiles draws a known distribution and requires every
+// quantile to land within one bucket (≤ 6.25%) of the exact order statistic.
+func TestHistogramQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	raw := make([]int64, 10_000)
+	for i := range raw {
+		v := int64(rng.ExpFloat64() * float64(time.Millisecond))
+		raw[i] = v
+		h.Observe(time.Duration(v))
+	}
+	sort.Slice(raw, func(i, j int) bool { return raw[i] < raw[j] })
+	snap := h.Snapshot()
+	if snap.Count != int64(len(raw)) {
+		t.Fatalf("count %d, want %d", snap.Count, len(raw))
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99, 0.999} {
+		exact := raw[int(q*float64(len(raw)))-1]
+		got := int64(snap.Quantile(q))
+		if got < exact {
+			t.Fatalf("q%.3f = %d underestimates exact %d", q, got, exact)
+		}
+		if float64(got) > float64(exact)*1.07+16 {
+			t.Fatalf("q%.3f = %d overestimates exact %d by more than a bucket", q, got, exact)
+		}
+	}
+	if max := snap.Quantile(1); int64(max) != raw[len(raw)-1] {
+		t.Fatalf("q1 = %v, want observed max %d", max, raw[len(raw)-1])
+	}
+	sum := snap.Summary()
+	if sum.P50 > sum.P95 || sum.P95 > sum.P99 || sum.P99 > sum.P999 || sum.P999 > sum.Max {
+		t.Fatalf("summary quantiles not monotone: %+v", sum)
+	}
+}
+
+// TestHistogramEmptyAndConcurrent pins the zero-value contract and runs
+// concurrent observers under -race.
+func TestHistogramEmptyAndConcurrent(t *testing.T) {
+	var h Histogram
+	if s := h.Snapshot().Summary(); s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Fatalf("empty histogram summary %+v", s)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*1000 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := h.Snapshot()
+	if snap.Count != 8000 {
+		t.Fatalf("count %d, want 8000", snap.Count)
+	}
+	if snap.Max != 7999 {
+		t.Fatalf("max %d, want 7999", snap.Max)
+	}
+}

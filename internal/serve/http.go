@@ -1,12 +1,19 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"strconv"
 	"time"
 )
+
+// StatusClientClosedRequest is nginx's non-standard 499 "client closed
+// request": the client disconnected before the round answered. There is no
+// standard code for it, and 500 would charge a client disconnect to the
+// server's error accounting.
+const StatusClientClosedRequest = 499
 
 // Handler returns the server's HTTP surface:
 //
@@ -61,6 +68,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
 		return
+	case r.Context().Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// The *request's* context fired: the client disconnected (Canceled)
+		// or its per-request deadline lapsed (DeadlineExceeded). That is a
+		// client-side outcome, not a server error — map it to the 4xx class
+		// so disconnect storms don't read as a 500 spike. Server-side
+		// cancellation (drain aborting an in-flight round) keeps its own
+		// context and still maps to 500 below.
+		status := StatusClientClosedRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
 	case err != nil:
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
@@ -100,9 +120,23 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		"max_batch": s.maxBatch,
 		"health":    st.Health,
 	}
-	if st.Rounds > 0 {
-		doc["queries_per_round"] = float64(st.Served+st.Failed) / float64(st.Rounds)
-		doc["sim_steps_per_round"] = float64(st.SimSteps) / float64(st.Rounds)
+	// Per-round gauges describe the *mesh* path only: an oracle-degraded
+	// batch consumes no mesh round, so counting it would deflate
+	// sim_steps_per_round and inflate queries_per_round under chaos.
+	// Degraded throughput is reported as its own gauge instead. (Deltas of
+	// counters loaded at slightly different instants can transiently go
+	// negative under a concurrent snapshot; clamp like in_flight below.)
+	meshRounds := st.Rounds - st.DegradedRounds
+	meshServed := st.Served - st.Degraded
+	if meshServed < 0 {
+		meshServed = 0
+	}
+	if meshRounds > 0 {
+		doc["queries_per_round"] = float64(meshServed+st.Failed) / float64(meshRounds)
+		doc["sim_steps_per_round"] = float64(st.SimSteps) / float64(meshRounds)
+	}
+	if st.DegradedRounds > 0 {
+		doc["degraded_queries_per_round"] = float64(st.Degraded) / float64(st.DegradedRounds)
 	}
 	if st.Served > 0 {
 		doc["degraded_fraction"] = float64(st.Degraded) / float64(st.Served)

@@ -1,0 +1,153 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHandleSearchStatusMapping is the table-driven contract for /search's
+// status codes, in particular that a client-cancelled request maps to the
+// 4xx class (499/408) instead of polluting the 500 accounting, while
+// server-side failures stay 5xx.
+func TestHandleSearchStatusMapping(t *testing.T) {
+	cases := []struct {
+		name   string
+		cfg    Config
+		target string
+		ctx    func() context.Context // nil = background
+		setup  func(t *testing.T, s *Server)
+		want   int
+	}{
+		{
+			name:   "ok",
+			cfg:    Config{Side: 8},
+			target: "/search?key=3",
+			want:   http.StatusOK,
+		},
+		{
+			name:   "bad key",
+			cfg:    Config{Side: 8},
+			target: "/search?key=zebra",
+			want:   http.StatusBadRequest,
+		},
+		{
+			// A long linger guarantees the round is still assembling when the
+			// already-cancelled request context is observed.
+			name:   "client disconnect",
+			cfg:    Config{Side: 8, Linger: 200 * time.Millisecond},
+			target: "/search?key=3",
+			ctx: func() context.Context {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				return ctx
+			},
+			want: StatusClientClosedRequest,
+		},
+		{
+			name:   "client deadline",
+			cfg:    Config{Side: 8, Linger: 200 * time.Millisecond},
+			target: "/search?key=3",
+			ctx: func() context.Context {
+				ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+				_ = cancel // leaks into the case; the test server outlives it
+				return ctx
+			},
+			want: http.StatusRequestTimeout,
+		},
+		{
+			// Server-side failure (budget overrun with degradation off) must
+			// stay a 500: only *client*-caused cancellation moves to 4xx.
+			name:   "round failure",
+			cfg:    Config{Side: 8, Budget: 3, DisableDegrade: true},
+			target: "/search?key=3",
+			want:   http.StatusInternalServerError,
+		},
+		{
+			name:   "closed",
+			cfg:    Config{Side: 8},
+			target: "/search?key=3",
+			setup: func(t *testing.T, s *Server) {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				defer cancel()
+				if err := s.Shutdown(ctx); err != nil {
+					t.Fatalf("shutdown: %v", err)
+				}
+			},
+			want: http.StatusServiceUnavailable,
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			s := newTestServer(t, tc.cfg)
+			if tc.setup != nil {
+				tc.setup(t, s)
+			}
+			req := httptest.NewRequest(http.MethodGet, tc.target, nil)
+			if tc.ctx != nil {
+				req = req.WithContext(tc.ctx())
+			}
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code != tc.want {
+				t.Fatalf("%s → %d, want %d (body %q)", tc.target, rec.Code, tc.want, rec.Body.String())
+			}
+		})
+	}
+}
+
+// TestMetricsMeshRoundGauges pins the gauge fix: with every batch degraded to
+// the oracle (deterministic budget overrun), queries_per_round and
+// sim_steps_per_round must describe the mesh path only — not credit oracle
+// answers with mesh rounds — while degraded throughput gets its own gauge.
+func TestMetricsMeshRoundGauges(t *testing.T) {
+	s := newTestServer(t, Config{Side: 8, Budget: 3, CanaryInterval: -1})
+	for i := int64(0); i < 4; i++ {
+		if _, err := s.Lookup(context.Background(), i); err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+	}
+	st := s.Stats()
+	if st.Degraded == 0 || st.DegradedRounds == 0 {
+		t.Fatalf("scenario did not degrade: %+v", st)
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	var doc map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("metrics not JSON: %v", err)
+	}
+	if v, ok := doc["degraded_queries_per_round"]; !ok || v.(float64) <= 0 {
+		t.Fatalf("degraded_queries_per_round missing or zero: %v", doc["degraded_queries_per_round"])
+	}
+	// Mesh-path gauges: every mesh round here failed its budget (zero served
+	// by the mesh), so if queries_per_round is present it must reflect only
+	// failed-round accounting — never the oracle-served queries.
+	meshRounds := st.Rounds - st.DegradedRounds
+	if qpr, ok := doc["queries_per_round"]; ok {
+		if meshRounds == 0 {
+			t.Fatalf("queries_per_round %v emitted with zero mesh rounds", qpr)
+		}
+		if max := float64(st.Failed) / float64(meshRounds); qpr.(float64) > max {
+			t.Fatalf("queries_per_round %v counts degraded answers (mesh max %v)", qpr, max)
+		}
+	}
+	// The serving percentiles must ride the same document (Stats.Latency).
+	serveDoc, ok := doc["serve"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics lacks serve stats: %v", doc)
+	}
+	lat, ok := serveDoc["latency"].(map[string]any)
+	if !ok {
+		t.Fatalf("stats lack latency summary: %v", serveDoc)
+	}
+	if lat["count"].(float64) < 4 || lat["p99_ns"].(float64) <= 0 {
+		t.Fatalf("latency summary not populated: %v", lat)
+	}
+}

@@ -154,6 +154,11 @@ type Stats struct {
 	FaultsPanic    int64  `json:"faults_panic"`
 	FaultsOther    int64  `json:"faults_other"`
 	Health         string `json:"health"` // healthy | degraded | lame-duck
+
+	// Latency summarizes the answered-lookup latency histogram (admission to
+	// response, mesh-served and degraded alike) so /metrics exposes serving
+	// percentiles without any per-query allocation on the hot path.
+	Latency LatencySummary `json:"latency"`
 }
 
 type request struct {
@@ -188,6 +193,7 @@ type Server struct {
 	accepted, rejected, served, failed atomic.Int64
 	rounds, simSteps                   atomic.Int64
 	lastBatch, peakBatch               atomic.Int64
+	lat                                Histogram // answered-lookup latency, admission → response
 
 	// Recovery state (DESIGN.md §3.6). maxRetries/backoff/canaryEvery are
 	// the resolved Config knobs; brk and lastCanary are owned by the
@@ -340,6 +346,7 @@ func (s *Server) MaxBatch() int { return s.maxBatch }
 // ctx is done, or the server refuses it (ErrOverloaded when the admission
 // queue is full, ErrClosed after Shutdown).
 func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
+	start := time.Now()
 	req := request{needle: needle, resp: make(chan response, 1)}
 	s.mu.RLock()
 	if s.closed {
@@ -359,6 +366,10 @@ func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
 	}
 	select {
 	case r := <-req.resp:
+		// Latency is admission → response, mesh-served and degraded alike;
+		// rejected and abandoned lookups never reach a round, so they do
+		// not pollute the serving histogram.
+		s.lat.Observe(time.Since(start))
 		return r.res, r.err
 	case <-ctx.Done():
 		// The round still answers into the buffered resp channel; the
@@ -366,6 +377,10 @@ func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
 		return Result{}, ctx.Err()
 	}
 }
+
+// LatencySnapshot exposes the raw latency histogram (the load generator and
+// tests compute their own quantiles; /metrics uses the Stats summary).
+func (s *Server) LatencySnapshot() HistSnapshot { return s.lat.Snapshot() }
 
 // collect is the admission stage: it blocks for a round's first query, then
 // fills the batch until MaxBatch or the linger deadline, and hands it to the
@@ -508,5 +523,6 @@ func (s *Server) Stats() Stats {
 		FaultsPanic:    s.faults[core.FaultPanic].Load(),
 		FaultsOther:    s.faults[core.FaultOther].Load(),
 		Health:         s.Health().String(),
+		Latency:        s.lat.Snapshot().Summary(),
 	}
 }
