@@ -36,6 +36,20 @@
 //	meshserve -workload poisson -rate 200x2s,800x500ms,200x2s -side 16 -trace-out run.jsonl
 //	meshserve -workload replay -trace-in run.jsonl -side 16
 //	meshserve -workload poisson -rate 256 -saturate -slo-p99 50ms -bench-out BENCH_PR6.json
+//
+// Fleet mode (-replicas N, DESIGN.md §3.8) runs N instances behind a
+// health-aware router (-policy round-robin | least-loaded | health-weighted).
+// A lookup whose replica faults or crashes fails over to a healthy replica
+// before the fleet-level oracle; -chaos-instance kills and restarts replicas
+// on a seeded schedule while /healthz stays 200 as long as one replica is
+// healthy. The workload harness drives a fleet in-process, or any remote
+// meshserve over HTTP with -target:
+//
+//	meshserve -side 8 -replicas 3 -policy health-weighted -chaos-instance 42
+//	meshserve -workload poisson -rate 600 -side 8 -replicas 3 -policy least-loaded
+//	meshserve -workload poisson -rate 300 -target http://127.0.0.1:8845
+//	meshserve -workload poisson -rate 200 -saturate -sweep-replicas 1,2,4 \
+//	    -policy all -bench-out BENCH_PR7.json
 package main
 
 import (
@@ -55,6 +69,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/fleet"
 	"repro/internal/mesh"
 	"repro/internal/serve"
 	"repro/internal/trace"
@@ -82,7 +97,15 @@ func main() {
 	canaryInterval := flag.Duration("canary-interval", 0, "how often an open circuit probes the mesh (0 = default 50ms, negative = never)")
 	queryDeadline := flag.Duration("query-deadline", 5*time.Second, "per-query deadline for loadgen lookups (0 = none)")
 
+	replicas := flag.Int("replicas", 1, "fleet size: run this many instances behind a router (see DESIGN.md §3.8)")
+	policy := flag.String("policy", "round-robin", "fleet routing policy: round-robin | least-loaded | health-weighted (or 'all' with -sweep-replicas)")
+	chaosInstance := flag.Int64("chaos-instance", 0, "kill/restart replicas on this seeded schedule (non-zero; needs -replicas ≥ 2)")
+	chaosKillEvery := flag.Duration("chaos-kill-every", 500*time.Millisecond, "mean interval between instance kills (-chaos-instance)")
+	chaosDowntime := flag.Duration("chaos-downtime", 250*time.Millisecond, "how long a killed instance stays down before restart (-chaos-instance)")
+
 	workload := flag.String("workload", "", "open-loop workload mode: poisson | burst | replay (see DESIGN.md §3.7)")
+	target := flag.String("target", "", "drive a remote meshserve at this base URL (e.g. http://host:8845) instead of an in-process server (workload; remote must serve the default key set)")
+	sweepReplicas := flag.String("sweep-replicas", "", "capacity-planning sweep: comma-separated replica counts, one saturation search each (workload -saturate)")
 	rate := flag.String("rate", "256", "offered-rate schedule, qps: \"400\" or \"200x2s,800x500ms,200x2s\" (workload)")
 	workloadDur := flag.Duration("workload-dur", 4*time.Second, "duration of bare-rate schedule phases (workload)")
 	window := flag.Duration("window", time.Second, "reporting window for per-window percentiles (workload)")
@@ -131,12 +154,21 @@ func main() {
 		os.Exit(2)
 	}
 	var injector *faults.Injector
+	var makeInjector func(i int) mesh.Injector
 	if *chaos != 0 {
 		p := *chaosP
 		injector = faults.New(faults.Config{
 			Seed: *chaos, PSortLie: p, PCorrupt: p, PDrop: p, PDup: p, Limit: *chaosLimit,
 		})
 		cfg.Injector = injector
+		// Fleet replicas must not share one injector (their fault streams
+		// would couple through its state): derive one per instance from the
+		// same seed, each with the full per-instance fault budget.
+		makeInjector = func(i int) mesh.Injector {
+			return faults.New(faults.Config{
+				Seed: *chaos + int64(i)*1_000_003, PSortLie: p, PCorrupt: p, PDrop: p, PDup: p, Limit: *chaosLimit,
+			})
+		}
 		if !*audit {
 			fmt.Fprintln(os.Stderr, "meshserve: -chaos forces -audit on (faults must trip the audit, not corrupt answers)")
 			*audit = true
@@ -148,6 +180,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshserve: -loadgen (closed-loop sweep) and -workload (open-loop harness) are mutually exclusive")
 		os.Exit(2)
 	}
+	if *replicas < 1 || *replicas > 64 {
+		fmt.Fprintf(os.Stderr, "meshserve: -replicas must be in [1, 64], got %d\n", *replicas)
+		os.Exit(2)
+	}
+	if *policy == "all" {
+		if *sweepReplicas == "" {
+			fmt.Fprintln(os.Stderr, "meshserve: -policy all only makes sense with -sweep-replicas (one search per policy)")
+			os.Exit(2)
+		}
+	} else if _, err := fleet.PolicyByName(*policy); err != nil {
+		fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+		os.Exit(2)
+	}
+	if *chaosInstance != 0 && *replicas < 2 {
+		fmt.Fprintln(os.Stderr, "meshserve: -chaos-instance needs -replicas ≥ 2 (the monkey never kills the last replica)")
+		os.Exit(2)
+	}
+	if *loadgen && *replicas > 1 {
+		fmt.Fprintln(os.Stderr, "meshserve: -loadgen drives one instance; use -workload for fleet runs")
+		os.Exit(2)
+	}
+	if *target != "" {
+		if *workload == "" {
+			fmt.Fprintln(os.Stderr, "meshserve: -target needs -workload (the HTTP driver is part of the open-loop harness)")
+			os.Exit(2)
+		}
+		if *replicas > 1 || *chaosInstance != 0 || *sweepReplicas != "" {
+			fmt.Fprintln(os.Stderr, "meshserve: -target drives a remote server; -replicas/-chaos-instance/-sweep-replicas configure in-process fleets")
+			os.Exit(2)
+		}
+	}
+	if *sweepReplicas != "" && !*saturate {
+		fmt.Fprintln(os.Stderr, "meshserve: -sweep-replicas needs -saturate (it runs one saturation search per fleet size)")
+		os.Exit(2)
+	}
 	if *workload != "" {
 		f := workloadFlags{
 			mode: *workload, rate: *rate, dur: *workloadDur, window: *window,
@@ -157,6 +224,10 @@ func main() {
 			saturate: *saturate, sloP99: *sloP99, sloDegraded: *sloDegraded,
 			sloRejected: *sloRejected, satBisect: *satBisect, satMax: *satMax,
 			probeDur: *probeDur,
+			target:   *target, replicas: *replicas, policy: *policy,
+			sweepReplicas: *sweepReplicas, makeInjector: makeInjector,
+			chaosInstance: *chaosInstance, chaosKillEvery: *chaosKillEvery,
+			chaosDowntime: *chaosDowntime,
 		}
 		if err := runWorkload(cfg, f); err != nil {
 			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
@@ -176,9 +247,91 @@ func main() {
 		}
 		return
 	}
+	if *replicas > 1 {
+		fc := fleetConfig(cfg, *replicas, *policy, makeInjector)
+		chaos := fleet.ChaosConfig{Seed: *chaosInstance, KillEvery: *chaosKillEvery, Downtime: *chaosDowntime}
+		if err := runServeFleet(fc, *addr, *drain, chaos); err != nil {
+			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := runServe(cfg, *addr, *drain, injector); err != nil {
 		fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// fleetConfig assembles the fleet template from the per-instance serve
+// config: every replica gets its own tracer (a tracer records one mesh) and,
+// under -chaos, its own derived fault injector.
+func fleetConfig(cfg serve.Config, replicas int, policyName string, makeInjector func(i int) mesh.Injector) fleet.Config {
+	pol, err := fleet.PolicyByName(policyName)
+	if err != nil {
+		pol = fleet.RoundRobin() // validated in main; sweep passes "all"
+	}
+	return fleet.Config{
+		Replicas:     replicas,
+		Instance:     cfg,
+		Policy:       pol,
+		MakeInjector: makeInjector,
+		MakeTracer:   func(int) *trace.Tracer { return trace.New() },
+	}
+}
+
+// runServeFleet is serve mode for -replicas > 1: the fleet HTTP surface
+// until SIGINT/SIGTERM, then a bounded parallel drain of every replica.
+func runServeFleet(fc fleet.Config, addr string, drain time.Duration, chaos fleet.ChaosConfig) error {
+	f, err := fleet.New(fc)
+	if err != nil {
+		return err
+	}
+	stopChaos := func() {}
+	if chaos.Seed != 0 {
+		stopChaos = f.StartChaos(chaos)
+		fmt.Fprintf(os.Stderr, "meshserve: instance chaos armed (seed %d, kill ~%s, down %s)\n",
+			chaos.Seed, chaos.KillEvery, chaos.Downtime)
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: f.Handler()}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "meshserve: fleet of %d %dx%d meshes (%s routing), %d keys, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
+		f.Replicas(), fc.Instance.Side, fc.Instance.Side, fc.Policy.Name(), len(f.Tree().Keys), addr)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-httpErr:
+		stopChaos()
+		return fmt.Errorf("http server: %w", err)
+	}
+	stop()
+	stopChaos()
+
+	fmt.Fprintf(os.Stderr, "meshserve: draining fleet (deadline %s)\n", drain)
+	dctx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	drainErr := f.Shutdown(dctx)
+	_ = httpSrv.Close()
+	printFleetStats(f.Stats())
+	if drainErr != nil {
+		return fmt.Errorf("drain incomplete: %w", drainErr)
+	}
+	return nil
+}
+
+// printFleetStats reports the routing/failover/chaos counters of a fleet run.
+func printFleetStats(st fleet.Stats) {
+	fmt.Fprintf(os.Stderr,
+		"meshserve: fleet served %d dispatches (%d failover-served, %d oracle, %d overloaded, %d unrouted), agg %d queries in %d rounds, health %s\n",
+		st.Dispatched, st.FailoverServed, st.OracleServed, st.OverloadedAll, st.Unrouted,
+		st.Agg.Served, st.Agg.Rounds, st.Health)
+	if st.Crashes > 0 || st.Restarts > 0 {
+		fmt.Fprintf(os.Stderr,
+			"meshserve: chaos — %d crashes, %d restarts, time-to-healthy last %s / max %s\n",
+			st.Crashes, st.Restarts,
+			st.LastTimeToHealthy.Round(time.Millisecond), st.MaxTimeToHealthy.Round(time.Millisecond))
 	}
 }
 

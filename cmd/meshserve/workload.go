@@ -7,7 +7,9 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/loadgen"
+	"repro/internal/mesh"
 	"repro/internal/serve"
 )
 
@@ -16,7 +18,7 @@ func context30s() (context.Context, context.CancelFunc) {
 }
 
 // workloadFlags collects the open-loop harness knobs (-workload and
-// friends); see DESIGN.md §3.7 and EXPERIMENTS.md E22.
+// friends); see DESIGN.md §3.7–3.8 and EXPERIMENTS.md E22–E23.
 type workloadFlags struct {
 	mode     string // poisson | burst | replay
 	rate     string // schedule spec: "400" or "200x2s,800x500ms"
@@ -39,32 +41,169 @@ type workloadFlags struct {
 	satBisect   int
 	satMax      float64
 	probeDur    time.Duration
+
+	// Fleet / remote targeting (DESIGN.md §3.8).
+	target         string // remote meshserve base URL; "" = in-process
+	replicas       int
+	policy         string
+	sweepReplicas  string // "1,2,4" → one saturation search per fleet size
+	makeInjector   func(i int) mesh.Injector
+	chaosInstance  int64
+	chaosKillEvery time.Duration
+	chaosDowntime  time.Duration
+}
+
+// wlTarget is what the harness drives: a single in-process instance, an
+// in-process fleet, or a remote meshserve over HTTP. The harness itself is
+// target-agnostic — arrival plans, SLO accounting, record/replay and the
+// saturation search all run against this seam.
+type wlTarget struct {
+	desc     string
+	side     int
+	keys     int
+	server   *serve.Server // single in-process instance (nil otherwise)
+	fleet    *fleet.Fleet  // in-process fleet (nil otherwise)
+	lookup   func(ctx context.Context, needle int64) (serve.Result, error)
+	stats    func() serve.Stats
+	contains func(int64) bool
+	close    func()
+}
+
+// newTarget builds the workload target from the flag set. forceFleet makes
+// a 1-replica run go through the fleet path anyway (the sweep compares
+// fleet sizes, so even its n=1 point must pay the router).
+func newTarget(cfg serve.Config, f workloadFlags, replicas int, policyName string, forceFleet bool) (*wlTarget, error) {
+	if f.target != "" {
+		return newRemoteTarget(f)
+	}
+	if replicas > 1 || forceFleet {
+		return newFleetTarget(cfg, f, replicas, policyName)
+	}
+	s, err := serve.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &wlTarget{
+		desc: fmt.Sprintf("%dx%d mesh (%s model), %d keys",
+			cfg.Side, cfg.Side, cfg.Model, len(s.Tree().Keys)),
+		side:     cfg.Side,
+		keys:     len(s.Tree().Keys),
+		server:   s,
+		contains: s.Tree().Contains,
+		close: func() {
+			ctx, cancel := context30s()
+			defer cancel()
+			_ = s.Shutdown(ctx)
+		},
+	}, nil
+}
+
+// newFleetTarget builds an in-process fleet target, arming the instance
+// chaos monkey when -chaos-instance is set (and the fleet is big enough for
+// the monkey to ever fire).
+func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName string) (*wlTarget, error) {
+	fc := fleetConfig(cfg, replicas, policyName, f.makeInjector)
+	fl, err := fleet.New(fc)
+	if err != nil {
+		return nil, err
+	}
+	stopChaos := func() {}
+	if f.chaosInstance != 0 && replicas >= 2 {
+		stopChaos = fl.StartChaos(fleet.ChaosConfig{
+			Seed: f.chaosInstance, KillEvery: f.chaosKillEvery, Downtime: f.chaosDowntime,
+		})
+	}
+	return &wlTarget{
+		desc: fmt.Sprintf("fleet of %d %dx%d meshes (%s routing, %s model), %d keys",
+			replicas, cfg.Side, cfg.Side, fc.Policy.Name(), cfg.Model, len(fl.Tree().Keys)),
+		side:  cfg.Side,
+		keys:  len(fl.Tree().Keys),
+		fleet: fl,
+		lookup: func(ctx context.Context, needle int64) (serve.Result, error) {
+			res, err := fl.Lookup(ctx, needle)
+			return res.Result, err
+		},
+		stats:    func() serve.Stats { return fl.Stats().Agg },
+		contains: fl.Tree().Contains,
+		close: func() {
+			stopChaos()
+			ctx, cancel := context30s()
+			defer cancel()
+			_ = fl.Shutdown(ctx)
+		},
+	}, nil
+}
+
+// newRemoteTarget probes the remote server's shape and reconstructs the
+// host oracle from it: meshserve always serves the default key set — the
+// odd integers 1, 3, …, 2k−1 — so membership is decidable without shipping
+// the dictionary over the wire.
+func newRemoteTarget(f workloadFlags) (*wlTarget, error) {
+	t := loadgen.NewHTTPTarget(f.target)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	side, keys, err := t.Probe(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("probing %s: %w", f.target, err)
+	}
+	return &wlTarget{
+		desc:   fmt.Sprintf("remote %s (%dx%d mesh, %d keys)", t.Base, side, side, keys),
+		side:   side,
+		keys:   keys,
+		lookup: t.Lookup,
+		stats:  t.Stats,
+		contains: func(needle int64) bool {
+			return needle >= 1 && needle < int64(2*keys) && needle%2 == 1
+		},
+		close: func() {},
+	}, nil
+}
+
+// runConfig assembles the loadgen run config for this target.
+func (t *wlTarget) runConfig(events []loadgen.TraceEvent, f workloadFlags) loadgen.Config {
+	return loadgen.Config{
+		Server:      t.server,
+		Lookup:      t.lookup,
+		Stats:       t.stats,
+		Events:      events,
+		Window:      f.window,
+		Deadline:    f.deadline,
+		MaxInFlight: f.maxInFl,
+		Contains:    t.contains,
+	}
 }
 
 // runWorkload is the open-loop serving-mode counterpart of runLoadgen: it
-// drives the server with an arrival process that does not wait for answers,
-// reports per-window SLO metrics, and (optionally) binary-searches the
-// saturation knee. Exit is non-zero on any oracle mismatch, failed query,
-// or replay divergence.
+// drives the target — instance, fleet, or remote server — with an arrival
+// process that does not wait for answers, reports per-window SLO metrics,
+// and (optionally) binary-searches the saturation knee. Exit is non-zero on
+// any oracle mismatch, failed query, or replay divergence.
 func runWorkload(cfg serve.Config, f workloadFlags) error {
-	s, err := serve.New(cfg)
+	if f.sweepReplicas != "" {
+		return runSweep(cfg, f)
+	}
+	t, err := newTarget(cfg, f, f.replicas, f.policy, false)
 	if err != nil {
 		return err
 	}
-	defer func() {
-		ctx, cancel := context30s()
-		defer cancel()
-		_ = s.Shutdown(ctx)
-	}()
-	nKeys := len(s.Tree().Keys)
-	fmt.Printf("meshserve workload: %s arrivals, %dx%d mesh (%s model), %d keys, window %s\n",
-		f.mode, cfg.Side, cfg.Side, cfg.Model, nKeys, f.window)
+	defer t.close()
+	fmt.Printf("meshserve workload: %s arrivals, %s, window %s\n", f.mode, t.desc, f.window)
 
 	if f.saturate {
 		if f.mode == "replay" {
 			return fmt.Errorf("-saturate replays nothing: use -workload poisson or burst")
 		}
-		return runSaturation(s, cfg, f, nKeys)
+		kr, err := runSaturation(t, f)
+		if err != nil {
+			return err
+		}
+		if t.fleet != nil {
+			printFleetStats(t.fleet.Stats())
+		}
+		if f.benchOut != "" {
+			return writeBench(f.benchOut, cfg, f, t, nil, kr, nil)
+		}
+		return nil
 	}
 
 	var events []loadgen.TraceEvent
@@ -83,16 +222,16 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		if err != nil {
 			return err
 		}
-		if header.Side != cfg.Side || header.Keys != nKeys {
-			return fmt.Errorf("trace was recorded against a %dx%d mesh with %d keys; this server is %dx%d with %d",
-				header.Side, header.Side, header.Keys, cfg.Side, cfg.Side, nKeys)
+		if header.Side != t.side || header.Keys != t.keys {
+			return fmt.Errorf("trace was recorded against a %dx%d mesh with %d keys; this target is %dx%d with %d",
+				header.Side, header.Side, header.Keys, t.side, t.side, t.keys)
 		}
 		recorded = rec
 		events = loadgen.StripAnswers(rec)
 		fmt.Printf("replaying %d arrivals recorded from a %s workload (seed %d)\n",
 			len(events), header.Workload, header.Seed)
 	case "poisson", "burst":
-		events, err = generateEvents(f, nKeys)
+		events, err = generateEvents(f, t.keys)
 		if err != nil {
 			return err
 		}
@@ -100,18 +239,14 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		return fmt.Errorf("unknown -workload %q (want poisson, burst, or replay)", f.mode)
 	}
 
-	rep, err := loadgen.Run(loadgen.Config{
-		Server:      s,
-		Events:      events,
-		Window:      f.window,
-		Deadline:    f.deadline,
-		MaxInFlight: f.maxInFl,
-		Contains:    s.Tree().Contains,
-	})
+	rep, err := loadgen.Run(t.runConfig(events, f))
 	if err != nil {
 		return err
 	}
 	printReport(rep)
+	if t.fleet != nil {
+		printFleetStats(t.fleet.Stats())
+	}
 
 	if recorded != nil {
 		n, first := loadgen.CompareAnswers(recorded, events)
@@ -134,7 +269,7 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		if err != nil {
 			return err
 		}
-		header := loadgen.TraceHeader{Workload: f.mode, Side: cfg.Side, Keys: nKeys, Seed: f.seed}
+		header := loadgen.TraceHeader{Workload: f.mode, Side: t.side, Keys: t.keys, Seed: f.seed}
 		werr := loadgen.WriteTrace(fh, header, events)
 		if cerr := fh.Close(); werr == nil {
 			werr = cerr
@@ -145,7 +280,7 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		fmt.Printf("recorded %d arrivals + answers to %s\n", len(events), f.traceOut)
 	}
 	if f.benchOut != "" {
-		if err := writeBench(f.benchOut, cfg, f, rep, nil); err != nil {
+		if err := writeBench(f.benchOut, cfg, f, t, rep, nil, nil); err != nil {
 			return err
 		}
 	}
@@ -185,13 +320,13 @@ func keyDraw(f workloadFlags, nKeys int) (loadgen.KeyDraw, error) {
 }
 
 // runSaturation binary-searches the knee: max offered rate whose whole probe
-// run meets the SLO. Probes share one long-lived server (the realistic
+// run meets the SLO. Probes share one long-lived target (the realistic
 // capacity question) with fresh arrival plans per rate.
-func runSaturation(s *serve.Server, cfg serve.Config, f workloadFlags, nKeys int) error {
+func runSaturation(t *wlTarget, f workloadFlags) (*loadgen.KneeReport, error) {
 	slo := loadgen.SLO{P99: f.sloP99, MaxDegraded: f.sloDegraded, MaxRejected: f.sloRejected}
 	startRate, err := firstScheduleRate(f)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("saturation search: SLO p99 < %s, degraded ≤ %.2f%%, rejected ≤ %.2f%%; probes %s at %g qps and up\n",
 		slo.P99, 100*slo.MaxDegraded, 100*slo.MaxRejected, f.probeDur, startRate)
@@ -204,43 +339,91 @@ func runSaturation(s *serve.Server, cfg serve.Config, f workloadFlags, nKeys int
 		pf.rate = fmt.Sprintf("%g", rate)
 		pf.dur = f.probeDur
 		pf.seed = f.seed + int64(probeIdx) // decorrelate probes, still deterministic
-		events, err := generateEvents(pf, nKeys)
+		events, err := generateEvents(pf, t.keys)
 		if err != nil {
 			return nil, err
 		}
-		rep, err := loadgen.Run(loadgen.Config{
-			Server:      s,
-			Events:      events,
-			Window:      f.window,
-			Deadline:    f.deadline,
-			MaxInFlight: f.maxInFl,
-			Contains:    s.Tree().Contains,
-		})
+		rep, err := loadgen.Run(t.runConfig(events, pf))
 		if err != nil {
 			return nil, err
 		}
 		pass, reason := slo.Pass(rep)
-		t := rep.Total
+		tt := rep.Total
 		degFrac := 0.0
-		if t.Answered > 0 {
-			degFrac = float64(t.Degraded) / float64(t.Answered)
+		if tt.Answered > 0 {
+			degFrac = float64(tt.Degraded) / float64(tt.Answered)
 		}
 		fmt.Printf("%10.1f %6v %12.0f %10s %10s %10s %9.2f%%  %s\n",
-			rate, pass, t.AchievedQPS, t.P50.Round(time.Microsecond), t.P99.Round(time.Microsecond),
-			t.P999.Round(time.Microsecond), 100*degFrac, reason)
+			rate, pass, tt.AchievedQPS, tt.P50.Round(time.Microsecond), tt.P99.Round(time.Microsecond),
+			tt.P999.Round(time.Microsecond), 100*degFrac, reason)
 		return rep, nil
 	}
 	kr, err := loadgen.Saturate(run, startRate, f.satMax, f.satBisect, slo)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	if kr.Capped {
 		fmt.Printf("knee: ≥ %.1f qps (search capped at -sat-max before the SLO broke)\n", kr.Knee)
 	} else {
 		fmt.Printf("knee: %.1f qps — the max sustainable rate under the SLO (%d probes)\n", kr.Knee, len(kr.Probes))
 	}
+	return kr, nil
+}
+
+// sweepEntry is one point of the capacity-planning sweep: the saturation
+// knee of one fleet size under one routing policy (EXPERIMENTS.md E23).
+type sweepEntry struct {
+	Replicas int     `json:"replicas"`
+	Policy   string  `json:"policy"`
+	KneeQPS  float64 `json:"knee_qps"`
+	Capped   bool    `json:"capped"`
+	Probes   int     `json:"probes"`
+}
+
+// runSweep is the capacity-planning mode (-sweep-replicas): one saturation
+// search per (policy, fleet size) point, each against a fresh fleet — the
+// n=1 point also goes through the router, so the sweep isolates replication
+// gain from router overhead. -policy all sweeps every routing policy.
+func runSweep(cfg serve.Config, f workloadFlags) error {
+	counts, err := parseCounts(f.sweepReplicas)
+	if err != nil {
+		return fmt.Errorf("-sweep-replicas: %w", err)
+	}
+	policies := []string{f.policy}
+	if f.policy == "all" {
+		policies = fleet.PolicyNames()
+	}
+	fmt.Printf("meshserve capacity sweep: %dx%d meshes, replicas %v, policies %v\n",
+		cfg.Side, cfg.Side, counts, policies)
+	var entries []sweepEntry
+	for _, pol := range policies {
+		for _, n := range counts {
+			t, err := newTarget(cfg, f, n, pol, true)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("\n--- %s ---\n", t.desc)
+			kr, err := runSaturation(t, f)
+			t.close()
+			if err != nil {
+				return err
+			}
+			entries = append(entries, sweepEntry{
+				Replicas: n, Policy: pol, KneeQPS: kr.Knee,
+				Capped: kr.Capped, Probes: len(kr.Probes),
+			})
+		}
+	}
+	fmt.Printf("\n%16s %9s %12s\n", "policy", "replicas", "knee qps")
+	for _, e := range entries {
+		capped := ""
+		if e.Capped {
+			capped = " (capped)"
+		}
+		fmt.Printf("%16s %9d %12.1f%s\n", e.Policy, e.Replicas, e.KneeQPS, capped)
+	}
 	if f.benchOut != "" {
-		return writeBench(f.benchOut, cfg, f, nil, kr)
+		return writeBench(f.benchOut, cfg, f, nil, nil, nil, entries)
 	}
 	return nil
 }
@@ -280,7 +463,8 @@ func printReport(rep *loadgen.Report) {
 		rep.Total.Answered, rep.Total.Offered, rep.Wall.Round(time.Millisecond), rep.Digest)
 }
 
-// benchDoc is the machine-readable result trajectory entry (BENCH_PR6.json).
+// benchDoc is the machine-readable result trajectory entry (BENCH_PR6.json,
+// BENCH_PR7.json).
 type benchDoc struct {
 	PR         int                 `json:"pr"`
 	Title      string              `json:"title"`
@@ -291,11 +475,16 @@ type benchDoc struct {
 	Zipf       float64             `json:"zipf_s,omitempty"`
 	Seed       int64               `json:"seed"`
 	Window     string              `json:"window"`
+	Target     string              `json:"target,omitempty"`
+	Replicas   int                 `json:"replicas,omitempty"`
+	Policy     string              `json:"policy,omitempty"`
 	Report     *loadgen.Report     `json:"report,omitempty"`
 	Saturation *loadgen.KneeReport `json:"saturation,omitempty"`
+	Sweep      []sweepEntry        `json:"sweep,omitempty"`
+	Fleet      *fleet.Stats        `json:"fleet,omitempty"`
 }
 
-func writeBench(path string, cfg serve.Config, f workloadFlags, rep *loadgen.Report, kr *loadgen.KneeReport) error {
+func writeBench(path string, cfg serve.Config, f workloadFlags, t *wlTarget, rep *loadgen.Report, kr *loadgen.KneeReport, sweep []sweepEntry) error {
 	doc := benchDoc{
 		PR:       6,
 		Title:    "Open-loop workload & SLO harness (E22)",
@@ -306,10 +495,24 @@ func writeBench(path string, cfg serve.Config, f workloadFlags, rep *loadgen.Rep
 		Zipf:     f.zipf,
 		Seed:     f.seed,
 		Window:   f.window.String(),
+		Target:   f.target,
 		Report:   rep,
+	}
+	if f.replicas > 1 || f.target != "" || sweep != nil {
+		doc.PR = 7
+		doc.Title = "Replicated fleet capacity & failover (E23)"
 	}
 	if kr != nil {
 		doc.Saturation = kr
+	}
+	if sweep != nil {
+		doc.Sweep = sweep
+	}
+	if t != nil && t.fleet != nil {
+		doc.Replicas = t.fleet.Replicas()
+		doc.Policy = f.policy
+		fst := t.fleet.Stats()
+		doc.Fleet = &fst
 	}
 	fh, err := os.Create(path)
 	if err != nil {

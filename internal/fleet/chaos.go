@@ -1,0 +1,76 @@
+package fleet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ChaosConfig drives the instance-level chaos monkey: whole-replica crashes
+// and restarts, the failure mode the mesh-level fault injector (internal/
+// faults) cannot express. Seeded, so a chaos run's kill schedule is
+// reproducible up to goroutine timing.
+type ChaosConfig struct {
+	// Seed feeds the kill schedule's RNG (required, non-zero).
+	Seed int64
+	// KillEvery is the mean interval between kills, jittered ±50%
+	// (default 500ms).
+	KillEvery time.Duration
+	// Downtime is how long a killed replica stays down before restart
+	// (default 250ms; the rebuild itself adds to time-to-healthy).
+	Downtime time.Duration
+}
+
+// StartChaos begins killing and restarting replicas until stop is called.
+// At most one replica is down at a time and only when at least two are up:
+// the monkey tests failover, not total blackout — a fleet-wide outage is a
+// separate scenario (see TestAllReplicasDownServesFromOracle). stop blocks
+// until in-flight kills finish restarting, so a stopped fleet is whole.
+func (f *Fleet) StartChaos(cfg ChaosConfig) (stop func()) {
+	if cfg.KillEvery <= 0 {
+		cfg.KillEvery = 500 * time.Millisecond
+	}
+	if cfg.Downtime <= 0 {
+		cfg.Downtime = 250 * time.Millisecond
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(cfg.Seed))
+		for {
+			wait := time.Duration(float64(cfg.KillEvery) * (0.5 + rng.Float64()))
+			select {
+			case <-done:
+				return
+			case <-time.After(wait):
+			}
+			// Kill a random up replica, but never the last one.
+			var up []int
+			for _, v := range f.views() {
+				if v.Up {
+					up = append(up, v.Index)
+				}
+			}
+			if len(up) < 2 {
+				continue
+			}
+			victim := up[rng.Intn(len(up))]
+			if err := f.CrashReplica(victim); err != nil {
+				continue
+			}
+			select {
+			case <-done:
+			case <-time.After(cfg.Downtime):
+			}
+			// Restart even when stopping: chaos must hand the fleet back
+			// whole. A closed fleet refuses the restart; that's fine.
+			_ = f.RestartReplica(victim)
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+	}
+}

@@ -1,0 +1,590 @@
+// Package fleet runs N serve.Instances — each its own mesh, dictionary,
+// recovery ladder, breaker state and stats — behind a health-aware router
+// (DESIGN.md §3.8). It is the step from "a server" to "a cluster": replicas
+// multiply read throughput past one mesh's knee, and they change the robust
+// answer to a mesh fault from *degrade* to *failover*.
+//
+// The recovery ladder gains a rung above the instance-local one of §3.6:
+//
+//	retry-local  — the instance re-executes a faulted round with auditing
+//	               forced on (unchanged from PR 5);
+//	failover     — a lookup whose instance faulted, tripped its breaker, or
+//	               crashed outright is re-dispatched to a healthy replica;
+//	oracle       — only when no replica can answer does the fleet fall back
+//	               to its host-side dictionary oracle (Degraded answers).
+//
+// Instances inside a fleet therefore run with serve.Config.DisableOracle:
+// they keep their breaker, health machine and canaries, but surface typed
+// faults instead of answering from the oracle themselves — the fleet owns
+// that last rung. Routing is pluggable (round-robin, least-loaded by
+// admission-queue depth, health-weighted by breaker state); lame-duck and
+// crashed replicas are routed around while their canaries — or a restart —
+// bring them back. Replica crash/restart is chaos-injectable (StartChaos)
+// with measured time-to-healthy.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dict"
+	"repro/internal/mesh"
+	"repro/internal/serve"
+	"repro/internal/trace"
+)
+
+// ErrNoReplica is returned (only with DisableOracle) when no routable
+// replica exists and the fleet has no oracle rung to absorb the lookup.
+var ErrNoReplica = errors.New("fleet: no routable replica")
+
+// Config configures a Fleet.
+type Config struct {
+	// Replicas is the instance count (default 1; at most 64 — the dispatch
+	// loop tracks tried replicas in a word).
+	Replicas int
+	// Instance is the per-instance serve.Config template. DisableOracle is
+	// forced on (the fleet owns the oracle rung); Tracer and Injector are
+	// per-instance concerns — see MakeTracer / MakeInjector.
+	Instance serve.Config
+	// Policy picks the replica for each lookup (default round-robin).
+	Policy Policy
+	// MaxFailovers caps re-dispatches per lookup after the first pick fails
+	// (0 defaults to Replicas-1 — try every replica once; negative means
+	// no failover, straight to the oracle rung).
+	MaxFailovers int
+	// DisableOracle removes the fleet-level oracle rung: a lookup that
+	// exhausts failover returns its typed fault (tests and diagnostics).
+	DisableOracle bool
+	// MakeInjector, when set, builds each instance's fault injector —
+	// replicas must not share one injector, or their fault streams couple
+	// through its state. Overrides Instance.Injector.
+	MakeInjector func(i int) mesh.Injector
+	// MakeTracer, when set, builds each instance's tracer. Without it only
+	// replica 0 keeps Instance.Tracer: a tracer records one mesh's runs and
+	// must not be shared across replicas.
+	MakeTracer func(i int) *trace.Tracer
+}
+
+// Result is one answered lookup plus its provenance: which replica served
+// it, or -1 for a fleet-oracle answer (Degraded is then also set).
+type Result struct {
+	serve.Result
+	Replica int `json:"replica"`
+}
+
+// replica is one routing slot: the live instance (nil while down) and the
+// crash/restart bookkeeping. Stats of crashed incarnations accumulate in
+// lost so fleet aggregates survive a crash.
+type replica struct {
+	idx int
+
+	mu        sync.RWMutex
+	inst      *serve.Instance
+	down      bool
+	crashedAt time.Time
+	crashes   int64
+	lastTTH   time.Duration
+	lost      serve.Stats
+}
+
+// Fleet is N serve instances behind a router. Safe for concurrent use.
+type Fleet struct {
+	cfg          Config
+	policy       Policy
+	maxFailovers int
+	bt           *dict.BTree // fleet-level oracle over the shared key set
+	reps         []*replica
+
+	mu     sync.RWMutex // guards closed against Lookup and restarts
+	closed bool
+
+	dispatched     atomic.Int64
+	failovers      atomic.Int64 // re-dispatch attempts after a failed pick
+	failoverServed atomic.Int64 // lookups answered by a non-first pick
+	oracleServed   atomic.Int64 // lookups answered by the fleet oracle
+	overloadedAll  atomic.Int64 // rejected: every routable replica was full
+	unrouted       atomic.Int64 // lookups that found no routable replica
+	crashes        atomic.Int64
+	restarts       atomic.Int64
+	lastTTH        atomic.Int64 // ns, most recent crash → healthy
+	maxTTH         atomic.Int64 // ns, worst observed
+	lat            serve.Histogram
+}
+
+// New builds Replicas instances from the template and starts routing.
+// Instance 0's dictionary doubles as the fleet oracle (all instances are
+// built from the same key set, so any tree answers for all).
+func New(cfg Config) (*Fleet, error) {
+	if cfg.Replicas <= 0 {
+		cfg.Replicas = 1
+	}
+	if cfg.Replicas > 64 {
+		return nil, fmt.Errorf("fleet: at most 64 replicas, got %d", cfg.Replicas)
+	}
+	f := &Fleet{cfg: cfg, policy: cfg.Policy}
+	if f.policy == nil {
+		f.policy = RoundRobin()
+	}
+	f.maxFailovers = cfg.MaxFailovers
+	if f.maxFailovers == 0 {
+		f.maxFailovers = cfg.Replicas - 1
+	} else if f.maxFailovers < 0 {
+		f.maxFailovers = 0
+	}
+	f.reps = make([]*replica, cfg.Replicas)
+	for i := range f.reps {
+		inst, err := serve.New(f.instanceConfig(i))
+		if err != nil {
+			// Tear down what already started: constructor failure must not
+			// leak serving goroutines.
+			for j := 0; j < i; j++ {
+				_ = f.reps[j].inst.Shutdown(context.Background())
+			}
+			return nil, fmt.Errorf("fleet: replica %d: %w", i, err)
+		}
+		f.reps[i] = &replica{idx: i, inst: inst}
+	}
+	f.bt = f.reps[0].inst.Tree()
+	return f, nil
+}
+
+// instanceConfig specializes the template for replica i.
+func (f *Fleet) instanceConfig(i int) serve.Config {
+	cfg := f.cfg.Instance
+	// The oracle rung belongs to the fleet: instances surface typed faults
+	// so a lookup can fail over before any answer degrades.
+	cfg.DisableOracle = true
+	if f.cfg.MakeInjector != nil {
+		cfg.Injector = f.cfg.MakeInjector(i)
+	}
+	if f.cfg.MakeTracer != nil {
+		cfg.Tracer = f.cfg.MakeTracer(i)
+	} else if i > 0 {
+		cfg.Tracer = nil // a tracer records one mesh; never share it
+	}
+	return cfg
+}
+
+// Tree exposes the fleet oracle's dictionary (tests, load generators).
+func (f *Fleet) Tree() *dict.BTree { return f.bt }
+
+// Replicas reports the configured replica count.
+func (f *Fleet) Replicas() int { return len(f.reps) }
+
+// Side reports the per-instance mesh side length.
+func (f *Fleet) Side() int { return f.cfg.Instance.Side }
+
+// MaxBatch reports the per-instance batch cap (from any live replica; the
+// template value when all are down).
+func (f *Fleet) MaxBatch() int {
+	for _, r := range f.reps {
+		r.mu.RLock()
+		inst := r.inst
+		r.mu.RUnlock()
+		if inst != nil {
+			return inst.MaxBatch()
+		}
+	}
+	return f.cfg.Instance.MaxBatch
+}
+
+// instance returns replica i's live instance, or nil while it is down.
+func (f *Fleet) instance(i int) *serve.Instance {
+	r := f.reps[i]
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.down {
+		return nil
+	}
+	return r.inst
+}
+
+// views snapshots every replica for the routing policy.
+func (f *Fleet) views() []ReplicaView {
+	out := make([]ReplicaView, len(f.reps))
+	for i, r := range f.reps {
+		r.mu.RLock()
+		inst, down := r.inst, r.down
+		r.mu.RUnlock()
+		v := ReplicaView{Index: i}
+		if !down && inst != nil {
+			v.Up = true
+			v.Health = inst.Health()
+			v.QueueLen = inst.QueueLen()
+			v.QueueCap = inst.QueueCap()
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Lookup dispatches one membership query: the policy picks a replica, and a
+// pick that fails — overload, crash, typed round fault, open circuit — is
+// re-dispatched to the next-preferred replica before the fleet falls back
+// to its host oracle. Client-context expiry is returned as-is (the client
+// is gone; rerouting would answer nobody). When every routable replica
+// rejected with overload the fleet reports ErrOverloaded: that is
+// backpressure, not failure, and the caller should back off.
+func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
+	start := time.Now()
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return Result{}, serve.ErrClosed
+	}
+	f.mu.RUnlock()
+	f.dispatched.Add(1)
+
+	var tried uint64
+	var lastErr error
+	attempts, firstIdx := 0, -1
+	overloadedOnly := true
+	for attempts <= f.maxFailovers {
+		idx := f.policy.Pick(f.views(), func(i int) bool { return tried&(1<<uint(i)) != 0 })
+		if idx < 0 {
+			break
+		}
+		tried |= 1 << uint(idx)
+		attempts++
+		if firstIdx >= 0 {
+			f.failovers.Add(1)
+		} else {
+			firstIdx = idx
+		}
+		inst := f.instance(idx)
+		if inst == nil {
+			lastErr = ErrNoReplica // crashed between the view and the fetch
+			overloadedOnly = false
+			continue
+		}
+		res, err := inst.Lookup(ctx, needle)
+		if err == nil {
+			if idx != firstIdx {
+				f.failoverServed.Add(1)
+			}
+			f.lat.Observe(time.Since(start))
+			return Result{Result: res, Replica: idx}, nil
+		}
+		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			return Result{}, err // the client is gone, not the replica
+		}
+		lastErr = err
+		if !errors.Is(err, serve.ErrOverloaded) {
+			overloadedOnly = false
+		}
+	}
+
+	switch {
+	case attempts > 0 && overloadedOnly:
+		// Every routable replica is admission-full: backpressure. The
+		// oracle must not absorb overload — it would turn saturation into
+		// an unbounded degraded-answer pool and hide the knee.
+		f.overloadedAll.Add(1)
+		return Result{}, serve.ErrOverloaded
+	case attempts == 0:
+		f.unrouted.Add(1)
+		if lastErr == nil {
+			lastErr = ErrNoReplica
+		}
+	}
+	if f.cfg.DisableOracle {
+		return Result{}, lastErr
+	}
+	// Oracle rung: no replica could answer (all crashed, draining, or
+	// faulting). Correct, Degraded-flagged, unaccounted in mesh steps.
+	leaf, found, path := f.bt.HostLookup(needle)
+	f.oracleServed.Add(1)
+	f.lat.Observe(time.Since(start))
+	return Result{
+		Result:  serve.Result{Needle: needle, Found: found, LeafKey: leaf, Steps: path, Degraded: true},
+		Replica: -1,
+	}, nil
+}
+
+// CrashReplica simulates an instance crash: the replica is immediately
+// unroutable, its in-flight and queued lookups fail with typed cancellation
+// faults (which the dispatch loop treats as failover triggers), and its
+// serving counters are folded into the fleet aggregate. No drain — a crash
+// does not say goodbye.
+func (f *Fleet) CrashReplica(i int) error {
+	if i < 0 || i >= len(f.reps) {
+		return fmt.Errorf("fleet: no replica %d", i)
+	}
+	r := f.reps[i]
+	r.mu.Lock()
+	if r.down || r.inst == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("fleet: replica %d is already down", i)
+	}
+	inst := r.inst
+	r.inst = nil
+	r.down = true
+	r.crashedAt = time.Now()
+	r.crashes++
+	r.mu.Unlock()
+	f.crashes.Add(1)
+
+	// Expired context: Shutdown cancels the mesh run instead of draining,
+	// so every admitted lookup gets its fault now, not after a drain.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = inst.Shutdown(ctx)
+	addStats(&r.mu, &r.lost, inst.Stats())
+	return nil
+}
+
+// RestartReplica brings a crashed replica back: a fresh instance is built
+// from the template (dictionary rebuild and all — that cost is the point of
+// measuring it) and the crash-to-healthy duration is recorded.
+func (f *Fleet) RestartReplica(i int) error {
+	if i < 0 || i >= len(f.reps) {
+		return fmt.Errorf("fleet: no replica %d", i)
+	}
+	f.mu.RLock()
+	if f.closed {
+		f.mu.RUnlock()
+		return serve.ErrClosed
+	}
+	f.mu.RUnlock()
+	r := f.reps[i]
+	r.mu.RLock()
+	down, crashedAt := r.down, r.crashedAt
+	r.mu.RUnlock()
+	if !down {
+		return fmt.Errorf("fleet: replica %d is not down", i)
+	}
+	inst, err := serve.New(f.instanceConfig(i))
+	if err != nil {
+		return fmt.Errorf("fleet: restart replica %d: %w", i, err)
+	}
+	tth := time.Since(crashedAt)
+	r.mu.Lock()
+	if !r.down { // lost a restart race; discard ours
+		r.mu.Unlock()
+		_ = inst.Shutdown(context.Background())
+		return fmt.Errorf("fleet: replica %d restarted concurrently", i)
+	}
+	r.inst = inst
+	r.down = false
+	r.lastTTH = tth
+	r.mu.Unlock()
+	f.restarts.Add(1)
+	f.lastTTH.Store(tth.Nanoseconds())
+	for {
+		m := f.maxTTH.Load()
+		if tth.Nanoseconds() <= m || f.maxTTH.CompareAndSwap(m, tth.Nanoseconds()) {
+			break
+		}
+	}
+	return nil
+}
+
+// Health is the fleet's admission-facing state: Healthy while at least one
+// replica is healthy, LameDuck once Shutdown begins, Degraded in between —
+// every lookup is then answered by failover-to-degraded-replicas or the
+// oracle, and /healthz tells balancers to prefer elsewhere.
+func (f *Fleet) Health() serve.Health {
+	f.mu.RLock()
+	closed := f.closed
+	f.mu.RUnlock()
+	if closed {
+		return serve.LameDuck
+	}
+	for _, v := range f.views() {
+		if v.Up && v.Health == serve.Healthy {
+			return serve.Healthy
+		}
+	}
+	return serve.Degraded
+}
+
+// RetryAfterHint is the fleet's backpressure signal: the minimum retry hint
+// across healthy routable replicas — the soonest any replica could accept
+// work — not whichever instance happened to reject. Degraded replicas are
+// consulted only when no healthy one exists; with no routable replica at
+// all the hint is one second (restart-bound, unknowable from here).
+func (f *Fleet) RetryAfterHint() time.Duration {
+	best, bestDegraded := time.Duration(-1), time.Duration(-1)
+	for i, v := range f.views() {
+		if !v.Up || v.Health == serve.LameDuck {
+			continue
+		}
+		inst := f.instance(i)
+		if inst == nil {
+			continue
+		}
+		h := inst.RetryAfterHint()
+		if v.Health == serve.Healthy {
+			if best < 0 || h < best {
+				best = h
+			}
+		} else if bestDegraded < 0 || h < bestDegraded {
+			bestDegraded = h
+		}
+	}
+	switch {
+	case best >= 0:
+		return best
+	case bestDegraded >= 0:
+		return bestDegraded
+	default:
+		return time.Second
+	}
+}
+
+// Shutdown closes fleet admission and drains every live replica in
+// parallel through the normal serve drain path. Crashed replicas stay
+// down. Returns the first drain error.
+func (f *Fleet) Shutdown(ctx context.Context) error {
+	f.mu.Lock()
+	f.closed = true
+	f.mu.Unlock()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(f.reps))
+	for i, r := range f.reps {
+		r.mu.RLock()
+		inst := r.inst
+		r.mu.RUnlock()
+		if inst == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, inst *serve.Instance) {
+			defer wg.Done()
+			errs[i] = inst.Shutdown(ctx)
+		}(i, inst)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// addStats folds src's counters into dst under the replica lock.
+func addStats(mu *sync.RWMutex, dst *serve.Stats, src serve.Stats) {
+	mu.Lock()
+	defer mu.Unlock()
+	sumStats(dst, src)
+}
+
+// sumStats adds src's counters into dst (latency summaries do not sum;
+// fleet-level latency comes from the fleet's own histogram).
+func sumStats(dst *serve.Stats, src serve.Stats) {
+	dst.Accepted += src.Accepted
+	dst.Rejected += src.Rejected
+	dst.Served += src.Served
+	dst.Failed += src.Failed
+	dst.Rounds += src.Rounds
+	dst.SimSteps += src.SimSteps
+	if src.PeakBatch > dst.PeakBatch {
+		dst.PeakBatch = src.PeakBatch
+	}
+	dst.LastBatch = src.LastBatch
+	dst.StepBudget = src.StepBudget
+	dst.Retries += src.Retries
+	dst.Recovered += src.Recovered
+	dst.Degraded += src.Degraded
+	dst.DegradedRounds += src.DegradedRounds
+	dst.CircuitOpens += src.CircuitOpens
+	dst.CircuitCloses += src.CircuitCloses
+	dst.CanaryRounds += src.CanaryRounds
+	dst.CanaryFails += src.CanaryFails
+	dst.FaultsAudit += src.FaultsAudit
+	dst.FaultsBudget += src.FaultsBudget
+	dst.FaultsCanceled += src.FaultsCanceled
+	dst.FaultsPanic += src.FaultsPanic
+	dst.FaultsOther += src.FaultsOther
+}
+
+// ReplicaStats is one replica's row in the fleet snapshot.
+type ReplicaStats struct {
+	Index         int           `json:"index"`
+	State         string        `json:"state"` // up | down
+	Health        string        `json:"health,omitempty"`
+	QueueLen      int           `json:"queue_len"`
+	Crashes       int64         `json:"crashes"`
+	TimeToHealthy time.Duration `json:"time_to_healthy_ns,omitempty"` // last restart
+	Serve         serve.Stats   `json:"serve"`
+}
+
+// Stats is a point-in-time snapshot of the fleet. Agg sums every
+// incarnation of every replica (crashed instances included); its Degraded
+// count covers instance-level oracle answers only — fleet-oracle answers
+// are OracleServed, and both flag Result.Degraded to clients.
+type Stats struct {
+	Replicas         int    `json:"replicas"`
+	HealthyReplicas  int    `json:"healthy_replicas"`
+	DegradedReplicas int    `json:"degraded_replicas"`
+	DownReplicas     int    `json:"down_replicas"`
+	Policy           string `json:"policy"`
+	Health           string `json:"health"`
+
+	Dispatched     int64 `json:"dispatched"`
+	Failovers      int64 `json:"failovers"`
+	FailoverServed int64 `json:"failover_served"`
+	OracleServed   int64 `json:"oracle_served"`
+	OverloadedAll  int64 `json:"overloaded_all"`
+	Unrouted       int64 `json:"unrouted"`
+	Crashes        int64 `json:"crashes"`
+	Restarts       int64 `json:"restarts"`
+
+	LastTimeToHealthy time.Duration `json:"last_time_to_healthy_ns"`
+	MaxTimeToHealthy  time.Duration `json:"max_time_to_healthy_ns"`
+
+	Latency serve.LatencySummary `json:"latency"` // fleet dispatch → answer
+
+	Agg        serve.Stats    `json:"agg"`
+	PerReplica []ReplicaStats `json:"per_replica"`
+}
+
+// Stats snapshots the fleet: routing and failover counters, per-replica
+// state, and the summed per-instance serving counters.
+func (f *Fleet) Stats() Stats {
+	st := Stats{
+		Replicas:          len(f.reps),
+		Policy:            f.policy.Name(),
+		Health:            f.Health().String(),
+		Dispatched:        f.dispatched.Load(),
+		Failovers:         f.failovers.Load(),
+		FailoverServed:    f.failoverServed.Load(),
+		OracleServed:      f.oracleServed.Load(),
+		OverloadedAll:     f.overloadedAll.Load(),
+		Unrouted:          f.unrouted.Load(),
+		Crashes:           f.crashes.Load(),
+		Restarts:          f.restarts.Load(),
+		LastTimeToHealthy: time.Duration(f.lastTTH.Load()),
+		MaxTimeToHealthy:  time.Duration(f.maxTTH.Load()),
+		Latency:           f.lat.Snapshot().Summary(),
+	}
+	for _, r := range f.reps {
+		r.mu.RLock()
+		inst, down := r.inst, r.down
+		row := ReplicaStats{Index: r.idx, Crashes: r.crashes, TimeToHealthy: r.lastTTH, Serve: r.lost}
+		r.mu.RUnlock()
+		if down || inst == nil {
+			row.State = "down"
+			st.DownReplicas++
+		} else {
+			row.State = "up"
+			h := inst.Health()
+			row.Health = h.String()
+			row.QueueLen = inst.QueueLen()
+			live := inst.Stats()
+			sumStats(&row.Serve, live)
+			switch h {
+			case serve.Healthy:
+				st.HealthyReplicas++
+			case serve.Degraded:
+				st.DegradedReplicas++
+			}
+		}
+		sumStats(&st.Agg, row.Serve)
+		st.PerReplica = append(st.PerReplica, row)
+	}
+	st.Agg.Health = st.Health
+	st.Agg.Latency = st.Latency
+	return st
+}

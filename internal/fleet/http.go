@@ -1,0 +1,118 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/serve"
+)
+
+// Handler returns the fleet's HTTP surface — the same contract as one
+// instance's (serve.Instance.Handler), aggregated:
+//
+//	GET /search?key=K — one lookup through the router and failover ladder;
+//	                    the JSON answer carries the serving replica index
+//	                    (-1 for a fleet-oracle answer). 429 only when every
+//	                    routable replica rejected with overload, 503 after
+//	                    Shutdown; the Retry-After on both is the *least-
+//	                    loaded healthy* replica's estimate — the soonest the
+//	                    fleet could accept work — not whichever instance
+//	                    happened to reject.
+//	GET /healthz      — 200 while at least one replica is healthy; 503 only
+//	                    when none is (all degraded/crashed) or the fleet is
+//	                    draining. A single replica loss is the fleet working
+//	                    as designed, not an incident.
+//	GET /metrics      — fleet stats (routing, failover, crash/restart,
+//	                    time-to-healthy), per-replica state, and the summed
+//	                    per-instance serving counters under "serve" so
+//	                    instance-shaped scrapers (loadgen.HTTPTarget) work
+//	                    unchanged against a fleet.
+func (f *Fleet) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/search", f.handleSearch)
+	mux.HandleFunc("/healthz", f.handleHealthz)
+	mux.HandleFunc("/metrics", f.handleMetrics)
+	return mux
+}
+
+func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "fleet: /search needs an integer ?key=", http.StatusBadRequest)
+		return
+	}
+	res, err := f.Lookup(r.Context(), key)
+	switch {
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+		return
+	case errors.Is(err, serve.ErrClosed):
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case r.Context().Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		// Same client-versus-server split as the instance handler: the
+		// request's own context firing is a client outcome, 4xx class.
+		status := serve.StatusClientClosedRequest
+		if errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusRequestTimeout
+		}
+		http.Error(w, err.Error(), status)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (f *Fleet) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	h := f.Health()
+	st := f.Stats()
+	doc := map[string]any{
+		"health":            h.String(),
+		"replicas":          st.Replicas,
+		"healthy_replicas":  st.HealthyReplicas,
+		"degraded_replicas": st.DegradedReplicas,
+		"down_replicas":     st.DownReplicas,
+		"crashes":           st.Crashes,
+		"restarts":          st.Restarts,
+		"last_time_to_healthy_ns": st.LastTimeToHealthy,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if h != serve.Healthy {
+		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(doc)
+}
+
+func (f *Fleet) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := f.Stats()
+	doc := map[string]any{
+		"fleet":     st,
+		"serve":     st.Agg, // instance-shaped aggregate for shared scrapers
+		"health":    st.Health,
+		"side":      f.Side(),
+		"keys":      len(f.bt.Keys),
+		"max_batch": f.MaxBatch(),
+	}
+	if st.Dispatched > 0 {
+		doc["failover_fraction"] = float64(st.FailoverServed) / float64(st.Dispatched)
+		doc["oracle_fraction"] = float64(st.OracleServed) / float64(st.Dispatched)
+	}
+	writeJSON(w, doc)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(v)
+}

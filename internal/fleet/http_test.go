@@ -1,0 +1,148 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestFleetHTTPSurface walks the fleet handler through the robustness
+// contract of DESIGN.md §3.8: /healthz stays 200 through a single replica
+// kill (that is the fleet working as designed), /search keeps answering
+// correctly all the way down to the oracle rung, and only an all-replicas
+// outage flips /healthz to 503 — with a Retry-After.
+func TestFleetHTTPSurface(t *testing.T) {
+	f := newTestFleet(t, Config{Replicas: 3, Instance: serve.Config{Side: 8, Linger: 100 * time.Microsecond}})
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, http.Header, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, resp.Header, string(body)
+	}
+	search := func(key string) (int, Result) {
+		t.Helper()
+		code, _, body := get("/search?key=" + key)
+		var res Result
+		if code == http.StatusOK {
+			if err := json.Unmarshal([]byte(body), &res); err != nil {
+				t.Fatalf("bad /search body %q: %v", body, err)
+			}
+		}
+		return code, res
+	}
+
+	// Healthy fleet: correct answers with replica attribution, 200 health.
+	code, res := search("3")
+	if code != 200 || !res.Found || res.LeafKey != 3 || res.Replica < 0 || res.Degraded {
+		t.Fatalf("healthy /search → %d %+v", code, res)
+	}
+	if code, _, _ := get("/search?key=banana"); code != http.StatusBadRequest {
+		t.Fatalf("garbage key → %d, want 400", code)
+	}
+	if code, _, body := get("/healthz"); code != 200 || !strings.Contains(body, "healthy") {
+		t.Fatalf("/healthz on a whole fleet → %d %s", code, body)
+	}
+
+	// One replica down: not an incident. Health stays 200, serving continues.
+	if err := f.CrashReplica(0); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, body := get("/healthz"); code != 200 {
+		t.Fatalf("/healthz with 1 of 3 replicas down → %d %s (a single loss must not flip health)", code, body)
+	}
+	code, res = search("5")
+	if code != 200 || !res.Found || res.Degraded {
+		t.Fatalf("/search with one replica down → %d %+v", code, res)
+	}
+
+	// Every replica down: degraded, 503 health with a retry hint, and
+	// /search answers from the fleet oracle rather than erroring.
+	if err := f.CrashReplica(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.CrashReplica(2); err != nil {
+		t.Fatal(err)
+	}
+	code, hdr, body := get("/healthz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "degraded") {
+		t.Fatalf("/healthz with all replicas down → %d %s", code, body)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("unhealthy /healthz carries no Retry-After")
+	}
+	code, res = search("7")
+	if code != 200 || !res.Found || !res.Degraded || res.Replica != -1 {
+		t.Fatalf("all-down /search → %d %+v, want a degraded oracle answer", code, res)
+	}
+
+	// /metrics stays instance-shaped for shared scrapers.
+	code, _, body = get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics → %d", code)
+	}
+	var doc struct {
+		Serve serve.Stats `json:"serve"`
+		Fleet Stats       `json:"fleet"`
+		Side  int         `json:"side"`
+		Keys  int         `json:"keys"`
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatalf("bad /metrics body: %v", err)
+	}
+	if doc.Side != 8 || doc.Keys != len(f.Tree().Keys) {
+		t.Fatalf("/metrics shape fields: %+v", doc)
+	}
+	if doc.Fleet.Crashes != 3 || doc.Fleet.OracleServed == 0 {
+		t.Fatalf("/metrics fleet counters: %+v", doc.Fleet)
+	}
+	if doc.Serve.Served == 0 {
+		t.Fatal("/metrics aggregate lost the crashed replicas' serving history")
+	}
+}
+
+// TestFleetHTTPAfterShutdown pins the draining surface: 503 with Retry-After
+// on /search, lame-duck on /healthz.
+func TestFleetHTTPAfterShutdown(t *testing.T) {
+	f := newTestFleet(t, Config{Replicas: 2, Instance: serve.Config{Side: 8}})
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := f.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := srv.Client().Get(srv.URL + "/search?key=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown /search → %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("post-shutdown /search carries no Retry-After")
+	}
+	hresp, err := srv.Client().Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	body, _ := io.ReadAll(hresp.Body)
+	if hresp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "lame-duck") {
+		t.Fatalf("post-shutdown /healthz → %d %s", hresp.StatusCode, body)
+	}
+}

@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// TestHTTPTargetDrivesRemoteServer runs the open-loop harness against a real
+// serve.Instance over its HTTP surface: shape probing, the full lookup path,
+// and oracle checking must all work across the wire exactly as in-process.
+func TestHTTPTargetDrivesRemoteServer(t *testing.T) {
+	s := newRunServer(t)
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	target := NewHTTPTarget(srv.URL)
+
+	side, keys, err := target.Probe(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if side != 8 || keys != len(s.Tree().Keys) {
+		t.Fatalf("probe reported %dx%d / %d keys, want 8x8 / %d", side, side, keys, len(s.Tree().Keys))
+	}
+
+	arr, err := Poisson(Schedule{{Rate: 300, Dur: 600 * time.Millisecond}}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	draw, err := UniformKeys(keys, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, err := Generate(arr, draw, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		Lookup:   target.Lookup,
+		Stats:    target.Stats,
+		Events:   events,
+		Window:   200 * time.Millisecond,
+		Contains: s.Tree().Contains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total.Mismatched > 0 || rep.Total.Failed > 0 {
+		t.Fatalf("remote run had %d mismatches, %d failures", rep.Total.Mismatched, rep.Total.Failed)
+	}
+	if rep.Total.Answered == 0 {
+		t.Fatal("remote run answered nothing")
+	}
+	if got := rep.Total.Answered + rep.Total.Rejected + rep.Total.Shed; got != rep.Total.Offered {
+		t.Fatalf("outcome accounting leaks over HTTP: %d of %d offered", got, rep.Total.Offered)
+	}
+}
+
+// TestHTTPTargetStatusMapping pins the inverse of the /search handler's
+// status mapping: backpressure and drain statuses come back as the same
+// typed serve errors the in-process path yields, so the harness classifies
+// outcomes identically either way.
+func TestHTTPTargetStatusMapping(t *testing.T) {
+	var status int
+	var body string
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(status)
+		fmt.Fprint(w, body)
+	}))
+	defer stub.Close()
+	target := NewHTTPTarget(stub.URL)
+
+	status, body = http.StatusTooManyRequests, "overloaded\n"
+	if _, err := target.Lookup(context.Background(), 1); !errors.Is(err, serve.ErrOverloaded) {
+		t.Fatalf("429 mapped to %v, want ErrOverloaded", err)
+	}
+	status, body = http.StatusServiceUnavailable, "draining\n"
+	if _, err := target.Lookup(context.Background(), 1); !errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("503 mapped to %v, want ErrClosed", err)
+	}
+	status, body = http.StatusInternalServerError, "boom\n"
+	if _, err := target.Lookup(context.Background(), 1); err == nil ||
+		errors.Is(err, serve.ErrOverloaded) || errors.Is(err, serve.ErrClosed) {
+		t.Fatalf("500 mapped to %v, want a generic failure", err)
+	}
+	status, body = http.StatusOK, "{not json"
+	if _, err := target.Lookup(context.Background(), 1); err == nil {
+		t.Fatal("garbage 200 body accepted")
+	}
+
+	// Client-context expiry surfaces as the context's own error so deadline
+	// accounting matches in-process runs.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := target.Lookup(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled-context lookup → %v, want context.Canceled", err)
+	}
+
+	// A stats scrape against a non-/metrics server is best-effort zero, and
+	// Probe — which gates replay — fails loudly instead.
+	status, body = http.StatusOK, "{}"
+	if st := target.Stats(); st.Served != 0 {
+		t.Fatalf("stats scrape of an empty doc: %+v", st)
+	}
+	if _, _, err := target.Probe(context.Background()); err == nil {
+		t.Fatal("probe of a shapeless /metrics succeeded")
+	}
+}

@@ -40,8 +40,17 @@ func Generate(a *Arrivals, k KeyDraw, max int) ([]TraceEvent, error) {
 
 // Config drives one open-loop run.
 type Config struct {
-	// Server is the in-process target. Required, already serving.
+	// Server is the in-process target, already serving. Optional when
+	// Lookup is set instead.
 	Server *serve.Server
+	// Lookup is the pluggable target seam: one query against whatever is
+	// being driven — an in-process instance, a fleet, or a remote server
+	// over HTTP (HTTPTarget). Ignored when Server is set.
+	Lookup func(ctx context.Context, needle int64) (serve.Result, error)
+	// Stats samples the target's serving counters at window boundaries for
+	// the per-window sim-steps gauge. Optional with Lookup (a remote target
+	// may not expose counters); derived from Server when it is set.
+	Stats func() serve.Stats
 	// Events is the materialized arrival plan (Generate or a replayed
 	// trace). Run fills each event's answer fields in place.
 	Events []TraceEvent
@@ -117,13 +126,27 @@ type Report struct {
 }
 
 func (cfg Config) check() error {
-	if cfg.Server == nil {
-		return fmt.Errorf("loadgen: Config.Server is required")
+	if cfg.Server == nil && cfg.Lookup == nil {
+		return fmt.Errorf("loadgen: Config needs a target (Server or Lookup)")
 	}
 	if len(cfg.Events) == 0 {
 		return fmt.Errorf("loadgen: no events to run")
 	}
 	return nil
+}
+
+// target resolves the pluggable seam: the lookup function and a stats
+// sampler (zero-valued when the target exposes none — per-window sim-steps
+// then report 0, everything else still works).
+func (cfg Config) target() (func(context.Context, int64) (serve.Result, error), func() serve.Stats) {
+	lookup, stats := cfg.Lookup, cfg.Stats
+	if cfg.Server != nil {
+		lookup, stats = cfg.Server.Lookup, cfg.Server.Stats
+	}
+	if stats == nil {
+		stats = func() serve.Stats { return serve.Stats{} }
+	}
+	return lookup, stats
 }
 
 // Run plays the arrival plan against the server: open loop, each arrival
@@ -148,18 +171,19 @@ func Run(cfg Config) (*Report, error) {
 		maxInFlight = 4096
 	}
 
+	lookup, stats := cfg.target()
 	events := cfg.Events
 	outcomes := make([]outcome, len(events))
 	sem := make(chan struct{}, maxInFlight)
 	var wg sync.WaitGroup
 
-	// Sample the server's counters at window boundaries so per-window
+	// Sample the target's counters at window boundaries so per-window
 	// sim-steps/query can be computed from deltas (the counters are global;
 	// boundary samples attribute them to windows to histogram precision).
 	lastAt := time.Duration(events[len(events)-1].AtNS)
 	numWindows := int(lastAt/window) + 1
 	boundarySamples := make([]serve.Stats, 0, numWindows+1)
-	boundarySamples = append(boundarySamples, cfg.Server.Stats())
+	boundarySamples = append(boundarySamples, stats())
 	samplerDone := make(chan struct{})
 	samplerStop := make(chan struct{})
 	go func() {
@@ -170,7 +194,7 @@ func Run(cfg Config) (*Report, error) {
 			select {
 			case <-tick.C:
 				if len(boundarySamples) <= numWindows {
-					boundarySamples = append(boundarySamples, cfg.Server.Stats())
+					boundarySamples = append(boundarySamples, stats())
 				}
 			case <-samplerStop:
 				return
@@ -197,7 +221,7 @@ func Run(cfg Config) (*Report, error) {
 			qctx, cancel := context.WithTimeout(context.Background(), deadline)
 			defer cancel()
 			qstart := time.Now()
-			res, err := cfg.Server.Lookup(qctx, ev.Needle)
+			res, err := lookup(qctx, ev.Needle)
 			o.latNS = time.Since(qstart).Nanoseconds()
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
@@ -223,7 +247,7 @@ func Run(cfg Config) (*Report, error) {
 	wall := time.Since(start)
 	close(samplerStop)
 	<-samplerDone
-	boundarySamples = append(boundarySamples, cfg.Server.Stats())
+	boundarySamples = append(boundarySamples, stats())
 
 	return buildReport(events, outcomes, boundarySamples, window, wall), nil
 }

@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/mesh"
+)
+
+// TestDisableOracleSurfacesTypedFaults pins the fleet-facing instance
+// contract (DESIGN.md §3.8): with DisableOracle the ladder keeps its
+// breaker, health machine and canaries, but a round the mesh cannot serve
+// returns its typed fault — never a host-oracle answer — so a fleet can
+// fail the lookup over to another replica before anything degrades.
+func TestDisableOracleSurfacesTypedFaults(t *testing.T) {
+	t.Run("budget overrun fails typed instead of degrading", func(t *testing.T) {
+		s := newTestServer(t, Config{Side: 8, Budget: 3, DisableOracle: true})
+		_, err := s.Lookup(context.Background(), 1)
+		var be *mesh.BudgetExceededError
+		if !errors.As(err, &be) {
+			t.Fatalf("lookup error %v does not unwrap to *mesh.BudgetExceededError", err)
+		}
+		st := s.Stats()
+		if st.Degraded != 0 || st.DegradedRounds != 0 {
+			t.Fatalf("oracle answered despite DisableOracle: %+v", st)
+		}
+		if st.Failed == 0 {
+			t.Fatalf("failed lookup not counted: %+v", st)
+		}
+	})
+
+	t.Run("open circuit fast-fails and canaries still close it", func(t *testing.T) {
+		g := &gateInjector{}
+		s := newTestServer(t, Config{
+			Side: 8, Audit: true, Injector: g, DisableOracle: true,
+			MaxRetries: -1, RetryBackoff: 10 * time.Microsecond,
+			CanaryInterval: 2 * time.Millisecond,
+		})
+		if res, err := s.Lookup(context.Background(), 3); err != nil || res.Degraded {
+			t.Fatalf("healthy lookup: res=%+v err=%v", res, err)
+		}
+
+		// Break the mesh: the round fails terminally and must surface the
+		// audit fault to the caller, not an oracle answer.
+		g.broken.Store(true)
+		_, err := s.Lookup(context.Background(), 5)
+		var ae *mesh.AuditError
+		if !errors.As(err, &ae) {
+			t.Fatalf("broken-mesh lookup error %v does not unwrap to *mesh.AuditError", err)
+		}
+		if s.Health() != Degraded {
+			t.Fatalf("health %v after terminal failure, want %v", s.Health(), Degraded)
+		}
+		// With the circuit open, lookups fail fast with the typed sentinel —
+		// the signal a fleet dispatcher failovers on without waiting a round.
+		if _, err := s.Lookup(context.Background(), 7); !errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("open-circuit lookup error %v, want ErrCircuitOpen", err)
+		}
+
+		// Heal the mesh: canaries must still run under DisableOracle and
+		// close the circuit with no help from traffic.
+		g.broken.Store(false)
+		deadline := time.Now().Add(5 * time.Second)
+		for s.Health() != Healthy {
+			if time.Now().After(deadline) {
+				t.Fatalf("canaries never closed the circuit: %+v", s.Stats())
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if res, err := s.Lookup(context.Background(), 3); err != nil || res.Degraded || !res.Found {
+			t.Fatalf("post-recovery lookup: res=%+v err=%v", res, err)
+		}
+		st := s.Stats()
+		if st.Degraded != 0 {
+			t.Fatalf("oracle answered somewhere in the cycle: %+v", st)
+		}
+		if st.CircuitOpens == 0 || st.CircuitCloses == 0 || st.CanaryRounds == 0 {
+			t.Fatalf("breaker/canary machinery idle under DisableOracle: %+v", st)
+		}
+	})
+}

@@ -35,7 +35,7 @@ func (h Health) String() string {
 // one outcome per mesh-path batch — true when the first attempt faulted,
 // whatever happened afterwards — over a fixed window of recent rounds.
 // Owned exclusively by the executor goroutine; no locking (the open flag
-// the rest of the server reads is mirrored into Server.circuitOpen).
+// the rest of the server reads is mirrored into Instance.circuitOpen).
 type breaker struct {
 	window    []bool
 	idx       int

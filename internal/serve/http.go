@@ -29,7 +29,7 @@ const StatusClientClosedRequest = 499
 //	GET /metrics        — serving counters (including the recovery ladder's),
 //	                      health state, per-round step-budget headroom, and,
 //	                      when a tracer is configured, its live span snapshot.
-func (s *Server) Handler() http.Handler {
+func (s *Instance) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -37,14 +37,17 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// retryAfterSeconds is the Retry-After hint for 429/503 responses: at least
+// retryAfterSeconds renders RetryAfterHint for 429/503 responses: at least
 // one second (the header's resolution), enough for several rounds to drain
 // the admission queue or for a canary to close the circuit.
-func (s *Server) retryAfterSeconds() string {
-	hint := s.cfg.Linger
-	if s.canaryEvery > hint {
-		hint = s.canaryEvery
-	}
+func (s *Instance) retryAfterSeconds() string {
+	return RetryAfterSeconds(s.RetryAfterHint())
+}
+
+// RetryAfterSeconds renders a retry hint as a Retry-After header value,
+// clamped up to the header's one-second resolution. Shared with the fleet
+// handlers, whose hint is the minimum across healthy replicas.
+func RetryAfterSeconds(hint time.Duration) string {
 	secs := int64((hint + time.Second - 1) / time.Second)
 	if secs < 1 {
 		secs = 1
@@ -52,7 +55,7 @@ func (s *Server) retryAfterSeconds() string {
 	return strconv.FormatInt(secs, 10)
 }
 
-func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+func (s *Instance) handleSearch(w http.ResponseWriter, r *http.Request) {
 	key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
 	if err != nil {
 		http.Error(w, "serve: /search needs an integer ?key=", http.StatusBadRequest)
@@ -92,7 +95,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 // Degraded (oracle answers, canaries probing) and LameDuck (draining) are
 // both 503 — the server still answers /search correctly in the former, but
 // a balancer with a healthy replica should prefer it.
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Instance) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := s.Health()
 	st := s.Stats()
 	doc := map[string]any{
@@ -113,12 +116,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(doc)
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Instance) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	st := s.Stats()
 	doc := map[string]any{
 		"serve":     st,
 		"max_batch": s.maxBatch,
 		"health":    st.Health,
+		// Server shape, so a remote load-generator (loadgen.HTTPTarget) can
+		// probe the key domain and replay-trace compatibility over HTTP.
+		"side": s.cfg.Side,
+		"keys": len(s.bt.Keys),
 	}
 	// Per-round gauges describe the *mesh* path only: an oracle-degraded
 	// batch consumes no mesh round, so counting it would deflate

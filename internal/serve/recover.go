@@ -21,7 +21,7 @@ import (
 // attempt the round, classify any fault, re-execute with auditing forced on
 // under jittered backoff, and degrade to the oracle when the mesh keeps
 // failing.
-func (s *Server) serveBatch(batch []request) {
+func (s *Instance) serveBatch(batch []request) {
 	round := s.rounds.Add(1)
 	s.lastBatch.Store(int64(len(batch)))
 	if int64(len(batch)) > s.peakBatch.Load() {
@@ -33,6 +33,13 @@ func (s *Server) serveBatch(batch []request) {
 			s.runCanary()
 		}
 		if s.circuitOpen.Load() {
+			if s.cfg.DisableOracle {
+				// No oracle rung on this instance: fail fast with the
+				// typed circuit error so the fleet can re-dispatch the
+				// lookup to a replica whose mesh is still trusted.
+				s.failBatch(batch, ErrCircuitOpen)
+				return
+			}
 			s.degradeBatch(batch, round)
 			return
 		}
@@ -85,21 +92,31 @@ func (s *Server) serveBatch(batch []request) {
 	}
 	s.m.SetAudit(s.cfg.Audit)
 	s.observeRound(true, true)
-	if s.cfg.DisableDegrade {
-		s.failed.Add(int64(len(batch)))
-		for _, r := range batch {
-			r.resp <- response{err: lastErr}
-		}
+	if s.cfg.DisableDegrade || s.cfg.DisableOracle {
+		// DisableDegrade: the whole ladder is off — deliver the typed
+		// fault (observeRound was a no-op). DisableOracle: the breaker has
+		// recorded the terminal failure and opened the circuit, but the
+		// oracle rung lives above this instance, so the fault surfaces for
+		// the fleet to fail over.
+		s.failBatch(batch, lastErr)
 		return
 	}
 	s.degradeBatch(batch, round)
+}
+
+// failBatch delivers one error to every query of the batch.
+func (s *Instance) failBatch(batch []request, err error) {
+	s.failed.Add(int64(len(batch)))
+	for _, r := range batch {
+		r.resp <- response{err: err}
+	}
 }
 
 // meshRound executes one mesh attempt: reset the step clock (per-attempt
 // budget, fresh traced run — tagged when the attempt is a retry or canary),
 // load the queries against the resident tree, and run Algorithm 2 inside
 // the core.Run containment boundary.
-func (s *Server) meshRound(label, tag string, queries []core.Query) ([]core.Query, error) {
+func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Query, error) {
 	s.m.ResetSteps()
 	if s.cfg.Tracer != nil && tag != "" {
 		s.cfg.Tracer.TagRun(tag)
@@ -121,7 +138,7 @@ func (s *Server) meshRound(label, tag string, queries []core.Query) ([]core.Quer
 // degradeBatch answers every query of the batch from the host-side
 // dictionary oracle: correct (same leaf, same search-path length a faithful
 // round would report) but unaccounted in mesh steps, and flagged Degraded.
-func (s *Server) degradeBatch(batch []request, round int64) {
+func (s *Instance) degradeBatch(batch []request, round int64) {
 	for _, r := range batch {
 		leaf, found, path := s.bt.HostLookup(r.needle)
 		r.resp <- response{res: Result{
@@ -143,7 +160,7 @@ func (s *Server) degradeBatch(batch []request, round int64) {
 // not user-visible failures — a recovered round still counts against the
 // window); terminal means the whole ladder failed, which opens the circuit
 // immediately rather than waiting for the window to fill.
-func (s *Server) observeRound(firstAttemptFailed, terminal bool) {
+func (s *Instance) observeRound(firstAttemptFailed, terminal bool) {
 	if s.cfg.DisableDegrade {
 		return
 	}
@@ -154,7 +171,7 @@ func (s *Server) observeRound(firstAttemptFailed, terminal bool) {
 }
 
 // openCircuit transitions healthy → degraded (idempotent).
-func (s *Server) openCircuit() {
+func (s *Instance) openCircuit() {
 	if s.circuitOpen.CompareAndSwap(false, true) {
 		s.circuitOpens.Add(1)
 		s.brk.reset()
@@ -163,7 +180,7 @@ func (s *Server) openCircuit() {
 }
 
 // closeCircuit transitions degraded → healthy (idempotent).
-func (s *Server) closeCircuit() {
+func (s *Instance) closeCircuit() {
 	if s.circuitOpen.CompareAndSwap(true, false) {
 		s.circuitCloses.Add(1)
 		s.brk.reset()
@@ -173,7 +190,7 @@ func (s *Server) closeCircuit() {
 // canaryDue reports whether an open circuit should probe the mesh now.
 // A non-positive CanaryInterval disables probing (tests drive recovery by
 // hand); lastCanary is executor-owned.
-func (s *Server) canaryDue() bool {
+func (s *Instance) canaryDue() bool {
 	if s.canaryEvery <= 0 {
 		return false
 	}
@@ -184,7 +201,7 @@ func (s *Server) canaryDue() bool {
 // batch and closes the circuit when the round completes and every answer
 // agrees with the host oracle. Canary answers go nowhere — the probe exists
 // only to decide whether real traffic can trust the mesh again.
-func (s *Server) runCanary() {
+func (s *Instance) runCanary() {
 	s.lastCanary = time.Now()
 	s.canaryRounds.Add(1)
 	needles := s.canaryNeedles()
@@ -219,7 +236,7 @@ func (s *Server) runCanary() {
 // canaryNeedles picks a small probe set spanning the key range: known
 // members at both ends and the middle, plus guaranteed leaf-boundary
 // probes on either side of them.
-func (s *Server) canaryNeedles() []int64 {
+func (s *Instance) canaryNeedles() []int64 {
 	ks := s.bt.Keys
 	probes := []int64{ks[0], ks[len(ks)/2], ks[len(ks)-1], ks[0] - 1, ks[len(ks)-1] + 1, ks[len(ks)/2] + 1}
 	if len(probes) > s.m.N() {

@@ -46,6 +46,12 @@ var ErrOverloaded = errors.New("serve: admission queue full")
 // ErrClosed is returned by Lookup once Shutdown has begun.
 var ErrClosed = errors.New("serve: server closed")
 
+// ErrCircuitOpen is returned (only with DisableOracle) for lookups arriving
+// while the circuit is open: the mesh path is distrusted and this instance
+// has no oracle rung of its own. The fleet layer treats it as a failover
+// trigger — re-dispatch to a healthy replica, then the fleet-level oracle.
+var ErrCircuitOpen = errors.New("serve: circuit open, mesh path unavailable")
+
 // Config configures a Server. The zero value of every field has a usable
 // default except Side, which must be a positive power of two.
 type Config struct {
@@ -101,6 +107,14 @@ type Config struct {
 	// query of the batch (the pre-recovery behaviour). Diagnostics and
 	// tests; production serving wants the default.
 	DisableDegrade bool
+	// DisableOracle keeps the whole recovery ladder — retries, breaker,
+	// health machine, canaries — but removes only the final oracle rung:
+	// an exhausted batch delivers its typed fault, and a circuit-open
+	// instance fails lookups fast with ErrCircuitOpen instead of answering
+	// from the host oracle. This is how an instance runs inside a fleet,
+	// where the ladder continues above it (failover to a healthy replica
+	// before the fleet-level oracle); standalone serving wants the default.
+	DisableOracle bool
 	// BreakerWindow is the number of recent mesh rounds in the circuit
 	// breaker's sliding window (0 defaults to 16).
 	BreakerWindow int
@@ -171,9 +185,11 @@ type response struct {
 	err error
 }
 
-// Server owns one mesh with a built dictionary and serves batched lookups
-// against it. Safe for concurrent use.
-type Server struct {
+// Instance owns one mesh with a built dictionary and serves batched lookups
+// against it: the collector/executor pair, the recovery ladder, the breaker
+// state, and the serving counters — the unit internal/fleet replicates and
+// routes between. Safe for concurrent use.
+type Instance struct {
 	cfg      Config
 	m        *mesh.Mesh
 	bt       *dict.BTree
@@ -216,9 +232,14 @@ type Server struct {
 	faults                       [core.FaultOther + 1]atomic.Int64
 }
 
+// Server is the historical name for a standalone Instance: one mesh, one
+// dictionary, one recovery ladder. A fleet is N Instances behind a router
+// (internal/fleet); a Server is the degenerate one-replica fleet.
+type Server = Instance
+
 // New builds the dictionary, loads it onto a fresh mesh, and starts the
-// serving loop. The returned server answers Lookups until Shutdown.
-func New(cfg Config) (*Server, error) {
+// serving loop. The returned instance answers Lookups until Shutdown.
+func New(cfg Config) (*Instance, error) {
 	if cfg.Side <= 0 || cfg.Side&(cfg.Side-1) != 0 {
 		return nil, fmt.Errorf("serve: side must be a positive power of two, got %d", cfg.Side)
 	}
@@ -289,7 +310,7 @@ func New(cfg Config) (*Server, error) {
 		canaryEvery = 50 * time.Millisecond
 	}
 
-	s := &Server{
+	s := &Instance{
 		cfg:         cfg,
 		m:           m,
 		bt:          bt,
@@ -324,7 +345,7 @@ func New(cfg Config) (*Server, error) {
 }
 
 // Health reports the server's current admission-facing state.
-func (s *Server) Health() Health {
+func (s *Instance) Health() Health {
 	switch {
 	case s.lameduck.Load():
 		return LameDuck
@@ -337,15 +358,44 @@ func (s *Server) Health() Health {
 
 // Tree exposes the served dictionary (for oracle checks in tests and the
 // load generator).
-func (s *Server) Tree() *dict.BTree { return s.bt }
+func (s *Instance) Tree() *dict.BTree { return s.bt }
 
 // MaxBatch reports the effective per-round batch cap.
-func (s *Server) MaxBatch() int { return s.maxBatch }
+func (s *Instance) MaxBatch() int { return s.maxBatch }
+
+// Side reports the mesh side length.
+func (s *Instance) Side() int { return s.cfg.Side }
+
+// QueueLen is the current admission-queue depth — the load signal the
+// fleet's least-loaded routing policy reads. A point-in-time sample.
+func (s *Instance) QueueLen() int { return len(s.queue) }
+
+// QueueCap is the admission queue's capacity.
+func (s *Instance) QueueCap() int { return cap(s.queue) }
+
+// RetryAfterHint estimates how long a rejected (or routed-around) client
+// should wait before retrying this instance: the time for the current
+// admission backlog to drain, at one fill window per queued round, with a
+// floor of one window — or the canary interval while the circuit is open,
+// when recovery is canary-bound rather than queue-bound. The fleet's
+// backpressure signal takes the minimum of this hint across healthy
+// replicas, so a 429 reflects the soonest any replica could accept work.
+func (s *Instance) RetryAfterHint() time.Duration {
+	per := s.cfg.Linger
+	if per <= 0 {
+		per = time.Millisecond
+	}
+	hint := time.Duration(len(s.queue)/s.maxBatch+1) * per
+	if s.circuitOpen.Load() && s.canaryEvery > hint {
+		hint = s.canaryEvery
+	}
+	return hint
+}
 
 // Lookup submits one membership query and blocks until its round completes,
 // ctx is done, or the server refuses it (ErrOverloaded when the admission
 // queue is full, ErrClosed after Shutdown).
-func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
+func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 	start := time.Now()
 	req := request{needle: needle, resp: make(chan response, 1)}
 	s.mu.RLock()
@@ -380,13 +430,13 @@ func (s *Server) Lookup(ctx context.Context, needle int64) (Result, error) {
 
 // LatencySnapshot exposes the raw latency histogram (the load generator and
 // tests compute their own quantiles; /metrics uses the Stats summary).
-func (s *Server) LatencySnapshot() HistSnapshot { return s.lat.Snapshot() }
+func (s *Instance) LatencySnapshot() HistSnapshot { return s.lat.Snapshot() }
 
 // collect is the admission stage: it blocks for a round's first query, then
 // fills the batch until MaxBatch or the linger deadline, and hands it to the
 // executor. The one-slot batches channel lets the next batch assemble while
 // the current round simulates.
-func (s *Server) collect() {
+func (s *Instance) collect() {
 	defer close(s.batches)
 	for {
 		first, ok := <-s.queue
@@ -431,7 +481,7 @@ func (s *Server) collect() {
 // canary probes while the circuit is open. It is the only goroutine that
 // touches the mesh, which is what makes the recovery ladder's audit
 // toggling and breaker bookkeeping lock-free.
-func (s *Server) execute() {
+func (s *Instance) execute() {
 	defer close(s.done)
 	for {
 		select {
@@ -450,7 +500,7 @@ func (s *Server) execute() {
 
 // canaryTicker nudges the executor every CanaryInterval while the circuit
 // is open, so a degraded server recovers even with no traffic arriving.
-func (s *Server) canaryTicker() {
+func (s *Instance) canaryTicker() {
 	t := time.NewTicker(s.canaryEvery)
 	defer t.Stop()
 	for {
@@ -473,7 +523,7 @@ func (s *Server) canaryTicker() {
 // run is cancelled through the run-control seam — the in-flight round (and
 // any still-queued batch) fails fast with a *mesh.CanceledError delivered
 // to its clients — and Shutdown returns ctx.Err(). Safe to call once.
-func (s *Server) Shutdown(ctx context.Context) error {
+func (s *Instance) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -497,7 +547,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats returns a snapshot of the serving counters.
-func (s *Server) Stats() Stats {
+func (s *Instance) Stats() Stats {
 	return Stats{
 		Accepted:   s.accepted.Load(),
 		Rejected:   s.rejected.Load(),
