@@ -57,6 +57,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"math/rand"
 	"net/http"
@@ -71,6 +72,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/fleet"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -96,6 +98,9 @@ func main() {
 	breakerWindow := flag.Int("breaker-window", 0, "circuit-breaker sliding window, in rounds (0 = default 16)")
 	canaryInterval := flag.Duration("canary-interval", 0, "how often an open circuit probes the mesh (0 = default 50ms, negative = never)")
 	queryDeadline := flag.Duration("query-deadline", 5*time.Second, "per-query deadline for loadgen lookups (0 = none)")
+	obsOn := flag.Bool("obs", true, "request tracing + per-stage wall-clock metrics (internal/obs; /debug/traces, Prometheus /metrics?format=prometheus)")
+	obsRing := flag.Int("obs-ring", 256, "retained-trace ring size for /debug/traces (-obs)")
+	obsLog := flag.Bool("obs-log", false, "log interesting trace completions (slow/degraded/failover/error) to stderr (-obs)")
 
 	replicas := flag.Int("replicas", 1, "fleet size: run this many instances behind a router (see DESIGN.md §3.8)")
 	policy := flag.String("policy", "round-robin", "fleet routing policy: round-robin | least-loaded | health-weighted (or 'all' with -sweep-replicas)")
@@ -176,6 +181,16 @@ func main() {
 	}
 	cfg.Audit = *audit
 
+	// One observer serves the whole process — instance or fleet — so the SLO
+	// burn gauges measure the same targets the saturation search enforces.
+	if *obsOn {
+		oc := obs.Config{Ring: *obsRing, SLOP99: *sloP99, SLOMaxDegraded: *sloDegraded}
+		if *obsLog {
+			oc.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
+		}
+		cfg.Obs = obs.New(oc)
+	}
+
 	if *loadgen && *workload != "" {
 		fmt.Fprintln(os.Stderr, "meshserve: -loadgen (closed-loop sweep) and -workload (open-loop harness) are mutually exclusive")
 		os.Exit(2)
@@ -224,6 +239,7 @@ func main() {
 			saturate: *saturate, sloP99: *sloP99, sloDegraded: *sloDegraded,
 			sloRejected: *sloRejected, satBisect: *satBisect, satMax: *satMax,
 			probeDur: *probeDur,
+			trace:    *obsOn,
 			target:   *target, replicas: *replicas, policy: *policy,
 			sweepReplicas: *sweepReplicas, makeInjector: makeInjector,
 			chaosInstance: *chaosInstance, chaosKillEvery: *chaosKillEvery,
@@ -276,6 +292,10 @@ func fleetConfig(cfg serve.Config, replicas int, policyName string, makeInjector
 		Policy:       pol,
 		MakeInjector: makeInjector,
 		MakeTracer:   func(int) *trace.Tracer { return trace.New() },
+		// Unlike tracers and injectors, the observer is deliberately shared:
+		// a failed-over request's trace must accumulate stage marks from
+		// every replica it touched, in one place.
+		Obs: cfg.Obs,
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleet"
 	"repro/internal/loadgen"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -29,6 +30,7 @@ type workloadFlags struct {
 	seed     int64
 	deadline time.Duration
 	maxInFl  int
+	trace    bool // -obs: propagate traceparent to remote targets, sample stage means
 
 	traceOut string
 	traceIn  string
@@ -65,6 +67,7 @@ type wlTarget struct {
 	fleet    *fleet.Fleet  // in-process fleet (nil otherwise)
 	lookup   func(ctx context.Context, needle int64) (serve.Result, error)
 	stats    func() serve.Stats
+	stages   func() obs.StageSnapshot // nil when the target has no observer
 	contains func(int64) bool
 	close    func()
 }
@@ -83,7 +86,7 @@ func newTarget(cfg serve.Config, f workloadFlags, replicas int, policyName strin
 	if err != nil {
 		return nil, err
 	}
-	return &wlTarget{
+	t := &wlTarget{
 		desc: fmt.Sprintf("%dx%d mesh (%s model), %d keys",
 			cfg.Side, cfg.Side, cfg.Model, len(s.Tree().Keys)),
 		side:     cfg.Side,
@@ -95,7 +98,11 @@ func newTarget(cfg serve.Config, f workloadFlags, replicas int, policyName strin
 			defer cancel()
 			_ = s.Shutdown(ctx)
 		},
-	}, nil
+	}
+	if o := s.Observer(); o != nil {
+		t.stages = o.Stages
+	}
+	return t, nil
 }
 
 // newFleetTarget builds an in-process fleet target, arming the instance
@@ -113,7 +120,7 @@ func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName 
 			Seed: f.chaosInstance, KillEvery: f.chaosKillEvery, Downtime: f.chaosDowntime,
 		})
 	}
-	return &wlTarget{
+	t := &wlTarget{
 		desc: fmt.Sprintf("fleet of %d %dx%d meshes (%s routing, %s model), %d keys",
 			replicas, cfg.Side, cfg.Side, fc.Policy.Name(), cfg.Model, len(fl.Tree().Keys)),
 		side:  cfg.Side,
@@ -131,7 +138,11 @@ func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName 
 			defer cancel()
 			_ = fl.Shutdown(ctx)
 		},
-	}, nil
+	}
+	if o := fl.Observer(); o != nil {
+		t.stages = o.Stages
+	}
+	return t, nil
 }
 
 // newRemoteTarget probes the remote server's shape and reconstructs the
@@ -140,6 +151,9 @@ func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName 
 // the dictionary over the wire.
 func newRemoteTarget(f workloadFlags) (*wlTarget, error) {
 	t := loadgen.NewHTTPTarget(f.target)
+	// With -obs, every remote lookup carries a client-minted traceparent, so
+	// a slow client-side sample can be found in the server's /debug/traces.
+	t.Trace = f.trace
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	side, keys, err := t.Probe(ctx)
@@ -165,6 +179,7 @@ func (t *wlTarget) runConfig(events []loadgen.TraceEvent, f workloadFlags) loadg
 		Server:      t.server,
 		Lookup:      t.lookup,
 		Stats:       t.stats,
+		Stages:      t.stages,
 		Events:      events,
 		Window:      f.window,
 		Deadline:    f.deadline,
@@ -461,6 +476,26 @@ func printReport(rep *loadgen.Report) {
 	row("total", rep.Total)
 	fmt.Printf("answered %d/%d offered in %s (answer digest %.16s…)\n",
 		rep.Total.Answered, rep.Total.Offered, rep.Wall.Round(time.Millisecond), rep.Digest)
+	printStageBreakdown(rep)
+}
+
+// printStageBreakdown renders the whole-run mean wall-clock per stage per
+// answered query (the decomposition of internal/obs), when the target had an
+// observer to sample: where a query's latency actually went — queueing,
+// lingering, mesh rounds, retries, failovers — not just what it totalled.
+func printStageBreakdown(rep *loadgen.Report) {
+	if len(rep.Total.StageNS) == 0 {
+		return
+	}
+	fmt.Printf("stage means per answered query:")
+	for _, name := range obs.StageNames() {
+		ns, ok := rep.Total.StageNS[name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %s %s", name, time.Duration(ns).Round(time.Microsecond))
+	}
+	fmt.Println()
 }
 
 // benchDoc is the machine-readable result trajectory entry (BENCH_PR6.json,

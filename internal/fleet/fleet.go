@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/trace"
 )
@@ -67,6 +68,12 @@ type Config struct {
 	// replica 0 keeps Instance.Tracer: a tracer records one mesh's runs and
 	// must not be shared across replicas.
 	MakeTracer func(i int) *trace.Tracer
+	// Obs installs the fleet-wide observability layer. Unlike tracers and
+	// injectors the Observer IS shared: it is installed on every instance
+	// (overriding Instance.Obs), so one request trace follows its lookup
+	// across failover hops, and every replica's stage marks land in one set
+	// of histograms. Nil disables observability fleet-wide.
+	Obs *obs.Observer
 }
 
 // Result is one answered lookup plus its provenance: which replica served
@@ -113,6 +120,9 @@ type Fleet struct {
 	lastTTH        atomic.Int64 // ns, most recent crash → healthy
 	maxTTH         atomic.Int64 // ns, worst observed
 	lat            serve.Histogram
+	latFailover    serve.Histogram // answered by a non-first pick
+	latOracle      serve.Histogram // answered by the fleet oracle rung
+	obs            *obs.Observer
 }
 
 // New builds Replicas instances from the template and starts routing.
@@ -125,7 +135,7 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Replicas > 64 {
 		return nil, fmt.Errorf("fleet: at most 64 replicas, got %d", cfg.Replicas)
 	}
-	f := &Fleet{cfg: cfg, policy: cfg.Policy}
+	f := &Fleet{cfg: cfg, policy: cfg.Policy, obs: cfg.Obs}
 	if f.policy == nil {
 		f.policy = RoundRobin()
 	}
@@ -166,8 +176,15 @@ func (f *Fleet) instanceConfig(i int) serve.Config {
 	} else if i > 0 {
 		cfg.Tracer = nil // a tracer records one mesh; never share it
 	}
+	// The Observer is deliberately shared (histograms and the trace ring are
+	// concurrency-safe): instance-side stage marks land on the trace the
+	// fleet began and carried in via context.
+	cfg.Obs = f.obs
 	return cfg
 }
+
+// Observer exposes the installed observability hub (nil when disabled).
+func (f *Fleet) Observer() *obs.Observer { return f.obs }
 
 // Tree exposes the fleet oracle's dictionary (tests, load generators).
 func (f *Fleet) Tree() *dict.BTree { return f.bt }
@@ -239,6 +256,20 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 	f.mu.RUnlock()
 	f.dispatched.Add(1)
 
+	// Fleet-level tracing: adopt the HTTP handler's trace from ctx, or begin
+	// one here (and then finish it here — creator finalizes). The same trace
+	// rides ctx into every instance dispatch, so one record accumulates the
+	// admit/queue/linger/mesh marks of every replica it visited.
+	var tr *obs.ReqTrace
+	created := false
+	if f.obs != nil {
+		if tr = obs.FromContext(ctx); tr == nil {
+			tr = f.obs.Begin(obs.ParentFromContext(ctx), needle, start)
+			created = true
+		}
+		ctx = obs.NewContext(ctx, tr)
+	}
+
 	var tried uint64
 	var lastErr error
 	attempts, firstIdx := 0, -1
@@ -252,6 +283,11 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		attempts++
 		if firstIdx >= 0 {
 			f.failovers.Add(1)
+			if tr != nil {
+				// The hop span: previous replica's failure surfacing here →
+				// this re-dispatch. The next admit span starts at this mark.
+				tr.Mark(obs.StageFailover)
+			}
 		} else {
 			firstIdx = idx
 		}
@@ -263,14 +299,36 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		}
 		res, err := inst.Lookup(ctx, needle)
 		if err == nil {
-			if idx != firstIdx {
+			failedOver := idx != firstIdx
+			if failedOver {
 				f.failoverServed.Add(1)
 			}
-			f.lat.Observe(time.Since(start))
+			e2e := time.Since(start)
+			f.lat.Observe(e2e)
+			if failedOver {
+				f.latFailover.Observe(e2e)
+			}
+			if tr != nil {
+				tr.Replica = idx
+			}
+			if created {
+				oc := obs.OutcomeMesh
+				if failedOver {
+					oc = obs.OutcomeFailover
+				} else if res.Degraded {
+					oc = obs.OutcomeDegraded
+				}
+				f.obs.Finish(tr, oc, nil)
+			}
 			return Result{Result: res, Replica: idx}, nil
 		}
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
-			return Result{}, err // the client is gone, not the replica
+			// The client is gone, not the replica. The instance's pipeline
+			// may still hold the trace, so it can only be abandoned.
+			if created {
+				f.obs.Abandon(tr)
+			}
+			return Result{}, err
 		}
 		lastErr = err
 		if !errors.Is(err, serve.ErrOverloaded) {
@@ -284,6 +342,9 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		// oracle must not absorb overload — it would turn saturation into
 		// an unbounded degraded-answer pool and hide the knee.
 		f.overloadedAll.Add(1)
+		if created {
+			f.obs.Finish(tr, obs.OutcomeRejected, serve.ErrOverloaded)
+		}
 		return Result{}, serve.ErrOverloaded
 	case attempts == 0:
 		f.unrouted.Add(1)
@@ -292,13 +353,25 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		}
 	}
 	if f.cfg.DisableOracle {
+		if created {
+			f.obs.Finish(tr, obs.OutcomeError, lastErr)
+		}
 		return Result{}, lastErr
 	}
 	// Oracle rung: no replica could answer (all crashed, draining, or
 	// faulting). Correct, Degraded-flagged, unaccounted in mesh steps.
 	leaf, found, path := f.bt.HostLookup(needle)
 	f.oracleServed.Add(1)
-	f.lat.Observe(time.Since(start))
+	e2e := time.Since(start)
+	f.lat.Observe(e2e)
+	f.latOracle.Observe(e2e)
+	if tr != nil {
+		tr.Mark(obs.StageOracle)
+		tr.Replica = -1
+	}
+	if created {
+		f.obs.Finish(tr, obs.OutcomeOracle, nil)
+	}
 	return Result{
 		Result:  serve.Result{Needle: needle, Found: found, LeafKey: leaf, Steps: path, Degraded: true},
 		Replica: -1,
@@ -402,11 +475,19 @@ func (f *Fleet) Health() serve.Health {
 	return serve.Degraded
 }
 
+// RestartBoundHint is the retry hint when zero replicas are routable: with
+// every replica down or lame-duck, the soonest the fleet could accept work
+// is bounded by a replica restart (dictionary rebuild and all), which is not
+// knowable from admission state — so the hint is a fixed, deliberately
+// pessimistic constant rather than a zero/garbage duration. Pinned by
+// TestRetryAfterHintNoHealthyReplicas.
+const RestartBoundHint = time.Second
+
 // RetryAfterHint is the fleet's backpressure signal: the minimum retry hint
 // across healthy routable replicas — the soonest any replica could accept
 // work — not whichever instance happened to reject. Degraded replicas are
 // consulted only when no healthy one exists; with no routable replica at
-// all the hint is one second (restart-bound, unknowable from here).
+// all the hint is RestartBoundHint.
 func (f *Fleet) RetryAfterHint() time.Duration {
 	best, bestDegraded := time.Duration(-1), time.Duration(-1)
 	for i, v := range f.views() {
@@ -432,7 +513,7 @@ func (f *Fleet) RetryAfterHint() time.Duration {
 	case bestDegraded >= 0:
 		return bestDegraded
 	default:
-		return time.Second
+		return RestartBoundHint
 	}
 }
 
@@ -535,6 +616,11 @@ type Stats struct {
 	MaxTimeToHealthy  time.Duration `json:"max_time_to_healthy_ns"`
 
 	Latency serve.LatencySummary `json:"latency"` // fleet dispatch → answer
+	// LatencyFailover / LatencyOracle split the dispatch latency by how the
+	// answer was produced (non-first-pick replica vs fleet oracle rung), so
+	// the fleet p99 can be attributed; Latency stays as the combined view.
+	LatencyFailover serve.LatencySummary `json:"latency_failover"`
+	LatencyOracle   serve.LatencySummary `json:"latency_oracle"`
 
 	Agg        serve.Stats    `json:"agg"`
 	PerReplica []ReplicaStats `json:"per_replica"`
@@ -558,6 +644,8 @@ func (f *Fleet) Stats() Stats {
 		LastTimeToHealthy: time.Duration(f.lastTTH.Load()),
 		MaxTimeToHealthy:  time.Duration(f.maxTTH.Load()),
 		Latency:           f.lat.Snapshot().Summary(),
+		LatencyFailover:   f.latFailover.Snapshot().Summary(),
+		LatencyOracle:     f.latOracle.Snapshot().Summary(),
 	}
 	for _, r := range f.reps {
 		r.mu.RLock()

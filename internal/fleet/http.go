@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"strconv"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -35,7 +36,31 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("/search", f.handleSearch)
 	mux.HandleFunc("/healthz", f.handleHealthz)
 	mux.HandleFunc("/metrics", f.handleMetrics)
+	if f.obs != nil {
+		mux.Handle("/debug/traces", f.obs.DebugHandler())
+	} else {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "fleet: request tracing disabled (Config.Obs is nil)", http.StatusNotFound)
+		})
+	}
 	return mux
+}
+
+// traceCtx mirrors the instance handler's traceparent adoption: the fleet
+// trace takes the wire ID (minting one when absent/malformed) and the
+// response echoes it so a loadgen client can correlate its samples with
+// /debug/traces records.
+func (f *Fleet) traceCtx(w http.ResponseWriter, r *http.Request) context.Context {
+	ctx := r.Context()
+	if f.obs == nil {
+		return ctx
+	}
+	id, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if err != nil {
+		id = obs.NewTraceID()
+	}
+	w.Header().Set("Traceparent", id.Traceparent())
+	return obs.ContextWithParent(ctx, id)
 }
 
 func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -44,7 +69,7 @@ func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "fleet: /search needs an integer ?key=", http.StatusBadRequest)
 		return
 	}
-	res, err := f.Lookup(r.Context(), key)
+	res, err := f.Lookup(f.traceCtx(w, r), key)
 	switch {
 	case errors.Is(err, serve.ErrOverloaded):
 		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
@@ -93,7 +118,11 @@ func (f *Fleet) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(doc)
 }
 
-func (f *Fleet) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		f.promMetrics(w)
+		return
+	}
 	st := f.Stats()
 	doc := map[string]any{
 		"fleet":     st,
@@ -108,6 +137,80 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		doc["oracle_fraction"] = float64(st.OracleServed) / float64(st.Dispatched)
 	}
 	writeJSON(w, doc)
+}
+
+// promMetrics renders the fleet's Prometheus text exposition: routing and
+// failover counters, per-replica gauges, outcome-split dispatch latency, the
+// bucket-exact merge of every live replica's serving histograms, and (with
+// Config.Obs) the shared per-stage decomposition and SLO burn gauges.
+func (f *Fleet) promMetrics(w http.ResponseWriter) {
+	st := f.Stats()
+	pw := obs.NewPromWriter()
+
+	pw.Counter("meshfleet_dispatched_total", "Lookups dispatched through the router.", float64(st.Dispatched))
+	pw.Counter("meshfleet_failovers_total", "Re-dispatch attempts after a failed pick.", float64(st.Failovers))
+	pw.Counter("meshfleet_answers_total", "Answered lookups by serving rung.", float64(st.Dispatched-st.FailoverServed-st.OracleServed-st.OverloadedAll-st.Unrouted), "rung", "first_pick")
+	pw.Counter("meshfleet_answers_total", "Answered lookups by serving rung.", float64(st.FailoverServed), "rung", "failover")
+	pw.Counter("meshfleet_answers_total", "Answered lookups by serving rung.", float64(st.OracleServed), "rung", "oracle")
+	pw.Counter("meshfleet_overloaded_total", "Lookups rejected with every routable replica admission-full.", float64(st.OverloadedAll))
+	pw.Counter("meshfleet_unrouted_total", "Lookups that found no routable replica.", float64(st.Unrouted))
+	pw.Counter("meshfleet_crashes_total", "Replica crashes.", float64(st.Crashes))
+	pw.Counter("meshfleet_restarts_total", "Replica restarts.", float64(st.Restarts))
+
+	pw.Gauge("meshfleet_replicas", "Configured replica count.", float64(st.Replicas))
+	pw.Gauge("meshfleet_last_time_to_healthy_seconds", "Most recent crash-to-healthy duration.", float64(st.LastTimeToHealthy)/1e9)
+	for _, rv := range f.views() {
+		idx := strconv.Itoa(rv.Index)
+		pw.Gauge("meshfleet_replica_up", "1 while the replica is routable.", boolGauge(rv.Up), "replica", idx)
+		health := "down"
+		if rv.Up {
+			health = rv.Health.String()
+		}
+		pw.Gauge("meshfleet_replica_healthy", "1 while the replica reports healthy.", boolGauge(rv.Up && rv.Health == serve.Healthy), "replica", idx, "health", health)
+		pw.Gauge("meshfleet_replica_queue_depth", "Replica admission-queue depth.", float64(rv.QueueLen), "replica", idx)
+		rep := f.reps[rv.Index]
+		rep.mu.RLock()
+		crashes := rep.crashes
+		rep.mu.RUnlock()
+		pw.Counter("meshfleet_replica_crashes_total", "Crashes of this replica slot.", float64(crashes), "replica", idx)
+	}
+
+	// Fleet-level dispatch latency, combined + by rung.
+	lat := f.lat.Snapshot()
+	pw.Histogram("meshfleet_request_duration_seconds", "Dispatch-to-answer latency.", lat, "rung", "all")
+	pw.Histogram("meshfleet_request_duration_seconds", "Dispatch-to-answer latency.", f.latFailover.Snapshot(), "rung", "failover")
+	pw.Histogram("meshfleet_request_duration_seconds", "Dispatch-to-answer latency.", f.latOracle.Snapshot(), "rung", "oracle")
+
+	// Replica-level serving latency, merged bucket-exact across live
+	// replicas (fixed boundaries sum losslessly), split by outcome.
+	var mAll, mMesh, mDeg obs.HistSnapshot
+	for i := range f.reps {
+		inst := f.instance(i)
+		if inst == nil {
+			continue
+		}
+		mAll = mAll.Merge(inst.LatencySnapshot())
+		im, id := inst.LatencyByOutcome()
+		mMesh = mMesh.Merge(im)
+		mDeg = mDeg.Merge(id)
+	}
+	pw.Histogram("meshserve_request_duration_seconds", "Per-replica serving latency, merged across live replicas.", mAll, "outcome", "all")
+	pw.Histogram("meshserve_request_duration_seconds", "Per-replica serving latency, merged across live replicas.", mMesh, "outcome", "mesh")
+	pw.Histogram("meshserve_request_duration_seconds", "Per-replica serving latency, merged across live replicas.", mDeg, "outcome", "degraded")
+
+	if f.obs != nil {
+		pw.WriteObserver("meshfleet", f.obs)
+		pw.WriteLatencyBurn("meshfleet", f.obs, lat)
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -22,6 +23,11 @@ import (
 type HTTPTarget struct {
 	Base   string // e.g. http://127.0.0.1:8845, no trailing slash
 	Client *http.Client
+	// Trace enables W3C traceparent propagation: each Lookup mints a trace
+	// ID and sends it, so the server-side trace at /debug/traces carries an
+	// ID the client chose — the hook for correlating a slow client-side
+	// sample with its server-side stage decomposition.
+	Trace bool
 }
 
 // NewHTTPTarget returns a target for the given base URL. The client pools
@@ -47,6 +53,9 @@ func (t *HTTPTarget) Lookup(ctx context.Context, needle int64) (serve.Result, er
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return serve.Result{}, err
+	}
+	if t.Trace {
+		req.Header.Set("Traceparent", obs.NewTraceID().Traceparent())
 	}
 	resp, err := t.Client.Do(req)
 	if err != nil {

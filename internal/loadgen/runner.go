@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/serve"
 )
 
@@ -63,6 +64,11 @@ type Config struct {
 	// the cap is hit the arrival is shed client-side and counted — blocking
 	// would silently turn the generator closed-loop.
 	MaxInFlight int
+	// Stages samples the target observer's per-stage wall-clock counters at
+	// window boundaries (obs.Observer.Stages), so each reporting window
+	// decomposes its latency by lifecycle stage — queue wait vs linger vs
+	// mesh vs backoff vs failover. Optional; nil leaves the breakdown empty.
+	Stages func() obs.StageSnapshot
 	// Contains is the host oracle for answer checking; nil disables checks.
 	Contains func(int64) bool
 }
@@ -112,6 +118,12 @@ type WindowStats struct {
 	// server's own counters sampled at window boundaries.
 	MeanPathSteps    float64 `json:"mean_path_steps"`
 	SimStepsPerQuery float64 `json:"sim_steps_per_query"`
+
+	// StageNS decomposes the window's latency by lifecycle stage: mean
+	// wall-clock nanoseconds spent per answered query in each stage (from
+	// the observer's counters sampled at window boundaries; only stages with
+	// time in this window appear). Requires Config.Stages.
+	StageNS map[string]float64 `json:"stage_ns,omitempty"`
 }
 
 // Report is the result of one open-loop run.
@@ -182,8 +194,14 @@ func Run(cfg Config) (*Report, error) {
 	// boundary samples attribute them to windows to histogram precision).
 	lastAt := time.Duration(events[len(events)-1].AtNS)
 	numWindows := int(lastAt/window) + 1
+	sampleStages := cfg.Stages
+	if sampleStages == nil {
+		sampleStages = func() obs.StageSnapshot { return obs.StageSnapshot{} }
+	}
 	boundarySamples := make([]serve.Stats, 0, numWindows+1)
 	boundarySamples = append(boundarySamples, stats())
+	stageSamples := make([]obs.StageSnapshot, 0, numWindows+1)
+	stageSamples = append(stageSamples, sampleStages())
 	samplerDone := make(chan struct{})
 	samplerStop := make(chan struct{})
 	go func() {
@@ -195,6 +213,7 @@ func Run(cfg Config) (*Report, error) {
 			case <-tick.C:
 				if len(boundarySamples) <= numWindows {
 					boundarySamples = append(boundarySamples, stats())
+					stageSamples = append(stageSamples, sampleStages())
 				}
 			case <-samplerStop:
 				return
@@ -248,11 +267,12 @@ func Run(cfg Config) (*Report, error) {
 	close(samplerStop)
 	<-samplerDone
 	boundarySamples = append(boundarySamples, stats())
+	stageSamples = append(stageSamples, sampleStages())
 
-	return buildReport(events, outcomes, boundarySamples, window, wall), nil
+	return buildReport(events, outcomes, boundarySamples, stageSamples, window, wall), nil
 }
 
-func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats, window time.Duration, wall time.Duration) *Report {
+func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats, stageSamples []obs.StageSnapshot, window time.Duration, wall time.Duration) *Report {
 	lastAt := time.Duration(events[len(events)-1].AtNS)
 	numWindows := int(lastAt/window) + 1
 	hists := make([]*serve.Histogram, numWindows)
@@ -323,6 +343,9 @@ func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats,
 			if dMesh > 0 {
 				ws.SimStepsPerQuery = float64(dSteps) / float64(dMesh)
 			}
+			if hi < len(stageSamples) {
+				ws.StageNS = stageBreakdown(stageSamples[lo], stageSamples[hi], ws.Answered)
+			}
 		}
 	}
 
@@ -340,8 +363,33 @@ func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats,
 	if dMesh := (last.Served - last.Degraded) - (first.Served - first.Degraded); dMesh > 0 {
 		total.SimStepsPerQuery = float64(last.SimSteps-first.SimSteps) / float64(dMesh)
 	}
+	if len(stageSamples) > 0 {
+		total.StageNS = stageBreakdown(stageSamples[0], stageSamples[len(stageSamples)-1], total.Answered)
+	}
 
 	return &Report{Windows: wins, Total: total, Digest: Digest(events), Wall: wall}
+}
+
+// stageBreakdown turns two boundary samples of the observer's per-stage
+// counters into mean nanoseconds per answered query for each stage that
+// accumulated time in between. Stage time is attributed to windows at
+// boundary-sample precision, same as SimStepsPerQuery.
+func stageBreakdown(lo, hi obs.StageSnapshot, answered int64) map[string]float64 {
+	if answered <= 0 {
+		return nil
+	}
+	var out map[string]float64
+	for i, name := range obs.StageNames() {
+		d := hi.SumNS[i] - lo.SumNS[i]
+		if d <= 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64, len(obs.StageNames()))
+		}
+		out[name] = float64(d) / float64(answered)
+	}
+	return out
 }
 
 func fillQuantiles(ws *WindowStats, snap serve.HistSnapshot) {

@@ -53,6 +53,14 @@ func WithTracer(t Tracer) Option {
 	return func(ms *Mesh) { ms.tracer = t }
 }
 
+// TraceRun returns the trace context of the mesh's current run — the value
+// the installed Tracer's Attach returned at New or the latest ResetSteps —
+// or nil when no tracer is installed. It names *this mesh's current run*
+// specifically (trace.HandleFor turns it into a taggable run handle), which
+// is what the serving layer needs when rounds on different meshes attach
+// concurrently and "most recently attached" would be a race.
+func (m *Mesh) TraceRun() TraceContext { return m.root.tc }
+
 // Traced reports whether a tracer is collecting spans for this view's
 // execution chain. Callers formatting span names should check it first so
 // untraced runs skip the formatting entirely.

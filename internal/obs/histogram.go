@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-boundary latency histogram: HDR-style buckets with 16
+// sub-buckets per power-of-two octave (≤ 6.25% relative error per bucket),
+// covering 0ns to the full int64 nanosecond range. Observe is one atomic add
+// into a fixed array — no allocation, no lock — so it sits on the serving hot
+// path (every Lookup) and in the open-loop load generator's per-window
+// accounting without disturbing what it measures.
+//
+// The zero value is ready to use and safe for concurrent Observe/Snapshot.
+type Histogram struct {
+	counts [histBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// histBuckets: values 0..15 get exact buckets; every octave above contributes
+// 16 log-spaced buckets. Octaves 4..62 × 16 + 16 exact = 960.
+const histBuckets = 16 * 60
+
+// histIndex maps a non-negative nanosecond value to its bucket.
+func histIndex(v int64) int {
+	if v < 16 {
+		return int(v)
+	}
+	o := bits.Len64(uint64(v)) - 1 // 4..62
+	idx := 16*(o-3) + int((uint64(v)>>(o-4))&15)
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	return idx
+}
+
+// histUpper is the inclusive upper bound of bucket i — the value Quantile
+// reports, so percentiles overestimate by at most one bucket width.
+func histUpper(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	o := i/16 + 3
+	sub := int64(i % 16)
+	return (16+sub+1)<<(o-4) - 1
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Count reads the observation count (one atomic load).
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// SumNS reads the total observed nanoseconds (one atomic load). Count and
+// SumNS together give the per-window stage means the load generator samples
+// at reporting boundaries without paying for a full bucket snapshot.
+func (h *Histogram) SumNS() int64 { return h.sum.Load() }
+
+// Snapshot copies the histogram for quantile queries. Concurrent Observes
+// may land between bucket reads; the snapshot is a consistent-enough view
+// for reporting (same class as the Stats counter snapshots).
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Counts: make([]int64, histBuckets),
+		Count:  h.count.Load(),
+		Sum:    h.sum.Load(),
+		Max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistSnapshot is a point-in-time copy of a Histogram.
+type HistSnapshot struct {
+	Counts []int64
+	Count  int64
+	Sum    int64 // total nanoseconds
+	Max    int64 // largest observed value, nanoseconds
+}
+
+// Merge returns the bucket-wise sum of two snapshots — how the fleet's
+// Prometheus exposition aggregates per-replica histograms into one family
+// without losing quantile fidelity (the buckets are fixed, so summing
+// counts is exact).
+func (s HistSnapshot) Merge(o HistSnapshot) HistSnapshot {
+	if len(s.Counts) == 0 {
+		return o
+	}
+	if len(o.Counts) == 0 {
+		return s
+	}
+	out := HistSnapshot{
+		Counts: make([]int64, histBuckets),
+		Count:  s.Count + o.Count,
+		Sum:    s.Sum + o.Sum,
+		Max:    s.Max,
+	}
+	if o.Max > out.Max {
+		out.Max = o.Max
+	}
+	for i := range out.Counts {
+		out.Counts[i] = s.Counts[i] + o.Counts[i]
+	}
+	return out
+}
+
+// CountAbove returns how many observations exceeded d — the numerator of the
+// SLO burn-rate gauges (requests out of latency budget). Bucket-granular:
+// observations in the bucket containing d are counted as above it only when
+// the whole bucket lies above, so the result can undercount by at most one
+// bucket's population (≤ 6.25% relative error in d).
+func (s HistSnapshot) CountAbove(d time.Duration) int64 {
+	v := int64(d)
+	if v < 0 {
+		v = 0
+	}
+	var above int64
+	for i := histIndex(v) + 1; i < len(s.Counts); i++ {
+		above += s.Counts[i]
+	}
+	return above
+}
+
+// Quantile returns the q-quantile (0 < q ≤ 1) as the upper bound of the
+// bucket holding that rank, clamped to the observed maximum. Zero when the
+// snapshot is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			u := histUpper(i)
+			if u > s.Max {
+				u = s.Max
+			}
+			return time.Duration(u)
+		}
+	}
+	return time.Duration(s.Max)
+}
+
+// Summary reduces the snapshot to the serving percentiles of interest.
+func (s HistSnapshot) Summary() LatencySummary {
+	out := LatencySummary{Count: s.Count, Max: time.Duration(s.Max)}
+	if s.Count > 0 {
+		out.Mean = time.Duration(s.Sum / s.Count)
+		out.P50 = s.Quantile(0.50)
+		out.P95 = s.Quantile(0.95)
+		out.P99 = s.Quantile(0.99)
+		out.P999 = s.Quantile(0.999)
+	}
+	return out
+}
+
+// LatencySummary is the JSON-facing percentile snapshot embedded in Stats
+// (all durations serialize as integer nanoseconds).
+type LatencySummary struct {
+	Count int64         `json:"count"`
+	Mean  time.Duration `json:"mean_ns"`
+	P50   time.Duration `json:"p50_ns"`
+	P95   time.Duration `json:"p95_ns"`
+	P99   time.Duration `json:"p99_ns"`
+	P999  time.Duration `json:"p999_ns"`
+	Max   time.Duration `json:"max_ns"`
+}

@@ -1,4 +1,4 @@
-package serve
+package obs
 
 import (
 	"math/rand"

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// TraceJSON is the wire form of one retained trace at /debug/traces.
+type TraceJSON struct {
+	ID       string        `json:"id"`
+	Needle   int64         `json:"needle"`
+	Start    time.Time     `json:"start"`
+	DurNS    time.Duration `json:"dur_ns"`
+	Outcome  string        `json:"outcome"`
+	Err      string        `json:"err,omitempty"`
+	Replica  int           `json:"replica"`
+	Attempts int           `json:"attempts"`
+	RunSeq   int           `json:"run_seq"`
+	RunLabel string        `json:"run_label,omitempty"`
+	Spans    []SpanJSON    `json:"spans"`
+}
+
+// SpanJSON is one stage span, offsets in nanoseconds from trace start.
+type SpanJSON struct {
+	Stage string        `json:"stage"`
+	Start time.Duration `json:"start_ns"`
+	End   time.Duration `json:"end_ns"`
+}
+
+func traceJSON(tr *ReqTrace) TraceJSON {
+	out := TraceJSON{
+		ID:       tr.ID.String(),
+		Needle:   tr.Needle,
+		Start:    tr.Start,
+		DurNS:    tr.Dur(),
+		Outcome:  tr.Outcome.String(),
+		Err:      tr.Err,
+		Replica:  tr.Replica,
+		Attempts: tr.Attempts,
+		RunSeq:   tr.RunSeq,
+		RunLabel: tr.RunLabel,
+		Spans:    make([]SpanJSON, len(tr.Spans)),
+	}
+	for i, s := range tr.Spans {
+		out.Spans[i] = SpanJSON{Stage: s.Stage.String(), Start: s.Start, End: s.End}
+	}
+	return out
+}
+
+// DebugHandler serves the retained traces:
+//
+//	GET /debug/traces            → JSON list (newest first), ?outcome= filters
+//	GET /debug/traces?id=<hex>   → JSON for one trace
+//	GET /debug/traces?id=<hex>&format=text → human-readable span breakdown
+func (o *Observer) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		if idHex := r.URL.Query().Get("id"); idHex != "" {
+			o.serveOne(w, r, idHex)
+			return
+		}
+		outcome := r.URL.Query().Get("outcome")
+		traces := o.Traces()
+		list := make([]TraceJSON, 0, len(traces))
+		for _, tr := range traces {
+			if outcome != "" && tr.Outcome.String() != outcome {
+				continue
+			}
+			list = append(list, traceJSON(tr))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"count":     len(list),
+			"begun":     o.Begun(),
+			"abandoned": o.Abandoned(),
+			"traces":    list,
+		})
+	})
+}
+
+func (o *Observer) serveOne(w http.ResponseWriter, r *http.Request, idHex string) {
+	var id TraceID
+	tr := (*ReqTrace)(nil)
+	if parsed, err := ParseTraceparent("00-" + idHex + "-0000000000000001-01"); err == nil {
+		id = parsed
+		tr = o.Find(id)
+	}
+	if tr == nil {
+		http.Error(w, "trace not found", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, FormatTrace(tr))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(traceJSON(tr))
+}
+
+// FormatTrace renders one finished trace as a human-readable span table with
+// a proportional bar per stage — the single-trace debugging view.
+func FormatTrace(tr *ReqTrace) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  needle=%d  outcome=%s  dur=%v\n",
+		tr.ID, tr.Needle, tr.Outcome, tr.Dur())
+	fmt.Fprintf(&b, "  started %s  replica=%d  attempts=%d",
+		tr.Start.Format(time.RFC3339Nano), tr.Replica, tr.Attempts)
+	if tr.Err != "" {
+		fmt.Fprintf(&b, "  err=%q", tr.Err)
+	}
+	b.WriteByte('\n')
+	if tr.RunSeq != 0 {
+		fmt.Fprintf(&b, "  step-clock run: #%d %s\n", tr.RunSeq, tr.RunLabel)
+	}
+	total := tr.Dur()
+	const width = 40
+	for _, s := range tr.Spans {
+		bar := 0
+		if total > 0 {
+			bar = int(float64(s.Dur()) / float64(total) * width)
+		}
+		if bar > width {
+			bar = width
+		}
+		fmt.Fprintf(&b, "  %-16s %12v  [%+12v] %s\n",
+			s.Stage, s.Dur(), s.Start, strings.Repeat("#", bar))
+	}
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// debugDoc is the /debug/traces list document.
+type debugDoc struct {
+	Count     int         `json:"count"`
+	Begun     int64       `json:"begun"`
+	Abandoned int64       `json:"abandoned"`
+	Traces    []TraceJSON `json:"traces"`
+}
+
+func debugGet(t *testing.T, h http.Handler, url string) *httptest.ResponseRecorder {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, url, nil))
+	return rec
+}
+
+// TestDebugHandler drives the whole /debug/traces surface: list, outcome
+// filter, single-trace JSON, text view, misses, and the method guard.
+func TestDebugHandler(t *testing.T) {
+	o := New(Config{})
+	start := time.Now()
+	mesh := mk(o, 1, start, OutcomeMesh, []Stage{StageAdmit, StageMesh},
+		[]time.Duration{time.Microsecond, time.Millisecond})
+	fo := mk(o, 2, start, OutcomeFailover,
+		[]Stage{StageAdmit, StageMesh, StageFailover, StageMesh},
+		[]time.Duration{time.Microsecond, time.Millisecond, 200 * time.Microsecond, time.Millisecond})
+	fo.LinkRun(4, "serve round 4")
+	h := o.DebugHandler()
+
+	rec := debugGet(t, h, "/debug/traces")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("list: %d", rec.Code)
+	}
+	var doc debugDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("list: %v", err)
+	}
+	if doc.Count != 2 || len(doc.Traces) != 2 || doc.Begun != 2 {
+		t.Fatalf("list doc: %+v", doc)
+	}
+
+	rec = debugGet(t, h, "/debug/traces?outcome=failover")
+	var filtered debugDoc
+	if err := json.Unmarshal(rec.Body.Bytes(), &filtered); err != nil {
+		t.Fatal(err)
+	}
+	if filtered.Count != 1 || filtered.Traces[0].ID != fo.ID.String() {
+		t.Fatalf("outcome filter: %+v", filtered)
+	}
+	if filtered.Traces[0].RunSeq != 4 || filtered.Traces[0].RunLabel != "serve round 4" {
+		t.Errorf("failover trace lost its step-clock link: %+v", filtered.Traces[0])
+	}
+	var sum time.Duration
+	for _, s := range filtered.Traces[0].Spans {
+		sum += s.End - s.Start
+	}
+	if sum != filtered.Traces[0].DurNS {
+		t.Errorf("JSON spans sum to %s, dur_ns is %s", sum, filtered.Traces[0].DurNS)
+	}
+
+	rec = debugGet(t, h, "/debug/traces?id="+mesh.ID.String())
+	var one TraceJSON
+	if err := json.Unmarshal(rec.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.ID != mesh.ID.String() || one.Outcome != "mesh" {
+		t.Fatalf("single trace: %+v", one)
+	}
+
+	rec = debugGet(t, h, "/debug/traces?id="+fo.ID.String()+"&format=text")
+	text := rec.Body.String()
+	for _, want := range []string{"outcome=failover", "step-clock run: #4 serve round 4", "failover_hop", "#"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text view missing %q:\n%s", want, text)
+		}
+	}
+
+	if rec = debugGet(t, h, "/debug/traces?id="+NewTraceID().String()); rec.Code != http.StatusNotFound {
+		t.Errorf("unknown id: %d, want 404", rec.Code)
+	}
+	if rec = debugGet(t, h, "/debug/traces?id=nothex"); rec.Code != http.StatusNotFound {
+		t.Errorf("malformed id: %d, want 404", rec.Code)
+	}
+
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/traces", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Errorf("POST: %d, want 405", rec.Code)
+	}
+}
+
+// TestFormatTraceZeroDur: a trace whose spans all clamped to zero width must
+// not divide by zero or emit an over-wide bar.
+func TestFormatTraceZeroDur(t *testing.T) {
+	o := New(Config{})
+	start := time.Now()
+	tr := o.Begin(TraceID{}, 3, start)
+	tr.MarkAt(StageAdmit, start)
+	tr.MarkAt(StageMesh, start)
+	tr.MarkAt(StageDeliver, start)
+	tr.End = tr.Start
+	tr.Outcome = OutcomeMesh
+	out := FormatTrace(tr)
+	if !strings.Contains(out, "admit") || strings.Count(out, "#") > 0 {
+		t.Errorf("zero-duration trace render:\n%s", out)
+	}
+}

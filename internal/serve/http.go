@@ -7,6 +7,8 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // StatusClientClosedRequest is nginx's non-standard 499 "client closed
@@ -29,12 +31,41 @@ const StatusClientClosedRequest = 499
 //	GET /metrics        — serving counters (including the recovery ladder's),
 //	                      health state, per-round step-budget headroom, and,
 //	                      when a tracer is configured, its live span snapshot.
+//	                      ?format=prometheus switches to the Prometheus text
+//	                      exposition (stage histograms, outcome counters,
+//	                      outcome-split latency, breaker state, SLO burn).
+//	GET /debug/traces   — retained wall-clock request traces (requires
+//	                      Config.Obs; see obs.Observer.DebugHandler).
 func (s *Instance) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/search", s.handleSearch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.obs != nil {
+		mux.Handle("/debug/traces", s.obs.DebugHandler())
+	} else {
+		mux.HandleFunc("/debug/traces", func(w http.ResponseWriter, _ *http.Request) {
+			http.Error(w, "serve: request tracing disabled (Config.Obs is nil)", http.StatusNotFound)
+		})
+	}
 	return mux
+}
+
+// traceCtx threads an incoming W3C traceparent into the lookup context —
+// and mints a fresh trace ID when the request carries none (or a malformed
+// one, which the spec says to ignore) — so the Lookup-begun trace adopts the
+// wire ID and the response can echo it for client-side correlation.
+func (s *Instance) traceCtx(w http.ResponseWriter, r *http.Request) context.Context {
+	ctx := r.Context()
+	if s.obs == nil {
+		return ctx
+	}
+	id, err := obs.ParseTraceparent(r.Header.Get("traceparent"))
+	if err != nil {
+		id = obs.NewTraceID()
+	}
+	w.Header().Set("Traceparent", id.Traceparent())
+	return obs.ContextWithParent(ctx, id)
 }
 
 // retryAfterSeconds renders RetryAfterHint for 429/503 responses: at least
@@ -61,7 +92,7 @@ func (s *Instance) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "serve: /search needs an integer ?key=", http.StatusBadRequest)
 		return
 	}
-	res, err := s.Lookup(r.Context(), key)
+	res, err := s.Lookup(s.traceCtx(w, r), key)
 	switch {
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
@@ -116,7 +147,14 @@ func (s *Instance) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	_ = enc.Encode(doc)
 }
 
-func (s *Instance) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+func (s *Instance) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	// The Prometheus text exposition lives beside the JSON document, not in
+	// place of it: loadgen.HTTPTarget and the PR 4-7 tooling scrape the JSON
+	// shape, Prometheus scrapers ask for ?format=prometheus.
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.promMetrics(w)
+		return
+	}
 	st := s.Stats()
 	doc := map[string]any{
 		"serve":     st,
@@ -173,6 +211,68 @@ func (s *Instance) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	writeJSON(w, doc)
+}
+
+// promMetrics renders the instance's Prometheus text exposition. Counter
+// families mirror the JSON Stats; histograms are the combined and
+// outcome-split latency plus (with Config.Obs) the per-stage wall-clock
+// decomposition and SLO burn gauges.
+func (s *Instance) promMetrics(w http.ResponseWriter) {
+	st := s.Stats()
+	pw := obs.NewPromWriter()
+
+	pw.Counter("meshserve_lookups_total", "Lookups by admission outcome.", float64(st.Accepted), "result", "accepted")
+	pw.Counter("meshserve_lookups_total", "Lookups by admission outcome.", float64(st.Rejected), "result", "rejected")
+	pw.Counter("meshserve_answers_total", "Answered lookups by serving path.", float64(st.Served-st.Degraded), "path", "mesh")
+	pw.Counter("meshserve_answers_total", "Answered lookups by serving path.", float64(st.Degraded), "path", "oracle")
+	pw.Counter("meshserve_answers_total", "Answered lookups by serving path.", float64(st.Failed), "path", "error")
+	pw.Counter("meshserve_rounds_total", "Serving rounds by kind.", float64(st.Rounds-st.DegradedRounds), "kind", "mesh")
+	pw.Counter("meshserve_rounds_total", "Serving rounds by kind.", float64(st.DegradedRounds), "kind", "degraded")
+	pw.Counter("meshserve_rounds_total", "Serving rounds by kind.", float64(st.CanaryRounds), "kind", "canary")
+	pw.Counter("meshserve_sim_steps_total", "Simulated mesh steps across all rounds.", float64(st.SimSteps))
+	pw.Counter("meshserve_retries_total", "Audited re-executions of failed rounds.", float64(st.Retries))
+	pw.Counter("meshserve_recovered_rounds_total", "Rounds that failed, then succeeded on a retry.", float64(st.Recovered))
+	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsAudit), "class", "audit")
+	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsBudget), "class", "budget")
+	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsCanceled), "class", "canceled")
+	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsPanic), "class", "panic")
+	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsOther), "class", "other")
+	pw.Counter("meshserve_circuit_transitions_total", "Circuit breaker transitions.", float64(st.CircuitOpens), "to", "open")
+	pw.Counter("meshserve_circuit_transitions_total", "Circuit breaker transitions.", float64(st.CircuitCloses), "to", "closed")
+
+	// Breaker / health state as a one-hot gauge family plus a plain 0/1.
+	h := s.Health()
+	for _, state := range []Health{Healthy, Degraded, LameDuck} {
+		v := 0.0
+		if h == state {
+			v = 1
+		}
+		pw.Gauge("meshserve_health_state", "Current health state (one-hot).", v, "state", state.String())
+	}
+	pw.Gauge("meshserve_circuit_open", "1 while the circuit breaker is open.", boolGauge(s.circuitOpen.Load()))
+	pw.Gauge("meshserve_queue_depth", "Current admission-queue depth.", float64(s.QueueLen()))
+	pw.Gauge("meshserve_queue_capacity", "Admission-queue capacity.", float64(s.QueueCap()))
+
+	// End-to-end latency: combined for continuity, split by outcome so the
+	// oracle fast path cannot pollute the mesh-served p99.
+	lat := s.lat.Snapshot()
+	pw.Histogram("meshserve_request_duration_seconds", "Answered-lookup latency, admission to response.", lat, "outcome", "all")
+	pw.Histogram("meshserve_request_duration_seconds", "Answered-lookup latency, admission to response.", s.latMesh.Snapshot(), "outcome", "mesh")
+	pw.Histogram("meshserve_request_duration_seconds", "Answered-lookup latency, admission to response.", s.latDegraded.Snapshot(), "outcome", "degraded")
+
+	if s.obs != nil {
+		pw.WriteObserver("meshserve", s.obs)
+		pw.WriteLatencyBurn("meshserve", s.obs, lat)
+	}
+	w.Header().Set("Content-Type", obs.ContentType)
+	_, _ = w.Write(pw.Bytes())
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

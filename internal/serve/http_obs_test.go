@@ -1,0 +1,143 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/trace"
+)
+
+// TestTraceparentPropagationHTTP drives the instance's HTTP surface the way
+// loadgen.HTTPTarget does: a client-minted traceparent must be adopted as the
+// server-side trace ID, echoed in the response header, and the finished trace
+// must be retrievable at /debug/traces under that same ID.
+func TestTraceparentPropagationHTTP(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s := newTestServer(t, Config{Side: 8, Linger: 100 * time.Microsecond, Obs: o, Tracer: trace.New()})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	id := obs.NewTraceID()
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/search?key=7", nil)
+	req.Header.Set("Traceparent", id.Traceparent())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/search: %d", resp.StatusCode)
+	}
+	echoed, err := obs.ParseTraceparent(resp.Header.Get("Traceparent"))
+	if err != nil || echoed != id {
+		t.Fatalf("response traceparent %q does not echo the request ID %s (err %v)",
+			resp.Header.Get("Traceparent"), id, err)
+	}
+
+	dr, err := http.Get(srv.URL + "/debug/traces?id=" + id.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dr.Body.Close()
+	if dr.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/traces?id=: %d", dr.StatusCode)
+	}
+	var doc obs.TraceJSON
+	if err := json.NewDecoder(dr.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.ID != id.String() || doc.Needle != 7 || doc.Outcome != "mesh" {
+		t.Fatalf("retrieved trace: %+v", doc)
+	}
+	if len(doc.Spans) == 0 || doc.RunSeq <= 0 {
+		t.Fatalf("trace lacks spans or run link: %+v", doc)
+	}
+
+	// A malformed inbound header is ignored per spec: the server mints its
+	// own ID and still echoes a valid one.
+	req2, _ := http.NewRequest(http.MethodGet, srv.URL+"/search?key=9", nil)
+	req2.Header.Set("Traceparent", "garbage")
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if _, err := obs.ParseTraceparent(resp2.Header.Get("Traceparent")); err != nil {
+		t.Fatalf("malformed inbound header: response carries invalid traceparent %q",
+			resp2.Header.Get("Traceparent"))
+	}
+}
+
+// TestMetricsPrometheusFormat smoke-tests the text exposition next to the
+// JSON default: right content type, the core families present, histogram
+// series terminated by +Inf. (Full grammar validation lives in internal/obs
+// and the CI obs-smoke job.)
+func TestMetricsPrometheusFormat(t *testing.T) {
+	o := obs.New(obs.Config{})
+	s := newTestServer(t, Config{Side: 8, Linger: 100 * time.Microsecond, Obs: o, Tracer: trace.New()})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	if _, err := http.Get(srv.URL + "/search?key=7"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics?format=prometheus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != obs.ContentType {
+		t.Fatalf("content type %q, want %q", ct, obs.ContentType)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	for _, want := range []string{
+		"# TYPE meshserve_lookups_total counter",
+		`meshserve_lookups_total{result="accepted"} 1`,
+		"# TYPE meshserve_request_duration_seconds histogram",
+		`meshserve_request_duration_seconds_bucket{outcome="all",le="+Inf"} 1`,
+		`meshserve_stage_duration_seconds_bucket{stage="mesh_round",le="+Inf"} 1`,
+		`meshserve_requests_total{outcome="mesh"} 1`,
+		"meshserve_slo_latency_burn_rate",
+		`meshserve_health_state{state="healthy"} 1`,
+		"meshserve_queue_capacity",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	// The JSON document stays the default — remote scrapers predate the flag.
+	jr, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Body.Close()
+	if ct := jr.Header.Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("default /metrics content type %q, want JSON", ct)
+	}
+}
+
+// TestDebugTracesDisabled: without an Observer the endpoint exists but says
+// why it has nothing, rather than 404-ing into the void.
+func TestDebugTracesDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Side: 8})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || !strings.Contains(string(body), "tracing disabled") {
+		t.Fatalf("disabled /debug/traces: %d %q", resp.StatusCode, body)
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dict"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -27,6 +28,9 @@ func (s *Instance) serveBatch(batch []request) {
 	if int64(len(batch)) > s.peakBatch.Load() {
 		s.peakBatch.Store(int64(len(batch)))
 	}
+	// One clock read closes the linger span of the whole batch: dequeue →
+	// round start, including the wait in the one-slot pipeline channel.
+	s.markBatch(batch, obs.StageLinger)
 
 	if s.circuitOpen.Load() {
 		if s.canaryDue() {
@@ -55,7 +59,9 @@ func (s *Instance) serveBatch(batch []request) {
 		if attempt > 0 {
 			s.retries.Add(1)
 			s.m.SetAudit(true) // escalate strictness on every re-execution
-			if !s.backoff.Sleep(s.runCtx, attempt-1) {
+			ok := s.backoff.Sleep(s.runCtx, attempt-1)
+			s.markBatch(batch, obs.StageBackoff)
+			if !ok {
 				break // server context gone: no point re-executing
 			}
 		}
@@ -63,14 +69,23 @@ func (s *Instance) serveBatch(batch []request) {
 		if attempt > 0 {
 			tag = fmt.Sprintf("retry %d audited", attempt)
 		}
-		results, err := s.meshRound(fmt.Sprintf("serve round %d attempt %d", round, attempt), tag, queries)
+		results, h, err := s.meshRound(fmt.Sprintf("serve round %d attempt %d", round, attempt), tag, queries)
+		// Each attempt — failed ones included — closes its own mesh-round
+		// span, so a recovered batch's trace shows mesh/backoff/mesh/...
+		s.markBatch(batch, obs.StageMesh)
 		if err == nil {
 			if attempt > 0 {
 				s.recovered.Add(1)
 				s.m.SetAudit(s.cfg.Audit)
 			}
+			seq, label := h.Seq(), h.Label()
 			for i, r := range batch {
 				q := results[i]
+				if r.tr != nil {
+					// Cross-link before the resp send: delivery hands the
+					// trace back to the Lookup goroutine.
+					r.tr.LinkRun(seq, label)
+				}
 				r.resp <- response{res: Result{
 					Needle:  r.needle,
 					Found:   dict.Member(q),
@@ -115,11 +130,16 @@ func (s *Instance) failBatch(batch []request, err error) {
 // meshRound executes one mesh attempt: reset the step clock (per-attempt
 // budget, fresh traced run — tagged when the attempt is a retry or canary),
 // load the queries against the resident tree, and run Algorithm 2 inside
-// the core.Run containment boundary.
-func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Query, error) {
+// the core.Run containment boundary. The returned trace.Handle names this
+// attempt's step-clock run (inert when no tracer is installed): tagging goes
+// through it — keyed to the run, not "most recently attached", which was a
+// cross-goroutine race when concurrent instances shared one Tracer — and the
+// observability layer embeds its Seq/Label in the request traces it links.
+func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Query, trace.Handle, error) {
 	s.m.ResetSteps()
-	if s.cfg.Tracer != nil && tag != "" {
-		s.cfg.Tracer.TagRun(tag)
+	h, _ := trace.HandleFor(s.m.TraceRun())
+	if tag != "" {
+		h.Tag(tag)
 	}
 	err := core.Run(label, func() error {
 		v := s.m.Root()
@@ -130,9 +150,27 @@ func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Qu
 	})
 	s.simSteps.Add(s.m.Steps())
 	if err != nil {
-		return nil, err
+		return nil, h, err
 	}
-	return s.in.ResultQueries(), nil
+	return s.in.ResultQueries(), h, nil
+}
+
+// markBatch closes one stage span on every traced request of the batch with
+// a single clock read, so all of a round's traces agree on where the batch
+// boundary fell. No-op (no clock read) when observability is off.
+func (s *Instance) markBatch(batch []request, stage obs.Stage) {
+	if s.obs == nil {
+		return
+	}
+	now := time.Now()
+	for _, r := range batch {
+		if r.tr != nil {
+			r.tr.MarkAt(stage, now)
+			if stage == obs.StageMesh {
+				r.tr.Attempts++
+			}
+		}
+	}
 }
 
 // degradeBatch answers every query of the batch from the host-side
@@ -141,6 +179,12 @@ func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Qu
 func (s *Instance) degradeBatch(batch []request, round int64) {
 	for _, r := range batch {
 		leaf, found, path := s.bt.HostLookup(r.needle)
+		if r.tr != nil {
+			// Per-request, before the resp send (which hands the trace back
+			// to the Lookup goroutine): the oracle span covers this
+			// request's share of the host-side sweep.
+			r.tr.Mark(obs.StageOracle)
+		}
 		r.resp <- response{res: Result{
 			Needle:   r.needle,
 			Found:    found,
@@ -211,7 +255,7 @@ func (s *Instance) runCanary() {
 		queries[i].State[0] = k
 	}
 	s.m.SetAudit(true)
-	results, err := s.meshRound(fmt.Sprintf("canary %d", s.canaryRounds.Load()), "canary", queries)
+	results, _, err := s.meshRound(fmt.Sprintf("canary %d", s.canaryRounds.Load()), "canary", queries)
 	s.m.SetAudit(s.cfg.Audit)
 	ok := err == nil
 	if ok {

@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dict"
 	"repro/internal/mesh"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -125,6 +126,15 @@ type Config struct {
 	// audited, oracle-checked canary round (0 defaults to 50ms; negative
 	// disables canaries — the circuit then only closes by hand, for tests).
 	CanaryInterval time.Duration
+
+	// Obs installs the wall-clock observability layer (DESIGN.md §3.9):
+	// every Lookup gets a per-stage traced ReqTrace, stage histograms feed
+	// the Prometheus exposition, and completed traces are retained for
+	// /debug/traces. Nil (the default) disables all of it at the cost of one
+	// pointer check per stage boundary — the mesh.Tracer/Injector pattern.
+	// An instance inside a fleet shares the fleet's Observer, so its stage
+	// marks land on the trace the fleet began.
+	Obs *obs.Observer
 }
 
 // Result is the answer to one lookup.
@@ -173,11 +183,22 @@ type Stats struct {
 	// response, mesh-served and degraded alike) so /metrics exposes serving
 	// percentiles without any per-query allocation on the hot path.
 	Latency LatencySummary `json:"latency"`
+	// LatencyMesh / LatencyDegraded split the answered-lookup latency by
+	// outcome, so the oracle fast path (no simulated round) cannot pollute
+	// the mesh-served p99 or vice versa. Latency stays as the combined view
+	// for continuity with PR 6 dashboards.
+	LatencyMesh     LatencySummary `json:"latency_mesh"`
+	LatencyDegraded LatencySummary `json:"latency_degraded"`
 }
 
 type request struct {
 	needle int64
 	resp   chan response
+	// tr is the request's wall-clock trace (nil when observability is off).
+	// Ownership moves with the request along the pipeline's channel handoffs
+	// — Lookup → queue → collector → batches → executor → resp → Lookup —
+	// so stage marks need no locks.
+	tr *obs.ReqTrace
 }
 
 type response struct {
@@ -210,6 +231,9 @@ type Instance struct {
 	rounds, simSteps                   atomic.Int64
 	lastBatch, peakBatch               atomic.Int64
 	lat                                Histogram // answered-lookup latency, admission → response
+	latMesh                            Histogram // mesh-answered subset
+	latDegraded                        Histogram // oracle-answered subset
+	obs                                *obs.Observer
 
 	// Recovery state (DESIGN.md §3.6). maxRetries/backoff/canaryEvery are
 	// the resolved Config knobs; brk and lastCanary are owned by the
@@ -326,6 +350,7 @@ func New(cfg Config) (*Instance, error) {
 		canaryEvery: canaryEvery,
 		brk:         newBreaker(window, threshold),
 		nudge:       make(chan struct{}, 1),
+		obs:         cfg.Obs,
 	}
 	s.in = core.NewInstance(m, bt.G, nil, dict.Successor)
 	// The injector goes in only after the dictionary is resident: a fault
@@ -397,11 +422,32 @@ func (s *Instance) RetryAfterHint() time.Duration {
 // queue is full, ErrClosed after Shutdown).
 func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 	start := time.Now()
-	req := request{needle: needle, resp: make(chan response, 1)}
+	// Observability (nil s.obs skips everything, even the ctx lookups): the
+	// trace either arrives on ctx — the fleet began it and will finish it —
+	// or is begun here, in which case this call finishes it ("creator
+	// finalizes": exactly one goroutine may seal a trace).
+	var tr *obs.ReqTrace
+	created := false
+	if s.obs != nil {
+		if tr = obs.FromContext(ctx); tr == nil {
+			tr = s.obs.Begin(obs.ParentFromContext(ctx), needle, start)
+			created = true
+		}
+	}
+	req := request{needle: needle, resp: make(chan response, 1), tr: tr}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
+		if created {
+			s.obs.Finish(tr, obs.OutcomeClosed, ErrClosed)
+		}
 		return Result{}, ErrClosed
+	}
+	// The admit mark must land before the queue send: once the request is
+	// enqueued the collector owns the trace, and a mark from this goroutine
+	// would race the collector's queue-wait mark.
+	if tr != nil {
+		tr.Mark(obs.StageAdmit)
 	}
 	// Non-blocking admission under the read lock: Shutdown takes the write
 	// lock before closing the queue, so this send cannot race the close.
@@ -412,6 +458,9 @@ func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 	default:
 		s.mu.RUnlock()
 		s.rejected.Add(1)
+		if created {
+			s.obs.Finish(tr, obs.OutcomeRejected, ErrOverloaded)
+		}
 		return Result{}, ErrOverloaded
 	}
 	select {
@@ -419,18 +468,55 @@ func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 		// Latency is admission → response, mesh-served and degraded alike;
 		// rejected and abandoned lookups never reach a round, so they do
 		// not pollute the serving histogram.
-		s.lat.Observe(time.Since(start))
+		e2e := time.Since(start)
+		s.lat.Observe(e2e)
+		if r.err == nil {
+			if r.res.Degraded {
+				s.latDegraded.Observe(e2e)
+			} else {
+				s.latMesh.Observe(e2e)
+			}
+		}
+		if created {
+			s.obs.Finish(tr, lookupOutcome(r), r.err)
+		}
 		return r.res, r.err
 	case <-ctx.Done():
 		// The round still answers into the buffered resp channel; the
-		// abandoned reply is garbage-collected with it.
+		// abandoned reply is garbage-collected with it. The trace stays with
+		// the request — the executor may still be marking stages into it —
+		// so it is counted abandoned, never finished or retained.
+		if created {
+			s.obs.Abandon(tr)
+		}
 		return Result{}, ctx.Err()
+	}
+}
+
+// lookupOutcome classifies a delivered response for the trace record.
+func lookupOutcome(r response) obs.Outcome {
+	switch {
+	case r.err != nil:
+		return obs.OutcomeError
+	case r.res.Degraded:
+		return obs.OutcomeDegraded
+	default:
+		return obs.OutcomeMesh
 	}
 }
 
 // LatencySnapshot exposes the raw latency histogram (the load generator and
 // tests compute their own quantiles; /metrics uses the Stats summary).
 func (s *Instance) LatencySnapshot() HistSnapshot { return s.lat.Snapshot() }
+
+// LatencyByOutcome exposes the outcome-split latency histograms (mesh- vs
+// oracle-answered), for the Prometheus exposition and the fleet aggregator.
+func (s *Instance) LatencyByOutcome() (mesh, degraded HistSnapshot) {
+	return s.latMesh.Snapshot(), s.latDegraded.Snapshot()
+}
+
+// Observer exposes the installed observability hub (nil when disabled).
+func (s *Instance) Observer() *obs.Observer { return s.obs }
 
 // collect is the admission stage: it blocks for a round's first query, then
 // fills the batch until MaxBatch or the linger deadline, and hands it to the
@@ -443,6 +529,9 @@ func (s *Instance) collect() {
 		if !ok {
 			return
 		}
+		if first.tr != nil {
+			first.tr.Mark(obs.StageQueue)
+		}
 		batch := append(make([]request, 0, s.maxBatch), first)
 		if s.cfg.Linger > 0 {
 			timer := time.NewTimer(s.cfg.Linger)
@@ -452,6 +541,9 @@ func (s *Instance) collect() {
 				case r, ok := <-s.queue:
 					if !ok {
 						break fill
+					}
+					if r.tr != nil {
+						r.tr.Mark(obs.StageQueue)
 					}
 					batch = append(batch, r)
 				case <-timer.C:
@@ -466,6 +558,9 @@ func (s *Instance) collect() {
 				case r, ok := <-s.queue:
 					if !ok {
 						break greedy
+					}
+					if r.tr != nil {
+						r.tr.Mark(obs.StageQueue)
 					}
 					batch = append(batch, r)
 				default:
@@ -572,7 +667,9 @@ func (s *Instance) Stats() Stats {
 		FaultsCanceled: s.faults[core.FaultCanceled].Load(),
 		FaultsPanic:    s.faults[core.FaultPanic].Load(),
 		FaultsOther:    s.faults[core.FaultOther].Load(),
-		Health:         s.Health().String(),
-		Latency:        s.lat.Snapshot().Summary(),
+		Health:          s.Health().String(),
+		Latency:         s.lat.Snapshot().Summary(),
+		LatencyMesh:     s.latMesh.Snapshot().Summary(),
+		LatencyDegraded: s.latDegraded.Snapshot().Summary(),
 	}
 }

@@ -51,6 +51,13 @@ type Run struct {
 	Spans []*Node
 	End   int64
 
+	// Seq is the run's stable 1-based attach sequence number (the "#n" in
+	// the default label). It never changes after Attach, so it survives the
+	// retain ring and is safe to embed in external records — the wall-clock
+	// request traces of internal/obs cross-link their mesh-round spans to
+	// step-clock runs by Seq.
+	Seq int
+
 	root *chain
 }
 
@@ -85,17 +92,62 @@ func (t *Tracer) SetPrefix(p string) {
 	t.prefix = p
 }
 
-// TagRun appends " [tag]" to the label of the most recently attached run.
-// The serving layer tags its non-standard rounds — retry re-executions,
-// canary probes — right after the per-round ResetSteps, so retained runs
-// (and the live snapshot's open-span path, which is prefixed by the run
-// label) say which rung of the recovery ladder produced them.
-func (t *Tracer) TagRun(tag string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.lastRun != nil {
-		t.lastRun.Label += " [" + tag + "]"
+// Handle names one specific Run for post-attach mutation. The old TagRun
+// tagged "the most recently attached run", which is a data race against
+// meaning (not memory) under concurrency: when a canary round on one
+// goroutine and a retry round on another attach back-to-back, the tag lands
+// on whichever run attached last, not the caller's. A Handle is keyed to the
+// run it was minted from, so concurrent taggers cannot cross.
+//
+// The zero Handle is valid and inert: every method is a no-op (or zero
+// value), matching the nil-Tracer discipline of the rest of the seam.
+type Handle struct {
+	t   *Tracer
+	run *Run
+}
+
+// HandleFor resolves the Run behind a mesh.TraceContext — the value
+// Mesh.TraceRun returns right after New/ResetSteps. ok is false (and the
+// handle inert) when tc is nil or not from this package's Tracer.
+func HandleFor(tc mesh.TraceContext) (Handle, bool) {
+	c, ok := tc.(*chain)
+	if !ok || c == nil {
+		return Handle{}, false
 	}
+	return Handle{t: c.t, run: c.run}, true
+}
+
+// Tag appends " [tag]" to the handled run's label. The serving layer tags
+// its non-standard rounds — retry re-executions, canary probes — right after
+// the per-round ResetSteps, so retained runs (and the live snapshot's
+// open-span path, which is prefixed by the run label) say which rung of the
+// recovery ladder produced them.
+func (h Handle) Tag(tag string) {
+	if h.run == nil {
+		return
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	h.run.Label += " [" + tag + "]"
+}
+
+// Label returns the handled run's current label ("" for the zero Handle).
+func (h Handle) Label() string {
+	if h.run == nil {
+		return ""
+	}
+	h.t.mu.Lock()
+	defer h.t.mu.Unlock()
+	return h.run.Label
+}
+
+// Seq returns the handled run's stable sequence number (0 for the zero
+// Handle — real sequence numbers start at 1).
+func (h Handle) Seq() int {
+	if h.run == nil {
+		return 0
+	}
+	return h.run.Seq
 }
 
 // SetRetain bounds the number of retained runs to n (0 restores the default:
@@ -132,11 +184,12 @@ func (t *Tracer) trimLocked() {
 func (t *Tracer) Attach(g mesh.Geometry) mesh.TraceContext {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	label := fmt.Sprintf("run#%d %dx%d", t.base+len(t.runs)+1, g.Side, g.Side)
+	seq := t.base + len(t.runs) + 1
+	label := fmt.Sprintf("run#%d %dx%d", seq, g.Side, g.Side)
 	if t.prefix != "" {
 		label = t.prefix + " " + label
 	}
-	r := &Run{Label: label, Geom: g}
+	r := &Run{Label: label, Geom: g, Seq: seq}
 	r.root = &chain{t: t, run: r}
 	t.runs = append(t.runs, r)
 	t.lastRun = r

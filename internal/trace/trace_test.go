@@ -3,7 +3,9 @@ package trace
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/mesh"
@@ -168,9 +170,10 @@ func TestResetStepsStartsFreshRun(t *testing.T) {
 	}
 }
 
-// TagRun must label the most recently attached run — the serving layer's
-// marker for retry and canary rounds — and survive a following reset.
-func TestTagRunLabelsCurrentRun(t *testing.T) {
+// A Handle obtained from the mesh's current run must tag that run and only
+// that run — the serving layer's marker for retry and canary rounds — and
+// survive a following reset.
+func TestHandleTagsItsOwnRun(t *testing.T) {
 	tr := New()
 	m := mesh.New(8, mesh.WithTracer(tr))
 	v := m.Root()
@@ -179,12 +182,17 @@ func TestTagRunLabelsCurrentRun(t *testing.T) {
 		v.Charge(2)
 	}()
 	m.ResetSteps()
-	tr.TagRun("retry 1 audited")
+	h, ok := HandleFor(m.TraceRun())
+	if !ok {
+		t.Fatal("HandleFor failed on a traced mesh")
+	}
+	h.Tag("retry 1 audited")
 	v = m.Root()
 	func() {
 		defer Span(v, "round")()
 		v.Charge(2)
 	}()
+	m.ResetSteps() // a later attach must not steal the tag target
 	runs := tr.Runs()
 	if len(runs) != 2 {
 		t.Fatalf("got %d runs, want 2", len(runs))
@@ -194,6 +202,75 @@ func TestTagRunLabelsCurrentRun(t *testing.T) {
 	}
 	if !strings.Contains(runs[1].Label, "[retry 1 audited]") {
 		t.Fatalf("tag missing from the tagged run: %q", runs[1].Label)
+	}
+	if h.Seq() != 2 || runs[1].Seq != 2 {
+		t.Fatalf("handle seq %d / run seq %d, want 2", h.Seq(), runs[1].Seq)
+	}
+	if h.Label() != runs[1].Label {
+		t.Fatalf("handle label %q != run label %q", h.Label(), runs[1].Label)
+	}
+}
+
+// The zero Handle (no tracer installed) must be inert, and HandleFor must
+// reject foreign contexts.
+func TestHandleZeroValueInert(t *testing.T) {
+	var h Handle
+	h.Tag("ignored") // must not panic
+	if h.Seq() != 0 || h.Label() != "" {
+		t.Fatalf("zero handle leaked state: seq=%d label=%q", h.Seq(), h.Label())
+	}
+	if _, ok := HandleFor(nil); ok {
+		t.Fatal("HandleFor(nil) succeeded")
+	}
+}
+
+// The race the Handle API exists to kill: two goroutines tagging the runs of
+// two meshes that share one Tracer, interleaved with fresh attaches. Under
+// the old most-recently-attached heuristic the tags land on whichever run
+// attached last (and -race flags the label append); with handles each tag
+// must land on its own goroutine's run. Run with -race.
+func TestHandleTagConcurrentRuns(t *testing.T) {
+	tr := New()
+	const rounds = 50
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			m := mesh.New(8, mesh.WithTracer(tr))
+			for i := 0; i < rounds; i++ {
+				m.ResetSteps()
+				h, ok := HandleFor(m.TraceRun())
+				if !ok {
+					t.Error("HandleFor failed")
+					return
+				}
+				tag := fmt.Sprintf("g%d-%d", g, i)
+				h.Tag(tag)
+				v := m.Root()
+				func() {
+					defer Span(v, "round")()
+					v.Charge(1)
+				}()
+				if lbl := h.Label(); !strings.Contains(lbl, "["+tag+"]") {
+					t.Errorf("tag %q landed elsewhere: run label %q", tag, lbl)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Every tagged run retained exactly its own tag.
+	tagged := 0
+	for _, r := range tr.Runs() {
+		if n := strings.Count(r.Label, "["); n > 1 {
+			t.Fatalf("run %q carries %d tags, want ≤1", r.Label, n)
+		} else if n == 1 {
+			tagged++
+		}
+	}
+	if tagged != 2*rounds {
+		t.Fatalf("%d tagged runs retained, want %d", tagged, 2*rounds)
 	}
 }
 
