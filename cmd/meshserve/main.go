@@ -50,6 +50,19 @@
 //	meshserve -workload poisson -rate 300 -target http://127.0.0.1:8845
 //	meshserve -workload poisson -rate 200 -saturate -sweep-replicas 1,2,4 \
 //	    -policy all -bench-out BENCH_PR7.json
+//
+// Every query family of the paper is servable as a typed kind (-kinds,
+// DESIGN.md §3.10): membership, pointloc, interval, linepoly, tangent. Serve
+// mode loads each requested kind's structure onto the shared mesh and /search
+// gains a kind= parameter (membership stays the default, so v1 clients keep
+// working); the workload harness draws each arrival's kind from the weighted
+// mix and checks every answer against that kind's own host oracle
+// (EXPERIMENTS.md E25):
+//
+//	meshserve -side 16 -kinds membership,pointloc,interval
+//	curl 'localhost:8845/search?kind=pointloc&x=12&y=7'
+//	meshserve -workload poisson -rate 400 -side 16 \
+//	    -kinds membership:0.6,pointloc:0.3,interval:0.1 -bench-out BENCH_PR9.json
 package main
 
 import (
@@ -101,6 +114,7 @@ func main() {
 	obsOn := flag.Bool("obs", true, "request tracing + per-stage wall-clock metrics (internal/obs; /debug/traces, Prometheus /metrics?format=prometheus)")
 	obsRing := flag.Int("obs-ring", 256, "retained-trace ring size for /debug/traces (-obs)")
 	obsLog := flag.Bool("obs-log", false, "log interesting trace completions (slow/degraded/failover/error) to stderr (-obs)")
+	kindsFlag := flag.String("kinds", "", "query-kind mix served and generated: \"membership:0.6,pointloc:0.3,interval:0.1\" or \"membership,pointloc\" (empty = membership only; see DESIGN.md §3.10)")
 
 	replicas := flag.Int("replicas", 1, "fleet size: run this many instances behind a router (see DESIGN.md §3.8)")
 	policy := flag.String("policy", "round-robin", "fleet routing policy: round-robin | least-loaded | health-weighted (or 'all' with -sweep-replicas)")
@@ -138,8 +152,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// The kind mix configures both ends: the serve layer loads the mix's
+	// structures, the workload harness draws arrivals from its weights.
+	mix, err := parseKindsFlag(*kindsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+		os.Exit(2)
+	}
+
 	cfg := serve.Config{
 		Side:           *side,
+		Kinds:          mix.Kinds(),
 		Linger:         *linger,
 		Budget:         int64(*budget),
 		MaxBatch:       *maxBatch,
@@ -185,6 +208,12 @@ func main() {
 	// burn gauges measure the same targets the saturation search enforces.
 	if *obsOn {
 		oc := obs.Config{Ring: *obsRing, SLOP99: *sloP99, SLOMaxDegraded: *sloDegraded}
+		// Under a kind mix the stage histograms split per kind (the class
+		// index is the kind value); without one the observer keeps its v1
+		// single-class shape so /metrics output is byte-compatible.
+		if *kindsFlag != "" {
+			oc.Classes = serve.KindNames()
+		}
 		if *obsLog {
 			oc.Logger = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelInfo}))
 		}
@@ -195,8 +224,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshserve: -loadgen (closed-loop sweep) and -workload (open-loop harness) are mutually exclusive")
 		os.Exit(2)
 	}
-	if *replicas < 1 || *replicas > 64 {
-		fmt.Fprintf(os.Stderr, "meshserve: -replicas must be in [1, 64], got %d\n", *replicas)
+	if *replicas < 1 || *replicas > fleet.MaxReplicas {
+		fmt.Fprintf(os.Stderr, "meshserve: -replicas must be in [1, %d], got %d\n", fleet.MaxReplicas, *replicas)
+		os.Exit(2)
+	}
+	if *loadgen && *kindsFlag != "" {
+		fmt.Fprintln(os.Stderr, "meshserve: -loadgen is the membership-only closed-loop sweep; use -workload for kind mixes")
 		os.Exit(2)
 	}
 	if *policy == "all" {
@@ -235,6 +268,7 @@ func main() {
 			mode: *workload, rate: *rate, dur: *workloadDur, window: *window,
 			on: *burstOn, off: *burstOff, zipf: *zipf, seed: *seed,
 			deadline: *queryDeadline, maxInFl: *maxInflight,
+			kinds: *kindsFlag, mix: mix,
 			traceOut: *traceOut, traceIn: *traceIn, benchOut: *benchOut,
 			saturate: *saturate, sloP99: *sloP99, sloDegraded: *sloDegraded,
 			sloRejected: *sloRejected, satBisect: *satBisect, satMax: *satMax,
@@ -315,8 +349,8 @@ func runServeFleet(fc fleet.Config, addr string, drain time.Duration, chaos flee
 	httpSrv := &http.Server{Addr: addr, Handler: f.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "meshserve: fleet of %d %dx%d meshes (%s routing), %d keys, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
-		f.Replicas(), fc.Instance.Side, fc.Instance.Side, fc.Policy.Name(), len(f.Tree().Keys), addr)
+	fmt.Fprintf(os.Stderr, "meshserve: fleet of %d %dx%d meshes (%s routing), %d keys, kinds %s, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
+		f.Replicas(), fc.Instance.Side, fc.Instance.Side, fc.Policy.Name(), len(f.Tree().Keys), kindNamesOf(f.Kinds()), addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -365,8 +399,8 @@ func runServe(cfg serve.Config, addr string, drain time.Duration, injector *faul
 	httpSrv := &http.Server{Addr: addr, Handler: s.Handler()}
 	httpErr := make(chan error, 1)
 	go func() { httpErr <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "meshserve: %dx%d mesh, %d keys, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
-		cfg.Side, cfg.Side, len(s.Tree().Keys), addr)
+	fmt.Fprintf(os.Stderr, "meshserve: %dx%d mesh, %d keys, kinds %s, serving on %s (/search /healthz /metrics; SIGINT drains)\n",
+		cfg.Side, cfg.Side, len(s.Tree().Keys), kindNamesOf(s.Kinds()), addr)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -522,6 +556,15 @@ func lookupWithDeadline(ctx context.Context, s *serve.Server, needle int64, dead
 	qctx, cancel := context.WithTimeout(ctx, deadline)
 	defer cancel()
 	return s.Lookup(qctx, needle)
+}
+
+// kindNamesOf renders a served-kind list for banners.
+func kindNamesOf(kinds []serve.Kind) string {
+	names := make([]string, len(kinds))
+	for i, k := range kinds {
+		names[i] = k.String()
+	}
+	return strings.Join(names, ",")
 }
 
 func parseCounts(s string) ([]int, error) {

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/fleet"
@@ -31,6 +32,12 @@ type workloadFlags struct {
 	deadline time.Duration
 	maxInFl  int
 	trace    bool // -obs: propagate traceparent to remote targets, sample stage means
+
+	// Query-kind mix (-kinds, DESIGN.md §3.10): the raw spec for trace
+	// headers and bench docs, and the parsed mix the generator draws from.
+	// A nil mix means membership only (the pre-kind behaviour).
+	kinds string
+	mix   *loadgen.KindMix
 
 	traceOut string
 	traceIn  string
@@ -70,6 +77,14 @@ type wlTarget struct {
 	stages   func() obs.StageSnapshot // nil when the target has no observer
 	contains func(int64) bool
 	close    func()
+
+	// Kind-typed seams: dispatch, the needle→typed-arguments mapping the
+	// generator uses, and the per-kind host-oracle answer check. lookupKind
+	// is nil for a single in-process instance (the runner then calls
+	// Server.LookupKind directly).
+	lookupKind func(ctx context.Context, kind serve.Kind, args serve.Args) (serve.Result, error)
+	argsFor    func(serve.Kind, int64) serve.Args
+	check      func(serve.Kind, serve.Args, serve.Result) bool
 }
 
 // newTarget builds the workload target from the flag set. forceFleet makes
@@ -86,13 +101,16 @@ func newTarget(cfg serve.Config, f workloadFlags, replicas int, policyName strin
 	if err != nil {
 		return nil, err
 	}
+	ss := s.Structures()
 	t := &wlTarget{
-		desc: fmt.Sprintf("%dx%d mesh (%s model), %d keys",
-			cfg.Side, cfg.Side, cfg.Model, len(s.Tree().Keys)),
+		desc: fmt.Sprintf("%dx%d mesh (%s model), %d keys, kinds %s",
+			cfg.Side, cfg.Side, cfg.Model, len(s.Tree().Keys), kindNamesOf(s.Kinds())),
 		side:     cfg.Side,
 		keys:     len(s.Tree().Keys),
 		server:   s,
 		contains: s.Tree().Contains,
+		argsFor:  loadgen.StructureArgs(ss),
+		check:    loadgen.StructureChecker(ss),
 		close: func() {
 			ctx, cancel := context30s()
 			defer cancel()
@@ -130,8 +148,14 @@ func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName 
 			res, err := fl.Lookup(ctx, needle)
 			return res.Result, err
 		},
+		lookupKind: func(ctx context.Context, kind serve.Kind, args serve.Args) (serve.Result, error) {
+			res, err := fl.LookupKind(ctx, kind, args)
+			return res.Result, err
+		},
 		stats:    func() serve.Stats { return fl.Stats().Agg },
 		contains: fl.Tree().Contains,
+		argsFor:  loadgen.StructureArgs(fl.Structures()),
+		check:    loadgen.StructureChecker(fl.Structures()),
 		close: func() {
 			stopChaos()
 			ctx, cancel := context30s()
@@ -160,17 +184,53 @@ func newRemoteTarget(f workloadFlags) (*wlTarget, error) {
 	if err != nil {
 		return nil, fmt.Errorf("probing %s: %w", f.target, err)
 	}
+	// Structures are a deterministic function of (side, keys), so every
+	// kind's oracle — not just membership — is rebuildable host-side without
+	// shipping state over the wire. A remote serving kinds outside the mix
+	// is fine; a remote NOT serving a mixed-in kind answers 400 and the run
+	// fails visibly on the failed-query bar.
+	ss, err := serve.BuildStructures(side, defaultKeySet(keys), 2, 3, f.kindMix().Kinds())
+	if err != nil {
+		return nil, fmt.Errorf("rebuilding the host oracle for %s: %w", f.target, err)
+	}
 	return &wlTarget{
-		desc:   fmt.Sprintf("remote %s (%dx%d mesh, %d keys)", t.Base, side, side, keys),
-		side:   side,
-		keys:   keys,
-		lookup: t.Lookup,
-		stats:  t.Stats,
+		desc:       fmt.Sprintf("remote %s (%dx%d mesh, %d keys)", t.Base, side, side, keys),
+		side:       side,
+		keys:       keys,
+		lookup:     t.Lookup,
+		lookupKind: t.LookupKind,
+		stats:      t.Stats,
 		contains: func(needle int64) bool {
 			return needle >= 1 && needle < int64(2*keys) && needle%2 == 1
 		},
-		close: func() {},
+		argsFor: loadgen.StructureArgs(ss),
+		check:   loadgen.StructureChecker(ss),
+		close:   func() {},
 	}, nil
+}
+
+// defaultKeySet is the key set meshserve always serves: the first k odd
+// integers 1, 3, …, 2k−1.
+func defaultKeySet(k int) []int64 {
+	keys := make([]int64, k)
+	for i := range keys {
+		keys[i] = int64(2*i + 1)
+	}
+	return keys
+}
+
+// kindMix is f.mix with the nil default applied (membership only).
+func (f workloadFlags) kindMix() *loadgen.KindMix {
+	if f.mix == nil {
+		return loadgen.SingleKind(serve.KindMembership)
+	}
+	return f.mix
+}
+
+// parseKindsFlag parses -kinds. (It lives here rather than in main.go so the
+// loadgen package name does not collide with main's -loadgen flag variable.)
+func parseKindsFlag(spec string) (*loadgen.KindMix, error) {
+	return loadgen.ParseKindMix(spec)
 }
 
 // runConfig assembles the loadgen run config for this target.
@@ -178,6 +238,7 @@ func (t *wlTarget) runConfig(events []loadgen.TraceEvent, f workloadFlags) loadg
 	return loadgen.Config{
 		Server:      t.server,
 		Lookup:      t.lookup,
+		LookupKind:  t.lookupKind,
 		Stats:       t.stats,
 		Stages:      t.stages,
 		Events:      events,
@@ -185,6 +246,7 @@ func (t *wlTarget) runConfig(events []loadgen.TraceEvent, f workloadFlags) loadg
 		Deadline:    f.deadline,
 		MaxInFlight: f.maxInFl,
 		Contains:    t.contains,
+		Check:       t.check,
 	}
 }
 
@@ -202,7 +264,7 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		return err
 	}
 	defer t.close()
-	fmt.Printf("meshserve workload: %s arrivals, %s, window %s\n", f.mode, t.desc, f.window)
+	fmt.Printf("meshserve workload: %s arrivals%s, %s, window %s\n", f.mode, mixBanner(f), t.desc, f.window)
 
 	if f.saturate {
 		if f.mode == "replay" {
@@ -241,12 +303,16 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 			return fmt.Errorf("trace was recorded against a %dx%d mesh with %d keys; this target is %dx%d with %d",
 				header.Side, header.Side, header.Keys, t.side, t.side, t.keys)
 		}
+		if header.Kinds != "" && f.kinds == "" {
+			return fmt.Errorf("trace was recorded with a kind mix (%s); rerun with -kinds %q so the target serves those kinds",
+				header.Kinds, header.Kinds)
+		}
 		recorded = rec
 		events = loadgen.StripAnswers(rec)
 		fmt.Printf("replaying %d arrivals recorded from a %s workload (seed %d)\n",
 			len(events), header.Workload, header.Seed)
 	case "poisson", "burst":
-		events, err = generateEvents(f, t.keys)
+		events, err = generateEvents(f, t)
 		if err != nil {
 			return err
 		}
@@ -284,7 +350,7 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 		if err != nil {
 			return err
 		}
-		header := loadgen.TraceHeader{Workload: f.mode, Side: t.side, Keys: t.keys, Seed: f.seed}
+		header := loadgen.TraceHeader{Workload: f.mode, Side: t.side, Keys: t.keys, Seed: f.seed, Kinds: mixSpec(f)}
 		werr := loadgen.WriteTrace(fh, header, events)
 		if cerr := fh.Close(); werr == nil {
 			werr = cerr
@@ -302,8 +368,11 @@ func runWorkload(cfg serve.Config, f workloadFlags) error {
 	return nil
 }
 
-// generateEvents materializes the arrival plan from the flag set.
-func generateEvents(f workloadFlags, nKeys int) ([]loadgen.TraceEvent, error) {
+// generateEvents materializes the arrival plan from the flag set: each
+// arrival draws its kind from the mix and its needle from the popularity
+// draw, and the target's own argument mapping turns the pair into typed
+// query arguments.
+func generateEvents(f workloadFlags, t *wlTarget) ([]loadgen.TraceEvent, error) {
 	sched, err := loadgen.ParseSchedule(f.rate, f.dur)
 	if err != nil {
 		return nil, err
@@ -320,11 +389,11 @@ func generateEvents(f workloadFlags, nKeys int) ([]loadgen.TraceEvent, error) {
 	if err != nil {
 		return nil, err
 	}
-	keys, err := keyDraw(f, nKeys)
+	keys, err := keyDraw(f, t.keys)
 	if err != nil {
 		return nil, err
 	}
-	return loadgen.Generate(arr, keys, 0)
+	return loadgen.GenerateMix(arr, keys, f.kindMix(), t.argsFor, f.seed, 0)
 }
 
 func keyDraw(f workloadFlags, nKeys int) (loadgen.KeyDraw, error) {
@@ -354,7 +423,7 @@ func runSaturation(t *wlTarget, f workloadFlags) (*loadgen.KneeReport, error) {
 		pf.rate = fmt.Sprintf("%g", rate)
 		pf.dur = f.probeDur
 		pf.seed = f.seed + int64(probeIdx) // decorrelate probes, still deterministic
-		events, err := generateEvents(pf, t.keys)
+		events, err := generateEvents(pf, t)
 		if err != nil {
 			return nil, err
 		}
@@ -443,6 +512,24 @@ func runSweep(cfg serve.Config, f workloadFlags) error {
 	return nil
 }
 
+// mixSpec is the canonical (normalized-weight) rendering of the -kinds flag,
+// or "" when the workload is membership only — the form recorded in trace
+// headers and bench docs.
+func mixSpec(f workloadFlags) string {
+	if f.kinds == "" {
+		return ""
+	}
+	return f.kindMix().String()
+}
+
+// mixBanner is the ", kind mix …" fragment of the workload banner.
+func mixBanner(f workloadFlags) string {
+	if f.kinds == "" {
+		return ""
+	}
+	return fmt.Sprintf(" (kind mix %s)", f.kindMix().String())
+}
+
 // firstScheduleRate extracts the saturation search's starting rate from the
 // -rate spec (its first phase's rate).
 func firstScheduleRate(f workloadFlags) (float64, error) {
@@ -474,6 +561,16 @@ func printReport(rep *loadgen.Report) {
 		row(w.Start.Round(time.Millisecond).String(), w)
 	}
 	row("total", rep.Total)
+	if len(rep.Kinds) > 1 {
+		names := make([]string, 0, len(rep.Kinds))
+		for name := range rep.Kinds {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			row("·"+name, *rep.Kinds[name])
+		}
+	}
 	fmt.Printf("answered %d/%d offered in %s (answer digest %.16s…)\n",
 		rep.Total.Answered, rep.Total.Offered, rep.Wall.Round(time.Millisecond), rep.Digest)
 	printStageBreakdown(rep)
@@ -508,6 +605,7 @@ type benchDoc struct {
 	Side       int                 `json:"side"`
 	RateSpec   string              `json:"rate_spec"`
 	Zipf       float64             `json:"zipf_s,omitempty"`
+	Kinds      string              `json:"kinds,omitempty"`
 	Seed       int64               `json:"seed"`
 	Window     string              `json:"window"`
 	Target     string              `json:"target,omitempty"`
@@ -528,6 +626,7 @@ func writeBench(path string, cfg serve.Config, f workloadFlags, t *wlTarget, rep
 		Side:     cfg.Side,
 		RateSpec: f.rate,
 		Zipf:     f.zipf,
+		Kinds:    mixSpec(f),
 		Seed:     f.seed,
 		Window:   f.window.String(),
 		Target:   f.target,
@@ -536,6 +635,10 @@ func writeBench(path string, cfg serve.Config, f workloadFlags, t *wlTarget, rep
 	if f.replicas > 1 || f.target != "" || sweep != nil {
 		doc.PR = 7
 		doc.Title = "Replicated fleet capacity & failover (E23)"
+	}
+	if f.kinds != "" {
+		doc.PR = 9
+		doc.Title = "Typed query-kind serving (E25)"
 	}
 	if kr != nil {
 		doc.Saturation = kr

@@ -42,6 +42,26 @@ import (
 // replica exists and the fleet has no oracle rung to absorb the lookup.
 var ErrNoReplica = errors.New("fleet: no routable replica")
 
+// MaxReplicas is the routing limit: the dispatch loop tracks which replicas
+// a lookup has already tried in a single 64-bit word, so replica indices
+// must fit in one word's bit positions.
+const MaxReplicas = 64
+
+// ReplicaLimitError is the typed construction error for a Config whose
+// Replicas exceeds MaxReplicas. It is a distinct type (not a wrapped
+// sentinel) so callers building fleets from external configuration can
+// errors.As it and clamp rather than string-match — previously the
+// constructor formatted an anonymous error, and one configuration path
+// skipped the check entirely, letting a 65-replica fleet silently alias
+// replica 64's tried-bit onto replica 0.
+type ReplicaLimitError struct {
+	Replicas int // the rejected replica count
+}
+
+func (e *ReplicaLimitError) Error() string {
+	return fmt.Sprintf("fleet: at most %d replicas (failover tracks tried replicas in one word), got %d", MaxReplicas, e.Replicas)
+}
+
 // Config configures a Fleet.
 type Config struct {
 	// Replicas is the instance count (default 1; at most 64 — the dispatch
@@ -103,7 +123,8 @@ type Fleet struct {
 	cfg          Config
 	policy       Policy
 	maxFailovers int
-	bt           *dict.BTree // fleet-level oracle over the shared key set
+	ss           *serve.StructureSet // fleet-level oracle structures, one per kind
+	bt           *dict.BTree         // the membership structure's tree (Tree accessor)
 	reps         []*replica
 
 	mu     sync.RWMutex // guards closed against Lookup and restarts
@@ -123,6 +144,10 @@ type Fleet struct {
 	latFailover    serve.Histogram // answered by a non-first pick
 	latOracle      serve.Histogram // answered by the fleet oracle rung
 	obs            *obs.Observer
+
+	kindServed [serve.NumKinds]atomic.Int64 // answered lookups per query kind
+	kindOracle [serve.NumKinds]atomic.Int64 // fleet-oracle answers per query kind
+	kindLat    [serve.NumKinds]serve.Histogram
 }
 
 // New builds Replicas instances from the template and starts routing.
@@ -132,8 +157,8 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Replicas <= 0 {
 		cfg.Replicas = 1
 	}
-	if cfg.Replicas > 64 {
-		return nil, fmt.Errorf("fleet: at most 64 replicas, got %d", cfg.Replicas)
+	if cfg.Replicas > MaxReplicas {
+		return nil, &ReplicaLimitError{Replicas: cfg.Replicas}
 	}
 	f := &Fleet{cfg: cfg, policy: cfg.Policy, obs: cfg.Obs}
 	if f.policy == nil {
@@ -158,7 +183,12 @@ func New(cfg Config) (*Fleet, error) {
 		}
 		f.reps[i] = &replica{idx: i, inst: inst}
 	}
-	f.bt = f.reps[0].inst.Tree()
+	// The oracle rung holds replica 0's host-side structures — one per
+	// enabled kind. They are immutable data built from the shared key set
+	// (every replica builds identical structures), so retaining them is safe
+	// even across that replica's later crashes.
+	f.ss = f.reps[0].inst.Structures()
+	f.bt = f.ss.Membership()
 	return f, nil
 }
 
@@ -188,6 +218,12 @@ func (f *Fleet) Observer() *obs.Observer { return f.obs }
 
 // Tree exposes the fleet oracle's dictionary (tests, load generators).
 func (f *Fleet) Tree() *dict.BTree { return f.bt }
+
+// Structures exposes the fleet oracle's per-kind structure set.
+func (f *Fleet) Structures() *serve.StructureSet { return f.ss }
+
+// Kinds reports the query kinds every replica serves.
+func (f *Fleet) Kinds() []serve.Kind { return f.ss.Kinds() }
 
 // Replicas reports the configured replica count.
 func (f *Fleet) Replicas() int { return len(f.reps) }
@@ -239,15 +275,27 @@ func (f *Fleet) views() []ReplicaView {
 	return out
 }
 
-// Lookup dispatches one membership query: the policy picks a replica, and a
-// pick that fails — overload, crash, typed round fault, open circuit — is
-// re-dispatched to the next-preferred replica before the fleet falls back
-// to its host oracle. Client-context expiry is returned as-is (the client
-// is gone; rerouting would answer nobody). When every routable replica
-// rejected with overload the fleet reports ErrOverloaded: that is
-// backpressure, not failure, and the caller should back off.
+// Lookup dispatches one membership query — LookupKind with the membership
+// kind, kept for pre-kind callers.
 func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
+	return f.LookupKind(ctx, serve.KindMembership, serve.Args{needle})
+}
+
+// LookupKind dispatches one query of the given kind: the policy picks a
+// replica, and a pick that fails — overload, crash, typed round fault, open
+// circuit — is re-dispatched to the next-preferred replica before the fleet
+// falls back to that kind's host oracle. Client-context expiry is returned
+// as-is (the client is gone; rerouting would answer nobody). When every
+// routable replica rejected with overload the fleet reports ErrOverloaded:
+// that is backpressure, not failure, and the caller should back off.
+func (f *Fleet) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args) (Result, error) {
 	start := time.Now()
+	if kind >= serve.NumKinds || f.ss.Get(kind) == nil {
+		// Replicas are built from one template, so a kind missing here is
+		// missing everywhere: fail fast instead of burning failover attempts
+		// on replicas guaranteed to reject it.
+		return Result{}, serve.ErrKindNotServed
+	}
 	f.mu.RLock()
 	if f.closed {
 		f.mu.RUnlock()
@@ -264,7 +312,7 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 	created := false
 	if f.obs != nil {
 		if tr = obs.FromContext(ctx); tr == nil {
-			tr = f.obs.Begin(obs.ParentFromContext(ctx), needle, start)
+			tr = f.obs.BeginClass(int(kind), obs.ParentFromContext(ctx), args[0], start)
 			created = true
 		}
 		ctx = obs.NewContext(ctx, tr)
@@ -297,7 +345,7 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 			overloadedOnly = false
 			continue
 		}
-		res, err := inst.Lookup(ctx, needle)
+		res, err := inst.LookupKind(ctx, kind, args)
 		if err == nil {
 			failedOver := idx != firstIdx
 			if failedOver {
@@ -305,6 +353,8 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 			}
 			e2e := time.Since(start)
 			f.lat.Observe(e2e)
+			f.kindServed[kind].Add(1)
+			f.kindLat[kind].Observe(e2e)
 			if failedOver {
 				f.latFailover.Observe(e2e)
 			}
@@ -359,12 +409,16 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		return Result{}, lastErr
 	}
 	// Oracle rung: no replica could answer (all crashed, draining, or
-	// faulting). Correct, Degraded-flagged, unaccounted in mesh steps.
-	leaf, found, path := f.bt.HostLookup(needle)
+	// faulting). The kind's host-side structure descends its own search
+	// graph — correct, Degraded-flagged, unaccounted in mesh steps.
+	ans := serve.HostAnswer(f.ss.Get(kind), args)
 	f.oracleServed.Add(1)
+	f.kindServed[kind].Add(1)
+	f.kindOracle[kind].Add(1)
 	e2e := time.Since(start)
 	f.lat.Observe(e2e)
 	f.latOracle.Observe(e2e)
+	f.kindLat[kind].Observe(e2e)
 	if tr != nil {
 		tr.Mark(obs.StageOracle)
 		tr.Replica = -1
@@ -373,7 +427,16 @@ func (f *Fleet) Lookup(ctx context.Context, needle int64) (Result, error) {
 		f.obs.Finish(tr, obs.OutcomeOracle, nil)
 	}
 	return Result{
-		Result:  serve.Result{Needle: needle, Found: found, LeafKey: leaf, Steps: path, Degraded: true},
+		Result: serve.Result{
+			Kind:     kind,
+			Needle:   args[0],
+			Found:    ans.Found,
+			LeafKey:  ans.Value,
+			Value:    ans.Value,
+			Aux:      ans.Aux,
+			Steps:    ans.Steps,
+			Degraded: true,
+		},
 		Replica: -1,
 	}, nil
 }
@@ -624,6 +687,17 @@ type Stats struct {
 
 	Agg        serve.Stats    `json:"agg"`
 	PerReplica []ReplicaStats `json:"per_replica"`
+	ByKind     []KindRouting  `json:"by_kind,omitempty"`
+}
+
+// KindRouting is one query kind's routing row in the fleet snapshot:
+// answered lookups of that kind (any rung), how many fell through to the
+// fleet oracle, and the kind's dispatch-to-answer latency.
+type KindRouting struct {
+	Kind         string               `json:"kind"`
+	Served       int64                `json:"served"`
+	OracleServed int64                `json:"oracle_served"`
+	Latency      serve.LatencySummary `json:"latency"`
 }
 
 // Stats snapshots the fleet: routing and failover counters, per-replica
@@ -674,5 +748,13 @@ func (f *Fleet) Stats() Stats {
 	}
 	st.Agg.Health = st.Health
 	st.Agg.Latency = st.Latency
+	for _, k := range f.ss.Kinds() {
+		st.ByKind = append(st.ByKind, KindRouting{
+			Kind:         k.String(),
+			Served:       f.kindServed[k].Load(),
+			OracleServed: f.kindOracle[k].Load(),
+			Latency:      f.kindLat[k].Snapshot().Summary(),
+		})
+	}
 	return st
 }

@@ -64,13 +64,22 @@ func (f *Fleet) traceCtx(w http.ResponseWriter, r *http.Request) context.Context
 }
 
 func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
-	key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
+	q := r.URL.Query()
+	kind, err := serve.ParseKind(q.Get("kind"))
 	if err != nil {
-		http.Error(w, "fleet: /search needs an integer ?key=", http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := f.Lookup(f.traceCtx(w, r), key)
+	args, err := serve.ParseSearchArgs(kind, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := f.LookupKind(f.traceCtx(w, r), kind, args)
 	switch {
+	case errors.Is(err, serve.ErrKindNotServed):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	case errors.Is(err, serve.ErrOverloaded):
 		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -132,6 +141,7 @@ func (f *Fleet) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		"keys":      len(f.bt.Keys),
 		"max_batch": f.MaxBatch(),
 	}
+	doc["kinds"] = st.ByKind
 	if st.Dispatched > 0 {
 		doc["failover_fraction"] = float64(st.FailoverServed) / float64(st.Dispatched)
 		doc["oracle_fraction"] = float64(st.OracleServed) / float64(st.Dispatched)
@@ -173,6 +183,16 @@ func (f *Fleet) promMetrics(w http.ResponseWriter) {
 		crashes := rep.crashes
 		rep.mu.RUnlock()
 		pw.Counter("meshfleet_replica_crashes_total", "Crashes of this replica slot.", float64(crashes), "replica", idx)
+	}
+
+	// Per-kind routing: lookups of each query family, how many fell through
+	// to the fleet oracle, and the kind's dispatch latency.
+	for _, kr := range st.ByKind {
+		pw.Counter("meshfleet_kind_served_total", "Answered lookups by query kind.", float64(kr.Served), "kind", kr.Kind)
+		pw.Counter("meshfleet_kind_oracle_total", "Fleet-oracle answers by query kind.", float64(kr.OracleServed), "kind", kr.Kind)
+	}
+	for _, k := range f.ss.Kinds() {
+		pw.Histogram("meshfleet_kind_request_duration_seconds", "Dispatch-to-answer latency by query kind.", f.kindLat[k].Snapshot(), "kind", k.String())
 	}
 
 	// Fleet-level dispatch latency, combined + by rung.

@@ -44,12 +44,52 @@ func NewHTTPTarget(base string) *HTTPTarget {
 	}
 }
 
-// Lookup fires one /search query. Statuses map back to the serve-layer
-// errors the harness classifies on: 429 → ErrOverloaded (rejected), 503 →
-// ErrClosed, 2xx → the decoded Result. Context expiry surfaces as the
-// context's own error so deadline accounting matches in-process runs.
+// Lookup fires one membership /search query — LookupKind with the
+// membership kind, kept for pre-kind callers.
 func (t *HTTPTarget) Lookup(ctx context.Context, needle int64) (serve.Result, error) {
-	url := t.Base + "/search?key=" + strconv.FormatInt(needle, 10)
+	return t.LookupKind(ctx, serve.KindMembership, serve.Args{needle})
+}
+
+// searchURL renders the kind-typed /search URL: the per-kind parameter
+// names mirror serve.ParseSearchArgs, and membership keeps the bare
+// ?key= shape so a v1 server can still be driven.
+func searchURL(base string, kind serve.Kind, args serve.Args) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString("/search?")
+	if kind != serve.KindMembership {
+		b.WriteString("kind=")
+		b.WriteString(kind.String())
+		b.WriteByte('&')
+	}
+	params := kindQueryParams[kind]
+	for i, name := range params {
+		if i > 0 {
+			b.WriteByte('&')
+		}
+		b.WriteString(name)
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatInt(args[i], 10))
+	}
+	return b.String()
+}
+
+// kindQueryParams mirrors the serve handler's per-kind parameter names.
+var kindQueryParams = [serve.NumKinds][]string{
+	serve.KindMembership: {"key"},
+	serve.KindPointLoc:   {"x", "y"},
+	serve.KindInterval:   {"lo", "hi"},
+	serve.KindLinePoly:   {"x", "y"},
+	serve.KindTangent:    {"dx", "dy", "dz"},
+}
+
+// LookupKind fires one typed /search query. Statuses map back to the
+// serve-layer errors the harness classifies on: 429 → ErrOverloaded
+// (rejected), 503 → ErrClosed, 2xx → the decoded Result. Context expiry
+// surfaces as the context's own error so deadline accounting matches
+// in-process runs.
+func (t *HTTPTarget) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args) (serve.Result, error) {
+	url := searchURL(t.Base, kind, args)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		return serve.Result{}, err

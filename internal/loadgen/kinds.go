@@ -1,0 +1,173 @@
+package loadgen
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// KindMix is a weighted distribution over query kinds — the workload knob
+// that turns the single-family generator into a mixed-workload one. Weights
+// are normalized at parse time, so "membership:3,pointloc:1" and
+// "membership:0.75,pointloc:0.25" describe the same mix.
+type KindMix struct {
+	kinds []serve.Kind
+	cum   []float64 // normalized cumulative weights, cum[len-1] == 1
+}
+
+// ParseKindMix parses a mix spec: comma-separated kind:weight pairs
+// ("membership:0.6,pointloc:0.3,interval:0.1"), a bare kind name
+// ("pointloc" — weight 1), or the empty string (membership only). Kind
+// names accept the same aliases as /search?kind=.
+func ParseKindMix(spec string) (*KindMix, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return SingleKind(serve.KindMembership), nil
+	}
+	var kinds []serve.Kind
+	var weights []float64
+	seen := map[serve.Kind]bool{}
+	for _, part := range strings.Split(spec, ",") {
+		name, wstr, hasW := strings.Cut(strings.TrimSpace(part), ":")
+		k, err := serve.ParseKind(strings.TrimSpace(name))
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: kind mix %q: %w", spec, err)
+		}
+		w := 1.0
+		if hasW {
+			w, err = strconv.ParseFloat(strings.TrimSpace(wstr), 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("loadgen: kind mix %q: weight for %s must be a positive number", spec, k)
+			}
+		}
+		if seen[k] {
+			return nil, fmt.Errorf("loadgen: kind mix %q: kind %s appears twice", spec, k)
+		}
+		seen[k] = true
+		kinds = append(kinds, k)
+		weights = append(weights, w)
+	}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	m := &KindMix{kinds: kinds, cum: make([]float64, len(weights))}
+	acc := 0.0
+	for i, w := range weights {
+		acc += w / sum
+		m.cum[i] = acc
+	}
+	m.cum[len(m.cum)-1] = 1 // absorb rounding
+	return m, nil
+}
+
+// SingleKind is the degenerate mix: every draw returns k.
+func SingleKind(k serve.Kind) *KindMix {
+	return &KindMix{kinds: []serve.Kind{k}, cum: []float64{1}}
+}
+
+// Kinds lists the kinds in the mix, in spec order.
+func (m *KindMix) Kinds() []serve.Kind { return m.kinds }
+
+// Draw samples one kind.
+func (m *KindMix) Draw(rng *rand.Rand) serve.Kind {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.kinds) {
+		i = len(m.kinds) - 1
+	}
+	return m.kinds[i]
+}
+
+// String renders the mix in parseable form.
+func (m *KindMix) String() string {
+	var b strings.Builder
+	prev := 0.0
+	for i, k := range m.kinds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s:%.3g", k, m.cum[i]-prev)
+		prev = m.cum[i]
+	}
+	return b.String()
+}
+
+// StructureArgs maps the popularity draw's scalar to kind-typed query
+// arguments via the structure set's own deterministic mapping — the same
+// needle always yields the same point/window/direction, so record/replay
+// stays a pure function of the event slice.
+func StructureArgs(ss *serve.StructureSet) func(serve.Kind, int64) serve.Args {
+	return func(k serve.Kind, needle int64) serve.Args {
+		if st := ss.Get(k); st != nil {
+			return st.ArgsFor(needle)
+		}
+		return serve.Args{needle}
+	}
+}
+
+// StructureChecker builds the per-kind answer check from the host-side
+// structure set: an answer matches when Found and Value agree with the
+// kind's host oracle descent (the same descent the serving degrade rung
+// uses, so mesh, degraded, and fleet-oracle answers are all held to one
+// reference). Kinds absent from the set pass vacuously — the target would
+// have rejected them with ErrKindNotServed before answering.
+func StructureChecker(ss *serve.StructureSet) func(serve.Kind, serve.Args, serve.Result) bool {
+	return func(k serve.Kind, args serve.Args, res serve.Result) bool {
+		st := ss.Get(k)
+		if st == nil {
+			return true
+		}
+		want := serve.HostAnswer(st, args)
+		return res.Found == want.Found && res.Value == want.Value
+	}
+}
+
+// GenerateMix materializes a mixed-kind arrival plan: each arrival draws a
+// kind from the mix and a needle from the popularity draw, and argsFor maps
+// the pair to typed arguments (nil argsFor is allowed for membership-only
+// mixes). seed drives the kind draw so the plan is reproducible.
+func GenerateMix(a *Arrivals, k KeyDraw, mix *KindMix, argsFor func(serve.Kind, int64) serve.Args, seed int64, max int) ([]TraceEvent, error) {
+	if mix == nil {
+		mix = SingleKind(serve.KindMembership)
+	}
+	if argsFor == nil {
+		for _, kind := range mix.kinds {
+			if kind != serve.KindMembership {
+				return nil, fmt.Errorf("loadgen: kind mix includes %s but no argsFor mapping was given", kind)
+			}
+		}
+		argsFor = func(_ serve.Kind, needle int64) serve.Args { return serve.Args{needle} }
+	}
+	if max <= 0 {
+		max = 2_000_000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var events []TraceEvent
+	for {
+		at, ok := a.Next()
+		if !ok {
+			break
+		}
+		if len(events) >= max {
+			return nil, fmt.Errorf("loadgen: schedule generates more than %d arrivals; lower the rate or raise the cap", max)
+		}
+		kind := mix.Draw(rng)
+		needle := k.Draw()
+		events = append(events, TraceEvent{
+			I:      len(events),
+			AtNS:   int64(at),
+			Kind:   kind,
+			Needle: needle,
+			Args:   argsFor(kind, needle),
+		})
+	}
+	if len(events) == 0 {
+		return nil, fmt.Errorf("loadgen: schedule produced no arrivals")
+	}
+	return events, nil
+}

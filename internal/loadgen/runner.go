@@ -13,11 +13,12 @@ import (
 	"repro/internal/serve"
 )
 
-// Generate materializes an arrival plan: every arrival the process emits,
-// paired with a needle from the popularity draw. The result is the unit of
-// record/replay — a run is a pure function of its event slice, so replaying
-// the slice reproduces the answer stream. max bounds the plan size (a rate
-// schedule is user input; a typo must not OOM the harness).
+// Generate materializes a membership-only arrival plan: every arrival the
+// process emits, paired with a needle from the popularity draw. The result
+// is the unit of record/replay — a run is a pure function of its event
+// slice, so replaying the slice reproduces the answer stream. max bounds the
+// plan size (a rate schedule is user input; a typo must not OOM the
+// harness). Mixed-kind plans come from GenerateMix.
 func Generate(a *Arrivals, k KeyDraw, max int) ([]TraceEvent, error) {
 	if max <= 0 {
 		max = 2_000_000
@@ -31,7 +32,8 @@ func Generate(a *Arrivals, k KeyDraw, max int) ([]TraceEvent, error) {
 		if len(events) >= max {
 			return nil, fmt.Errorf("loadgen: schedule generates more than %d arrivals; lower the rate or raise the cap", max)
 		}
-		events = append(events, TraceEvent{I: len(events), AtNS: int64(at), Needle: k.Draw()})
+		needle := k.Draw()
+		events = append(events, TraceEvent{I: len(events), AtNS: int64(at), Needle: needle, Args: serve.Args{needle}})
 	}
 	if len(events) == 0 {
 		return nil, fmt.Errorf("loadgen: schedule produced no arrivals")
@@ -44,9 +46,13 @@ type Config struct {
 	// Server is the in-process target, already serving. Optional when
 	// Lookup is set instead.
 	Server *serve.Server
-	// Lookup is the pluggable target seam: one query against whatever is
-	// being driven — an in-process instance, a fleet, or a remote server
-	// over HTTP (HTTPTarget). Ignored when Server is set.
+	// LookupKind is the pluggable target seam: one typed query against
+	// whatever is being driven — an in-process instance, a fleet, or a
+	// remote server over HTTP (HTTPTarget). Ignored when Server is set.
+	LookupKind func(ctx context.Context, kind serve.Kind, args serve.Args) (serve.Result, error)
+	// Lookup is the membership-only seam kept for pre-kind targets; a plan
+	// containing any other kind needs LookupKind (or Server). Ignored when
+	// Server or LookupKind is set.
 	Lookup func(ctx context.Context, needle int64) (serve.Result, error)
 	// Stats samples the target's serving counters at window boundaries for
 	// the per-window sim-steps gauge. Optional with Lookup (a remote target
@@ -69,7 +75,12 @@ type Config struct {
 	// decomposes its latency by lifecycle stage — queue wait vs linger vs
 	// mesh vs backoff vs failover. Optional; nil leaves the breakdown empty.
 	Stages func() obs.StageSnapshot
-	// Contains is the host oracle for answer checking; nil disables checks.
+	// Check is the per-kind answer check (true = the answer matches the
+	// host oracle); StructureChecker builds one from a serve.StructureSet.
+	// Nil falls back to Contains for membership events.
+	Check func(kind serve.Kind, args serve.Args, res serve.Result) bool
+	// Contains is the membership-only host oracle kept for pre-kind
+	// callers; nil (with nil Check) disables checks.
 	Contains func(int64) bool
 }
 
@@ -88,6 +99,16 @@ const (
 	outcomeShed            // shed client-side at MaxInFlight
 	outcomeFailed          // any other error (round fault, deadline)
 )
+
+// outcomeNames are the wire names recorded on v2 trace events and folded
+// into the answer digest.
+var outcomeNames = [...]string{
+	outcomeOK:       "ok",
+	outcomeDegraded: "degraded",
+	outcomeRejected: "rejected",
+	outcomeShed:     "shed",
+	outcomeFailed:   "failed",
+}
 
 // WindowStats aggregates one reporting window (and, for Total, the whole
 // run). Quantiles come from the shared fixed-boundary histogram
@@ -130,30 +151,50 @@ type WindowStats struct {
 type Report struct {
 	Windows []WindowStats `json:"windows"`
 	Total   WindowStats   `json:"total"`
-	// Digest is a SHA-256 over the answered events in arrival order
-	// (needle, membership, leaf, path length): two runs with identical
-	// digests produced identical answer streams.
+	// Kinds aggregates the whole run per query kind — the split the mixed-
+	// workload SLO clauses evaluate, so one slow or wrong family cannot
+	// hide inside the combined totals.
+	Kinds map[string]*WindowStats `json:"kinds,omitempty"`
+	// Digest is a v2 SHA-256 over every event in arrival order — kind,
+	// typed arguments, outcome, and the answer (found, leaf, value, aux,
+	// steps). Folding the outcome in means two runs that produced the same
+	// answers by different paths (mesh vs degraded, rejected vs shed) no
+	// longer hash identically, which the pre-v2 answers-only digest
+	// silently allowed.
 	Digest string        `json:"answer_digest"`
 	Wall   time.Duration `json:"wall_ns"`
 }
 
 func (cfg Config) check() error {
-	if cfg.Server == nil && cfg.Lookup == nil {
-		return fmt.Errorf("loadgen: Config needs a target (Server or Lookup)")
+	if cfg.Server == nil && cfg.LookupKind == nil && cfg.Lookup == nil {
+		return fmt.Errorf("loadgen: Config needs a target (Server, LookupKind, or Lookup)")
 	}
 	if len(cfg.Events) == 0 {
 		return fmt.Errorf("loadgen: no events to run")
 	}
+	if cfg.Server == nil && cfg.LookupKind == nil {
+		for i := range cfg.Events {
+			if cfg.Events[i].Kind != serve.KindMembership {
+				return fmt.Errorf("loadgen: event %d is kind %s but the target only supports membership (set LookupKind)",
+					i, cfg.Events[i].Kind)
+			}
+		}
+	}
 	return nil
 }
 
-// target resolves the pluggable seam: the lookup function and a stats
-// sampler (zero-valued when the target exposes none — per-window sim-steps
-// then report 0, everything else still works).
-func (cfg Config) target() (func(context.Context, int64) (serve.Result, error), func() serve.Stats) {
-	lookup, stats := cfg.Lookup, cfg.Stats
+// target resolves the pluggable seam: the kind-typed lookup function and a
+// stats sampler (zero-valued when the target exposes none — per-window
+// sim-steps then report 0, everything else still works).
+func (cfg Config) target() (func(context.Context, serve.Kind, serve.Args) (serve.Result, error), func() serve.Stats) {
+	lookup, stats := cfg.LookupKind, cfg.Stats
 	if cfg.Server != nil {
-		lookup, stats = cfg.Server.Lookup, cfg.Server.Stats
+		lookup, stats = cfg.Server.LookupKind, cfg.Server.Stats
+	} else if lookup == nil {
+		plain := cfg.Lookup
+		lookup = func(ctx context.Context, _ serve.Kind, args serve.Args) (serve.Result, error) {
+			return plain(ctx, args[0])
+		}
 	}
 	if stats == nil {
 		stats = func() serve.Stats { return serve.Stats{} }
@@ -239,8 +280,14 @@ func Run(cfg Config) (*Report, error) {
 			defer func() { <-sem }()
 			qctx, cancel := context.WithTimeout(context.Background(), deadline)
 			defer cancel()
+			args := ev.Args
+			if ev.Kind == serve.KindMembership {
+				// The needle is canonical for membership — hand-built and v1
+				// event slices carry it without the typed-args mirror.
+				args = serve.Args{ev.Needle}
+			}
 			qstart := time.Now()
-			res, err := lookup(qctx, ev.Needle)
+			res, err := lookup(qctx, ev.Kind, args)
 			o.latNS = time.Since(qstart).Nanoseconds()
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
@@ -248,11 +295,14 @@ func Run(cfg Config) (*Report, error) {
 			case err != nil:
 				o.status = outcomeFailed
 			default:
-				ev.OK, ev.Found, ev.Leaf, ev.Steps = true, res.Found, res.LeafKey, res.Steps
+				ev.OK, ev.Found, ev.Steps = true, res.Found, res.Steps
+				ev.Leaf, ev.Value, ev.Aux = res.LeafKey, res.Value, res.Aux
 				o.pathLen = res.Steps
-				if cfg.Contains != nil &&
-					(res.Found != cfg.Contains(ev.Needle) || (res.Found && res.LeafKey != ev.Needle)) {
-					o.mismatch = true
+				switch {
+				case cfg.Check != nil:
+					o.mismatch = !cfg.Check(ev.Kind, args, res)
+				case cfg.Contains != nil && ev.Kind == serve.KindMembership:
+					o.mismatch = res.Found != cfg.Contains(ev.Needle) || (res.Found && res.LeafKey != ev.Needle)
 				}
 				if res.Degraded {
 					o.status = outcomeDegraded
@@ -281,40 +331,61 @@ func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats,
 	var total WindowStats
 	var totalPath int64
 	winPath := make([]int64, numWindows)
+	kinds := make(map[string]*WindowStats)
+	kindHists := make(map[string]*serve.Histogram)
+	kindPath := make(map[string]int64)
 	for i := range events {
-		w := int(time.Duration(events[i].AtNS) / window)
+		ev := &events[i]
+		w := int(time.Duration(ev.AtNS) / window)
 		ws := &wins[w]
 		o := &outcomes[i]
+		ev.Outcome = outcomeNames[o.status]
+		kname := ev.Kind.String()
+		ks := kinds[kname]
+		if ks == nil {
+			ks = &WindowStats{}
+			kinds[kname] = ks
+			kindHists[kname] = &serve.Histogram{}
+		}
 		ws.Offered++
 		total.Offered++
+		ks.Offered++
 		switch o.status {
 		case outcomeOK, outcomeDegraded:
 			ws.Answered++
 			total.Answered++
+			ks.Answered++
 			if o.status == outcomeDegraded {
 				ws.Degraded++
 				total.Degraded++
+				ks.Degraded++
 			}
 			if hists[w] == nil {
 				hists[w] = &serve.Histogram{}
 			}
 			hists[w].Observe(time.Duration(o.latNS))
 			totalHist.Observe(time.Duration(o.latNS))
+			kindHists[kname].Observe(time.Duration(o.latNS))
 			winPath[w] += int64(o.pathLen)
 			totalPath += int64(o.pathLen)
+			kindPath[kname] += int64(o.pathLen)
 		case outcomeRejected:
 			ws.Rejected++
 			total.Rejected++
+			ks.Rejected++
 		case outcomeShed:
 			ws.Shed++
 			total.Shed++
+			ks.Shed++
 		case outcomeFailed:
 			ws.Failed++
 			total.Failed++
+			ks.Failed++
 		}
 		if o.mismatch {
 			ws.Mismatched++
 			total.Mismatched++
+			ks.Mismatched++
 		}
 	}
 
@@ -367,7 +438,18 @@ func buildReport(events []TraceEvent, outcomes []outcome, samples []serve.Stats,
 		total.StageNS = stageBreakdown(stageSamples[0], stageSamples[len(stageSamples)-1], total.Answered)
 	}
 
-	return &Report{Windows: wins, Total: total, Digest: Digest(events), Wall: wall}
+	// Per-kind run aggregates: offered-rate shares use the full run's wall
+	// clock (a kind's arrivals spread over the whole schedule).
+	for kname, ks := range kinds {
+		ks.OfferedQPS = float64(ks.Offered) / wallSecs
+		ks.AchievedQPS = float64(ks.Answered) / wallSecs
+		fillQuantiles(ks, kindHists[kname].Snapshot())
+		if ks.Answered > 0 {
+			ks.MeanPathSteps = float64(kindPath[kname]) / float64(ks.Answered)
+		}
+	}
+
+	return &Report{Windows: wins, Total: total, Kinds: kinds, Digest: Digest(events), Wall: wall}
 }
 
 // stageBreakdown turns two boundary samples of the observer's per-stage
@@ -400,16 +482,21 @@ func fillQuantiles(ws *WindowStats, snap serve.HistSnapshot) {
 	ws.Max = time.Duration(snap.Max)
 }
 
-// Digest hashes the answered events in arrival order. Two runs over the
-// same plan with equal digests produced byte-identical answer streams.
+// Digest hashes every event in arrival order — kind, typed arguments, the
+// arrival's outcome, and its answer fields. Two runs over the same plan with
+// equal digests produced byte-identical answer *and outcome* streams; the
+// pre-v2 digest skipped unanswered events and hashed answers only, so a run
+// that degraded (or shed) half its traffic could hash identically to a clean
+// one. The "v2" prefix keys the format so digests from the two schemes can
+// never collide silently.
 func Digest(events []TraceEvent) string {
 	h := sha256.New()
+	fmt.Fprintln(h, "v2")
 	for i := range events {
 		ev := &events[i]
-		if !ev.OK {
-			continue
-		}
-		fmt.Fprintf(h, "%d:%d:%t:%d:%d\n", ev.I, ev.Needle, ev.Found, ev.Leaf, ev.Steps)
+		fmt.Fprintf(h, "%d:%s:%d,%d,%d:%s:%t:%d:%d:%d:%d\n",
+			ev.I, ev.Kind, ev.Args[0], ev.Args[1], ev.Args[2],
+			ev.Outcome, ev.Found, ev.Leaf, ev.Value, ev.Aux, ev.Steps)
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -2,43 +2,87 @@ package loadgen
 
 import (
 	"fmt"
+	"sort"
 	"time"
 )
 
 // SLO is the predicate a sustainable rate must satisfy over a whole probe
 // run: answered-query p99 latency under P99, degraded fraction (of answered)
 // at most MaxDegraded, rejected+shed fraction (of offered) at most
-// MaxRejected, and no failed or oracle-mismatched queries at all.
+// MaxRejected, and no failed or oracle-mismatched queries at all. Under a
+// mixed-kind workload every clause is also evaluated against each kind's own
+// aggregate — a minority kind's blown p99 must fail the probe even when the
+// majority kind drags the combined percentile under the target.
 type SLO struct {
 	P99         time.Duration `json:"p99_ns"`
 	MaxDegraded float64       `json:"max_degraded_frac"`
 	MaxRejected float64       `json:"max_rejected_frac"`
+	// PerKind overrides the clause set for the named kind's aggregate
+	// (e.g. a looser p99 for point location); kinds without an entry are
+	// held to the top-level clauses.
+	PerKind map[string]SLO `json:"per_kind,omitempty"`
 }
 
-// Pass evaluates the SLO against a run's aggregate, returning the first
-// violated clause for the knee report.
+// Pass evaluates the SLO against a run's aggregate — and, per kind, against
+// each kind's slice of it — returning the first violated clause for the
+// knee report.
 func (slo SLO) Pass(r *Report) (bool, string) {
-	t := r.Total
+	if ok, reason := slo.passWindow("", r.Total); !ok {
+		return false, reason
+	}
+	if len(r.Kinds) > 1 || len(slo.PerKind) > 0 {
+		for _, kname := range sortedKindNames(r.Kinds) {
+			ks := slo
+			if over, ok := slo.PerKind[kname]; ok {
+				over.PerKind = nil
+				ks = over
+			}
+			if ok, reason := ks.passWindow(kname, *r.Kinds[kname]); !ok {
+				return false, reason
+			}
+		}
+	}
+	return true, ""
+}
+
+// passWindow checks one aggregate (the run total, or one kind's slice —
+// label prefixes the violation for the knee report).
+func (slo SLO) passWindow(label string, t WindowStats) (bool, string) {
+	pfx := ""
+	if label != "" {
+		pfx = label + ": "
+	}
 	if t.Mismatched > 0 {
-		return false, fmt.Sprintf("%d answers disagreed with the host oracle", t.Mismatched)
+		return false, fmt.Sprintf("%s%d answers disagreed with the host oracle", pfx, t.Mismatched)
 	}
 	if t.Failed > 0 {
-		return false, fmt.Sprintf("%d queries failed", t.Failed)
+		return false, fmt.Sprintf("%s%d queries failed", pfx, t.Failed)
 	}
 	if t.Offered > 0 {
 		if frac := float64(t.Rejected+t.Shed) / float64(t.Offered); frac > slo.MaxRejected {
-			return false, fmt.Sprintf("rejected %.2f%% > %.2f%%", 100*frac, 100*slo.MaxRejected)
+			return false, fmt.Sprintf("%srejected %.2f%% > %.2f%%", pfx, 100*frac, 100*slo.MaxRejected)
 		}
 	}
 	if t.Answered > 0 {
 		if frac := float64(t.Degraded) / float64(t.Answered); frac > slo.MaxDegraded {
-			return false, fmt.Sprintf("degraded %.2f%% > %.2f%%", 100*frac, 100*slo.MaxDegraded)
+			return false, fmt.Sprintf("%sdegraded %.2f%% > %.2f%%", pfx, 100*frac, 100*slo.MaxDegraded)
 		}
 	}
 	if slo.P99 > 0 && t.P99 > slo.P99 {
-		return false, fmt.Sprintf("p99 %v > %v", t.P99, slo.P99)
+		return false, fmt.Sprintf("%sp99 %v > %v", pfx, t.P99, slo.P99)
 	}
 	return true, ""
+}
+
+// sortedKindNames gives deterministic clause-evaluation (and so violation-
+// reporting) order.
+func sortedKindNames(m map[string]*WindowStats) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Probe is one saturation measurement: the offered rate and how the run

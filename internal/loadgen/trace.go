@@ -5,6 +5,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"repro/internal/serve"
 )
 
 // TraceHeader is the first JSONL line of a workload trace: enough context to
@@ -17,31 +19,50 @@ type TraceHeader struct {
 	Keys     int    `json:"keys"`
 	Seed     int64  `json:"seed"`
 	Events   int    `json:"events"`
+	// Kinds is the query-kind mix the trace was generated with (v2; empty
+	// means membership only — which is what every v1 trace was).
+	Kinds string `json:"kinds,omitempty"`
 }
 
 const (
-	traceKind    = "meshserve-workload-trace"
-	traceVersion = 1
+	traceKind = "meshserve-workload-trace"
+	// traceVersion is the version WriteTrace emits. v1 recorded membership
+	// queries and answers only; v2 adds the query kind, its typed arguments,
+	// the kind-generic Value/Aux answer, and the per-query outcome. ReadTrace
+	// accepts both — a v1 trace reads back as membership-kind events.
+	traceVersion   = 2
+	traceVersionV1 = 1
 )
 
-// TraceEvent is one arrival: its offset on the open-loop clock, its needle,
-// and — once the run has answered it — the recorded answer. Replay re-fires
-// the same needles on the same clock and compares its answers to these.
+// TraceEvent is one arrival: its offset on the open-loop clock, its query
+// kind and arguments, and — once the run has answered it — the recorded
+// answer plus how the arrival fared. Replay re-fires the same queries on the
+// same clock and compares its answers to these.
 type TraceEvent struct {
-	I      int   `json:"i"`
-	AtNS   int64 `json:"at_ns"`
-	Needle int64 `json:"needle"`
+	I      int        `json:"i"`
+	AtNS   int64      `json:"at_ns"`
+	Kind   serve.Kind `json:"kind,omitempty"` // zero value = membership (v1 traces)
+	Needle int64      `json:"needle"`
+	Args   serve.Args `json:"args"`
 
 	// Answer fields, filled by Run. OK means the query was answered by the
 	// server (mesh-served or degraded); rejected/shed/failed arrivals keep
-	// OK=false and are excluded from the answer stream.
+	// OK=false and are excluded from the answer stream. Value is the kind's
+	// primary answer (for membership it equals Leaf, kept for v1 traces).
 	OK    bool  `json:"ok,omitempty"`
 	Found bool  `json:"found,omitempty"`
 	Leaf  int64 `json:"leaf,omitempty"`
+	Value int64 `json:"value,omitempty"`
+	Aux   int64 `json:"aux,omitempty"`
 	Steps int32 `json:"steps,omitempty"`
+	// Outcome is the arrival's fate (ok | degraded | rejected | shed |
+	// failed), folded into the v2 digest so two runs that produced the same
+	// answers by different paths no longer hash identically.
+	Outcome string `json:"outcome,omitempty"`
 }
 
-// WriteTrace emits the header and one event per line as JSONL.
+// WriteTrace emits the header and one event per line as JSONL (always the
+// current trace version).
 func WriteTrace(w io.Writer, h TraceHeader, events []TraceEvent) error {
 	h.Kind = traceKind
 	h.Version = traceVersion
@@ -59,7 +80,10 @@ func WriteTrace(w io.Writer, h TraceHeader, events []TraceEvent) error {
 	return bw.Flush()
 }
 
-// ReadTrace parses a JSONL trace written by WriteTrace.
+// ReadTrace parses a JSONL trace written by WriteTrace. Both trace versions
+// are readable: a v1 trace (membership only, no outcomes) comes back as
+// membership-kind events with Args and Value filled from its needle/leaf
+// fields, so replay and digesting work uniformly downstream.
 func ReadTrace(r io.Reader) (TraceHeader, []TraceEvent, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
@@ -70,9 +94,9 @@ func ReadTrace(r io.Reader) (TraceHeader, []TraceEvent, error) {
 	if err := json.Unmarshal(sc.Bytes(), &h); err != nil {
 		return TraceHeader{}, nil, fmt.Errorf("loadgen: bad trace header: %w", err)
 	}
-	if h.Kind != traceKind || h.Version != traceVersion {
-		return TraceHeader{}, nil, fmt.Errorf("loadgen: not a v%d %s (got kind %q version %d)",
-			traceVersion, traceKind, h.Kind, h.Version)
+	if h.Kind != traceKind || (h.Version != traceVersion && h.Version != traceVersionV1) {
+		return TraceHeader{}, nil, fmt.Errorf("loadgen: not a v%d/v%d %s (got kind %q version %d)",
+			traceVersionV1, traceVersion, traceKind, h.Kind, h.Version)
 	}
 	events := make([]TraceEvent, 0, h.Events)
 	for sc.Scan() {
@@ -92,11 +116,26 @@ func ReadTrace(r io.Reader) (TraceHeader, []TraceEvent, error) {
 		return TraceHeader{}, nil, fmt.Errorf("loadgen: trace truncated: header says %d events, read %d", h.Events, len(events))
 	}
 	for i := range events {
-		if events[i].I != i {
-			return TraceHeader{}, nil, fmt.Errorf("loadgen: trace event order broken at %d (got index %d)", i, events[i].I)
+		ev := &events[i]
+		if ev.I != i {
+			return TraceHeader{}, nil, fmt.Errorf("loadgen: trace event order broken at %d (got index %d)", i, ev.I)
 		}
-		if events[i].AtNS < 0 || (i > 0 && events[i].AtNS < events[i-1].AtNS) {
+		if ev.AtNS < 0 || (i > 0 && ev.AtNS < events[i-1].AtNS) {
 			return TraceHeader{}, nil, fmt.Errorf("loadgen: trace arrival clock not monotone at event %d", i)
+		}
+		if h.Version == traceVersionV1 {
+			// Normalize v1 shape to v2 semantics: membership kind, the
+			// needle as the single typed argument, the leaf as Value, and
+			// the outcome reconstructed from the answer bit (v1 did not
+			// distinguish degraded; ok is the faithful upper bound).
+			ev.Kind = serve.KindMembership
+			ev.Args = serve.Args{ev.Needle}
+			if ev.OK {
+				ev.Value = ev.Leaf
+				if ev.Outcome == "" {
+					ev.Outcome = "ok"
+				}
+			}
 		}
 	}
 	return h, events, nil
@@ -107,16 +146,18 @@ func ReadTrace(r io.Reader) (TraceHeader, []TraceEvent, error) {
 func StripAnswers(events []TraceEvent) []TraceEvent {
 	out := make([]TraceEvent, len(events))
 	for i, ev := range events {
-		out[i] = TraceEvent{I: ev.I, AtNS: ev.AtNS, Needle: ev.Needle}
+		out[i] = TraceEvent{I: ev.I, AtNS: ev.AtNS, Kind: ev.Kind, Needle: ev.Needle, Args: ev.Args}
 	}
 	return out
 }
 
 // CompareAnswers checks a replayed answer stream against the recorded one,
 // returning the number of diverging events and a description of the first.
-// Every recorded answer must be reproduced exactly (needle, membership,
-// leaf, path length); an arrival the replay failed to get answered counts
-// as a divergence too.
+// Every recorded answer must be reproduced exactly (kind, arguments, found,
+// value, path length); an arrival the replay failed to get answered counts
+// as a divergence too. Outcomes are deliberately not compared — a recorded
+// mesh answer replayed through the degrade rung is the same answer (that
+// difference lives in the digest, not in replay verification).
 func CompareAnswers(recorded, replayed []TraceEvent) (int, error) {
 	if len(recorded) != len(replayed) {
 		return 1, fmt.Errorf("event count differs: recorded %d, replayed %d", len(recorded), len(replayed))
@@ -125,23 +166,23 @@ func CompareAnswers(recorded, replayed []TraceEvent) (int, error) {
 	var first error
 	for i := range recorded {
 		rec, rep := recorded[i], replayed[i]
-		if rec.Needle != rep.Needle || rec.AtNS != rep.AtNS {
+		if rec.Kind != rep.Kind || rec.Args != rep.Args || rec.Needle != rep.Needle || rec.AtNS != rep.AtNS {
 			mismatches++
 			if first == nil {
-				first = fmt.Errorf("event %d: arrival differs (needle %d@%dns vs %d@%dns)",
-					i, rec.Needle, rec.AtNS, rep.Needle, rep.AtNS)
+				first = fmt.Errorf("event %d: arrival differs (%s %v@%dns vs %s %v@%dns)",
+					i, rec.Kind, rec.Args, rec.AtNS, rep.Kind, rep.Args, rep.AtNS)
 			}
 			continue
 		}
 		if !rec.OK {
 			continue // nothing recorded to reproduce
 		}
-		if !rep.OK || rec.Found != rep.Found || rec.Leaf != rep.Leaf || rec.Steps != rep.Steps {
+		if !rep.OK || rec.Found != rep.Found || rec.Value != rep.Value || rec.Leaf != rep.Leaf || rec.Steps != rep.Steps {
 			mismatches++
 			if first == nil {
-				first = fmt.Errorf("event %d (needle %d): recorded ok=%v found=%v leaf=%d steps=%d, replayed ok=%v found=%v leaf=%d steps=%d",
-					i, rec.Needle, rec.OK, rec.Found, rec.Leaf, rec.Steps,
-					rep.OK, rep.Found, rep.Leaf, rep.Steps)
+				first = fmt.Errorf("event %d (%s %v): recorded ok=%v found=%v value=%d steps=%d, replayed ok=%v found=%v value=%d steps=%d",
+					i, rec.Kind, rec.Args, rec.OK, rec.Found, rec.Value, rec.Steps,
+					rep.OK, rep.Found, rep.Value, rep.Steps)
 			}
 		}
 	}

@@ -40,14 +40,32 @@ func histIndex(v int64) int {
 }
 
 // histUpper is the inclusive upper bound of bucket i — the value Quantile
-// reports, so percentiles overestimate by at most one bucket width.
+// reports, so percentiles overestimate by at most one bucket width. The top
+// bucket is the catch-all for everything at or above its lower boundary, so
+// its upper bound is pinned to MaxInt64 explicitly — the shifted formula
+// would overflow int64 there and only lands on the right value by wrap
+// accident.
 func histUpper(i int) int64 {
+	if i < 16 {
+		return int64(i)
+	}
+	if i >= histBuckets-1 {
+		return math.MaxInt64
+	}
+	o := i/16 + 3
+	sub := int64(i % 16)
+	return (16+sub+1)<<(o-4) - 1
+}
+
+// histLower is the inclusive lower bound of bucket i (what Quantile reports
+// at q ≤ 0, so the minimum is never over-reported).
+func histLower(i int) int64 {
 	if i < 16 {
 		return int64(i)
 	}
 	o := i/16 + 3
 	sub := int64(i % 16)
-	return (16+sub+1)<<(o-4) - 1
+	return (16 + sub) << (o - 4)
 }
 
 // Observe records one duration. Negative durations clamp to zero.
@@ -142,16 +160,32 @@ func (s HistSnapshot) CountAbove(d time.Duration) int64 {
 	return above
 }
 
-// Quantile returns the q-quantile (0 < q ≤ 1) as the upper bound of the
-// bucket holding that rank, clamped to the observed maximum. Zero when the
-// snapshot is empty.
+// Quantile returns the q-quantile as the upper bound of the bucket holding
+// that rank, clamped to the observed maximum. Edge behaviour is pinned
+// (these numbers back /metrics and the SLO saturation clauses, so an edge
+// error moves the measured knee): q ≤ 0 reports the *lower* bound of the
+// first non-empty bucket — never above the true minimum; q ≥ 1 reports
+// exactly Max, the defined upper boundary, with the rank clamped to Count
+// so an out-of-range q cannot walk past the populated buckets. Zero when
+// the snapshot is empty.
 func (s HistSnapshot) Quantile(q float64) time.Duration {
 	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		for i, c := range s.Counts {
+			if c > 0 {
+				return time.Duration(histLower(i))
+			}
+		}
 		return 0
 	}
 	rank := int64(math.Ceil(q * float64(s.Count)))
 	if rank < 1 {
 		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
 	}
 	var cum int64
 	for i, c := range s.Counts {

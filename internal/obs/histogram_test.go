@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"sync"
@@ -99,5 +100,89 @@ func TestHistogramEmptyAndConcurrent(t *testing.T) {
 	}
 	if snap.Max != 7999 {
 		t.Fatalf("max %d, want 7999", snap.Max)
+	}
+}
+
+// TestHistogramTopBucketBoundary pins the edge behaviour at the top of the
+// range: the last bucket's upper bound is exactly MaxInt64 (not a
+// two's-complement wrap), and an observation at or above the top bucket's
+// lower boundary lands in it rather than panicking or vanishing.
+func TestHistogramTopBucketBoundary(t *testing.T) {
+	if u := histUpper(histBuckets - 1); u != math.MaxInt64 {
+		t.Fatalf("top bucket upper bound = %d, want MaxInt64", u)
+	}
+	topLo := histLower(histBuckets - 1)
+	if penultimate := histUpper(histBuckets - 2); topLo != penultimate+1 {
+		t.Fatalf("top bucket lower bound %d does not abut previous upper %d", topLo, penultimate)
+	}
+	for _, v := range []int64{topLo, topLo + 1, math.MaxInt64 - 1, math.MaxInt64} {
+		if i := histIndex(v); i != histBuckets-1 {
+			t.Fatalf("value %d landed in bucket %d, want top bucket %d", v, i, histBuckets-1)
+		}
+	}
+	var h Histogram
+	h.Observe(time.Duration(math.MaxInt64))
+	snap := h.Snapshot()
+	if snap.Count != 1 || snap.Counts[histBuckets-1] != 1 {
+		t.Fatalf("MaxInt64 observation miscounted: count=%d top=%d", snap.Count, snap.Counts[histBuckets-1])
+	}
+	if q := snap.Quantile(1); int64(q) != math.MaxInt64 {
+		t.Fatalf("q1 of a MaxInt64 observation = %d, want MaxInt64", int64(q))
+	}
+}
+
+// TestHistogramQuantileClamps pins Quantile's domain edges: q ≤ 0 reports the
+// lower bound of the smallest non-empty bucket (never over-reports the
+// minimum), q = 1 reports the observed max exactly, and out-of-range q values
+// clamp instead of walking off the bucket array.
+func TestHistogramQuantileClamps(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{100, 100, 1000, 50_000} {
+		h.Observe(time.Duration(v))
+	}
+	snap := h.Snapshot()
+	lo := histLower(histIndex(100))
+	if q := int64(snap.Quantile(0)); q != lo {
+		t.Fatalf("q0 = %d, want first bucket's lower bound %d", q, lo)
+	}
+	if q0, qneg := snap.Quantile(0), snap.Quantile(-0.5); q0 != qneg {
+		t.Fatalf("q0 %v and q-0.5 %v differ", q0, qneg)
+	}
+	if int64(snap.Quantile(0)) > 100 {
+		t.Fatalf("q0 = %v over-reports the minimum 100", snap.Quantile(0))
+	}
+	if q := int64(snap.Quantile(1)); q != 50_000 {
+		t.Fatalf("q1 = %d, want observed max 50000", q)
+	}
+	if q1, qbig := snap.Quantile(1), snap.Quantile(2.5); q1 != qbig {
+		t.Fatalf("q1 %v and q2.5 %v differ", q1, qbig)
+	}
+	// Tiny positive q maps to rank 1 (the first observation), not rank 0.
+	if q := int64(snap.Quantile(1e-12)); q > int64(snap.Quantile(0.5)) {
+		t.Fatalf("q≈0 = %d above the median %d", q, int64(snap.Quantile(0.5)))
+	}
+	// Empty snapshot: every quantile is 0.
+	var empty Histogram
+	es := empty.Snapshot()
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if es.Quantile(q) != 0 {
+			t.Fatalf("empty q%v = %v, want 0", q, es.Quantile(q))
+		}
+	}
+}
+
+// TestHistogramMergeReturnsValue pins Merge's value semantics: the receiver
+// is not mutated; the merged snapshot is the return value.
+func TestHistogramMergeReturnsValue(t *testing.T) {
+	var a, b Histogram
+	a.Observe(100)
+	b.Observe(1000)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa.Merge(sb)
+	if merged.Count != 2 || merged.Max != 1000 {
+		t.Fatalf("merged count=%d max=%d, want 2/1000", merged.Count, merged.Max)
+	}
+	if sa.Count != 1 || sa.Max != 100 {
+		t.Fatalf("Merge mutated its receiver: %+v", sa)
 	}
 }

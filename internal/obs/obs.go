@@ -121,8 +121,12 @@ func (s Span) Dur() time.Duration { return s.End - s.Start }
 type ReqTrace struct {
 	ID     TraceID
 	Needle int64
-	Start  time.Time
-	Spans  []Span
+	// Class is the request's class index (the serving layer's query kind):
+	// stage marks land in the observer's per-class histograms. 0 when the
+	// observer was built without classes.
+	Class int
+	Start time.Time
+	Spans []Span
 
 	// Cross-link to the step-clock run (internal/trace) that answered this
 	// request: the run's stable sequence number and its (tagged) label.
@@ -159,7 +163,7 @@ func (tr *ReqTrace) MarkAt(stage Stage, now time.Time) {
 	}
 	tr.Spans = append(tr.Spans, Span{Stage: stage, Start: tr.cursor.Sub(tr.Start), End: now.Sub(tr.Start)})
 	tr.cursor = now
-	tr.o.stages[stage].Observe(d)
+	tr.o.stages[tr.Class][stage].Observe(d)
 	if l := tr.o.cfg.Logger; l != nil && l.Enabled(context.Background(), slog.LevelDebug) {
 		l.LogAttrs(context.Background(), slog.LevelDebug, "stage",
 			slog.String("trace", tr.ID.String()),
@@ -212,6 +216,11 @@ type Config struct {
 	// at Debug, one per interesting (slow/degraded/failovered/errored)
 	// trace completion at Info. Nil disables logging entirely.
 	Logger *slog.Logger
+	// Classes are the label values of the request-class dimension — the
+	// serving layer passes its query-kind names, so stage histograms and the
+	// Prometheus exposition split by kind. Empty means one unnamed class
+	// (the pre-kind layout, and what Begin without a class uses).
+	Classes []string
 }
 
 // Observer is the per-server observability hub: it mints request traces,
@@ -222,7 +231,7 @@ type Config struct {
 // fleet's histograms and the trace follows the request across replicas).
 type Observer struct {
 	cfg       Config
-	stages    [numStages]Histogram
+	stages    [][numStages]Histogram // indexed by class, then stage
 	outcomes  [numOutcomes]atomic.Int64
 	abandoned atomic.Int64 // traces dropped because the client gave up mid-flight
 	begun     atomic.Int64
@@ -246,9 +255,22 @@ func New(cfg Config) *Observer {
 	if cfg.SLOMaxDegraded <= 0 || cfg.SLOMaxDegraded > 1 {
 		cfg.SLOMaxDegraded = 0.01
 	}
-	o := &Observer{cfg: cfg}
+	classes := len(cfg.Classes)
+	if classes == 0 {
+		classes = 1
+	}
+	o := &Observer{cfg: cfg, stages: make([][numStages]Histogram, classes)}
 	o.ring.init(cfg.Ring, cfg.SlowN)
 	return o
+}
+
+// Classes returns the class label values (a single empty name when the
+// observer was built classless).
+func (o *Observer) Classes() []string {
+	if len(o.cfg.Classes) == 0 {
+		return []string{""}
+	}
+	return o.cfg.Classes
 }
 
 // SLO reports the configured latency/degraded-fraction SLO targets.
@@ -261,7 +283,18 @@ func (o *Observer) SLO() (p99 time.Duration, maxDegraded float64) {
 // sample the caller records; parent is the W3C trace ID propagated from an
 // upstream hop (zero = mint a fresh one).
 func (o *Observer) Begin(parent TraceID, needle int64, start time.Time) *ReqTrace {
+	return o.BeginClass(0, parent, needle, start)
+}
+
+// BeginClass is Begin for a specific request class (query kind): the
+// trace's stage marks land in that class's histograms. Out-of-range class
+// indices clamp to 0, so an observer built classless still accepts kinded
+// traffic.
+func (o *Observer) BeginClass(class int, parent TraceID, needle int64, start time.Time) *ReqTrace {
 	o.begun.Add(1)
+	if class < 0 || class >= len(o.stages) {
+		class = 0
+	}
 	id := parent
 	if id.IsZero() {
 		id = NewTraceID()
@@ -269,6 +302,7 @@ func (o *Observer) Begin(parent TraceID, needle int64, start time.Time) *ReqTrac
 	return &ReqTrace{
 		ID:      id,
 		Needle:  needle,
+		Class:   class,
 		Start:   start,
 		Spans:   make([]Span, 0, 8),
 		Replica: -2,
@@ -331,20 +365,52 @@ type StageSnapshot struct {
 // StageNames lists the stage names in enum order, for iterating snapshots.
 func StageNames() []string { return stageNames[:] }
 
-// Stages samples the per-stage counters (two atomic loads per stage).
+// Stages samples the per-stage counters summed across classes (two atomic
+// loads per stage per class) — the classless aggregate view.
 func (o *Observer) Stages() StageSnapshot {
 	var s StageSnapshot
-	for i := range o.stages {
-		snap := &o.stages[i]
+	for c := range o.stages {
+		for i := range o.stages[c] {
+			snap := &o.stages[c][i]
+			s.Count[i] += snap.Count()
+			s.SumNS[i] += snap.SumNS()
+		}
+	}
+	return s
+}
+
+// StagesClass samples one class's per-stage counters (out-of-range class
+// yields the zero snapshot).
+func (o *Observer) StagesClass(class int) StageSnapshot {
+	var s StageSnapshot
+	if class < 0 || class >= len(o.stages) {
+		return s
+	}
+	for i := range o.stages[class] {
+		snap := &o.stages[class][i]
 		s.Count[i] = snap.Count()
 		s.SumNS[i] = snap.SumNS()
 	}
 	return s
 }
 
-// StageHist snapshots one stage's full wall-clock histogram (Prometheus
-// exposition; quantile queries in tests).
-func (o *Observer) StageHist(stage Stage) HistSnapshot { return o.stages[stage].Snapshot() }
+// StageHist snapshots one stage's full wall-clock histogram merged across
+// classes (Prometheus exposition; quantile queries in tests).
+func (o *Observer) StageHist(stage Stage) HistSnapshot {
+	s := o.stages[0][stage].Snapshot()
+	for c := 1; c < len(o.stages); c++ {
+		s = s.Merge(o.stages[c][stage].Snapshot())
+	}
+	return s
+}
+
+// StageHistClass snapshots one class's histogram for one stage.
+func (o *Observer) StageHistClass(class int, stage Stage) HistSnapshot {
+	if class < 0 || class >= len(o.stages) {
+		return HistSnapshot{}
+	}
+	return o.stages[class][stage].Snapshot()
+}
 
 // OutcomeCount reads one outcome counter.
 func (o *Observer) OutcomeCount(oc Outcome) int64 { return o.outcomes[oc].Load() }

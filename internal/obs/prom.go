@@ -128,10 +128,24 @@ func (w *PromWriter) Bytes() []byte { return w.buf.Bytes() }
 // (e.g. "meshserve"): per-stage wall-clock histograms, per-outcome counters,
 // and the SLO burn-rate gauges. Shared by the serve and fleet handlers.
 func (w *PromWriter) WriteObserver(prefix string, o *Observer) {
+	// One stage-histogram family; when the observer tracks more than one
+	// request class (query kinds, in the serving stack) each class gets its
+	// own label set so a slow point-location round cannot hide inside the
+	// membership aggregate. Single-class observers keep the unlabeled shape
+	// existing dashboards scrape.
+	classes := o.Classes()
 	for st := Stage(0); st < numStages; st++ {
-		w.Histogram(prefix+"_stage_duration_seconds",
-			"Wall-clock time per request lifecycle stage.",
-			o.StageHist(st), "stage", st.String())
+		if len(classes) > 1 {
+			for c, name := range classes {
+				w.Histogram(prefix+"_stage_duration_seconds",
+					"Wall-clock time per request lifecycle stage.",
+					o.StageHistClass(c, st), "stage", st.String(), "kind", name)
+			}
+		} else {
+			w.Histogram(prefix+"_stage_duration_seconds",
+				"Wall-clock time per request lifecycle stage.",
+				o.StageHist(st), "stage", st.String())
+		}
 	}
 	var answered, degradedLike int64
 	for oc := Outcome(0); oc < numOutcomes; oc++ {

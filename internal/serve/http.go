@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"net/url"
 	"strconv"
 	"time"
 
@@ -20,6 +22,18 @@ const StatusClientClosedRequest = 499
 // Handler returns the server's HTTP surface:
 //
 //	GET /search?key=K   — one lookup; the response rides the query's round.
+//	                      ?kind= selects the query family (membership when
+//	                      absent, so pre-kind clients keep working); each
+//	                      kind has its own integer parameters:
+//	                        membership  ?key=K
+//	                        pointloc    ?x=X&y=Y
+//	                        interval    ?lo=L&hi=H
+//	                        linepoly    ?x=X&y=Y
+//	                        tangent     ?dx=DX&dy=DY&dz=DZ
+//	                      400 for an unknown kind, missing/malformed
+//	                      parameters, or a kind this instance does not serve
+//	                      (ErrKindNotServed — a client error: the instance
+//	                      was configured without that structure).
 //	                      429 on ErrOverloaded (retryable), 503 after
 //	                      Shutdown — both with a Retry-After hint — and 500
 //	                      for a failed round (only reachable with
@@ -86,14 +100,46 @@ func RetryAfterSeconds(hint time.Duration) string {
 	return strconv.FormatInt(secs, 10)
 }
 
+// kindParams names each kind's /search query parameters, in Args order.
+var kindParams = [NumKinds][]string{
+	KindMembership: {"key"},
+	KindPointLoc:   {"x", "y"},
+	KindInterval:   {"lo", "hi"},
+	KindLinePoly:   {"x", "y"},
+	KindTangent:    {"dx", "dy", "dz"},
+}
+
+// ParseSearchArgs extracts one kind's typed arguments from a /search query
+// string (shared with the fleet handler, which speaks the same contract).
+func ParseSearchArgs(kind Kind, q url.Values) (Args, error) {
+	var a Args
+	for i, name := range kindParams[kind] {
+		v, err := strconv.ParseInt(q.Get(name), 10, 64)
+		if err != nil {
+			return a, fmt.Errorf("serve: /search kind=%s needs an integer ?%s=", kind, name)
+		}
+		a[i] = v
+	}
+	return a, nil
+}
+
 func (s *Instance) handleSearch(w http.ResponseWriter, r *http.Request) {
-	key, err := strconv.ParseInt(r.URL.Query().Get("key"), 10, 64)
+	q := r.URL.Query()
+	kind, err := ParseKind(q.Get("kind"))
 	if err != nil {
-		http.Error(w, "serve: /search needs an integer ?key=", http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.Lookup(s.traceCtx(w, r), key)
+	args, err := ParseSearchArgs(kind, q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	res, err := s.LookupKind(s.traceCtx(w, r), kind, args)
 	switch {
+	case errors.Is(err, ErrKindNotServed):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
 	case errors.Is(err, ErrOverloaded):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		http.Error(w, err.Error(), http.StatusTooManyRequests)
@@ -164,6 +210,9 @@ func (s *Instance) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// probe the key domain and replay-trace compatibility over HTTP.
 		"side": s.cfg.Side,
 		"keys": len(s.bt.Keys),
+		// Enabled query kinds with their per-kind counters and latency, so a
+		// mixed-workload client can discover what this instance serves.
+		"kinds": st.Kinds,
 	}
 	// Per-round gauges describe the *mesh* path only: an oracle-degraded
 	// batch consumes no mesh round, so counting it would deflate
@@ -252,6 +301,19 @@ func (s *Instance) promMetrics(w http.ResponseWriter) {
 	pw.Gauge("meshserve_circuit_open", "1 while the circuit breaker is open.", boolGauge(s.circuitOpen.Load()))
 	pw.Gauge("meshserve_queue_depth", "Current admission-queue depth.", float64(s.QueueLen()))
 	pw.Gauge("meshserve_queue_capacity", "Admission-queue capacity.", float64(s.QueueCap()))
+
+	// Per-kind serving counters and latency: each query family runs its own
+	// rounds on the shared mesh, so the split is what localizes a regression
+	// to one structure instead of "the server got slower".
+	for _, ks := range st.Kinds {
+		pw.Counter("meshserve_kind_served_total", "Answered lookups by query kind.", float64(ks.Served), "kind", ks.Kind)
+		pw.Counter("meshserve_kind_degraded_total", "Oracle-degraded answers by query kind.", float64(ks.Degraded), "kind", ks.Kind)
+		pw.Counter("meshserve_kind_rounds_total", "Serving rounds by query kind.", float64(ks.Rounds), "kind", ks.Kind)
+		pw.Counter("meshserve_kind_sim_steps_total", "Simulated mesh steps by query kind.", float64(ks.SimSteps), "kind", ks.Kind)
+	}
+	for _, k := range s.kinds {
+		pw.Histogram("meshserve_kind_request_duration_seconds", "Answered-lookup latency by query kind.", s.LatencyByKind(k), "kind", k.String())
+	}
 
 	// End-to-end latency: combined for continuity, split by outcome so the
 	// oracle fast path cannot pollute the mesh-served p99.

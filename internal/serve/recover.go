@@ -5,25 +5,26 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/dict"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
 // This file is the recovery ladder around the round executor (DESIGN.md
 // §3.6). Everything here runs on the executor goroutine — the only
-// goroutine that touches the mesh — so audit toggling, breaker bookkeeping
-// and canary scheduling need no locks; the rest of the server observes the
-// outcome through the atomic counters and the circuitOpen/lameduck flags.
+// goroutine that touches the mesh — so audit toggling, per-kind budget
+// switching, breaker bookkeeping and canary scheduling need no locks; the
+// rest of the server observes the outcome through the atomic counters and
+// the circuitOpen/lameduck flags.
 
-// serveBatch answers one batch. Circuit open: probe the mesh with a canary
-// if one is due, then either serve normally (canary closed the circuit) or
-// answer from the host oracle. Circuit closed: run the retry ladder —
-// attempt the round, classify any fault, re-execute with auditing forced on
-// under jittered backoff, and degrade to the oracle when the mesh keeps
-// failing.
-func (s *Instance) serveBatch(batch []request) {
+// serveBatch answers one batch of one kind. Circuit open: probe the mesh
+// with a canary if one is due, then either serve normally (canary closed
+// the circuit) or answer from the kind's host oracle. Circuit closed: run
+// the retry ladder — attempt the round, classify any fault, re-execute with
+// auditing forced on under jittered backoff, and degrade to the oracle when
+// the mesh keeps failing.
+func (s *Instance) serveBatch(kr *kindRuntime, batch []request) {
 	round := s.rounds.Add(1)
+	kr.rounds.Add(1)
 	s.lastBatch.Store(int64(len(batch)))
 	if int64(len(batch)) > s.peakBatch.Load() {
 		s.peakBatch.Store(int64(len(batch)))
@@ -44,16 +45,16 @@ func (s *Instance) serveBatch(batch []request) {
 				s.failBatch(batch, ErrCircuitOpen)
 				return
 			}
-			s.degradeBatch(batch, round)
+			s.degradeBatch(kr, batch, round)
 			return
 		}
 	}
 
-	queries := make([]core.Query, len(batch))
+	args := make([]Args, len(batch))
 	for i, r := range batch {
-		queries[i].Cur = s.bt.Root
-		queries[i].State[0] = r.needle
+		args[i] = r.args
 	}
+	queries := kr.st.MakeQueries(args)
 	var lastErr error
 	for attempt := 0; attempt <= s.maxRetries; attempt++ {
 		if attempt > 0 {
@@ -69,7 +70,7 @@ func (s *Instance) serveBatch(batch []request) {
 		if attempt > 0 {
 			tag = fmt.Sprintf("retry %d audited", attempt)
 		}
-		results, h, err := s.meshRound(fmt.Sprintf("serve round %d attempt %d", round, attempt), tag, queries)
+		results, h, err := s.meshRound(kr, fmt.Sprintf("serve %s round %d attempt %d", kr.kind, round, attempt), tag, queries)
 		// Each attempt — failed ones included — closes its own mesh-round
 		// span, so a recovered batch's trace shows mesh/backoff/mesh/...
 		s.markBatch(batch, obs.StageMesh)
@@ -80,21 +81,25 @@ func (s *Instance) serveBatch(batch []request) {
 			}
 			seq, label := h.Seq(), h.Label()
 			for i, r := range batch {
-				q := results[i]
+				ans := kr.st.Extract(results, i)
 				if r.tr != nil {
 					// Cross-link before the resp send: delivery hands the
 					// trace back to the Lookup goroutine.
 					r.tr.LinkRun(seq, label)
 				}
 				r.resp <- response{res: Result{
-					Needle:  r.needle,
-					Found:   dict.Member(q),
-					LeafKey: q.State[dict.StateLeafKey],
-					Steps:   q.Steps,
+					Kind:    kr.kind,
+					Needle:  r.args[0],
+					Found:   ans.Found,
+					LeafKey: ans.Value,
+					Value:   ans.Value,
+					Aux:     ans.Aux,
+					Steps:   ans.Steps,
 					Round:   round,
 				}}
 			}
 			s.served.Add(int64(len(batch)))
+			kr.served.Add(int64(len(batch)))
 			s.observeRound(attempt > 0, false)
 			return
 		}
@@ -116,7 +121,7 @@ func (s *Instance) serveBatch(batch []request) {
 		s.failBatch(batch, lastErr)
 		return
 	}
-	s.degradeBatch(batch, round)
+	s.degradeBatch(kr, batch, round)
 }
 
 // failBatch delivers one error to every query of the batch.
@@ -127,15 +132,19 @@ func (s *Instance) failBatch(batch []request, err error) {
 	}
 }
 
-// meshRound executes one mesh attempt: reset the step clock (per-attempt
-// budget, fresh traced run — tagged when the attempt is a retry or canary),
-// load the queries against the resident tree, and run Algorithm 2 inside
-// the core.Run containment boundary. The returned trace.Handle names this
+// meshRound executes one mesh attempt of one kind: install the kind's step
+// budget, reset the step clock (per-attempt budget, fresh traced run —
+// tagged when the attempt is a retry or canary), load the queries against
+// the kind's resident structure, and run its multisearch inside the
+// core.Run containment boundary. The returned trace.Handle names this
 // attempt's step-clock run (inert when no tracer is installed): tagging goes
 // through it — keyed to the run, not "most recently attached", which was a
 // cross-goroutine race when concurrent instances shared one Tracer — and the
 // observability layer embeds its Seq/Label in the request traces it links.
-func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Query, trace.Handle, error) {
+func (s *Instance) meshRound(kr *kindRuntime, label, tag string, queries []core.Query) ([]core.Query, trace.Handle, error) {
+	if s.m.Budget() != kr.budget {
+		s.m.SetBudget(kr.budget) // per-kind budget, quiescent between rounds
+	}
 	s.m.ResetSteps()
 	h, _ := trace.HandleFor(s.m.TraceRun())
 	if tag != "" {
@@ -144,15 +153,17 @@ func (s *Instance) meshRound(label, tag string, queries []core.Query) ([]core.Qu
 	err := core.Run(label, func() error {
 		v := s.m.Root()
 		defer trace.Span(v, "%s q=%d", label, len(queries))()
-		s.in.ResetQueries(v, queries)
-		core.MultisearchAlpha(v, s.in, s.maxPart, 0)
+		kr.in.ResetQueries(v, queries)
+		kr.st.Search(v, kr.in)
 		return nil
 	})
-	s.simSteps.Add(s.m.Steps())
+	steps := s.m.Steps()
+	s.simSteps.Add(steps)
+	kr.simSteps.Add(steps)
 	if err != nil {
 		return nil, h, err
 	}
-	return s.in.ResultQueries(), h, nil
+	return kr.in.ResultQueries(), h, nil
 }
 
 // markBatch closes one stage span on every traced request of the batch with
@@ -173,12 +184,12 @@ func (s *Instance) markBatch(batch []request, stage obs.Stage) {
 	}
 }
 
-// degradeBatch answers every query of the batch from the host-side
-// dictionary oracle: correct (same leaf, same search-path length a faithful
+// degradeBatch answers every query of the batch from the kind's host-side
+// oracle descent: correct (same answer, same search-path length a faithful
 // round would report) but unaccounted in mesh steps, and flagged Degraded.
-func (s *Instance) degradeBatch(batch []request, round int64) {
+func (s *Instance) degradeBatch(kr *kindRuntime, batch []request, round int64) {
 	for _, r := range batch {
-		leaf, found, path := s.bt.HostLookup(r.needle)
+		ans := HostAnswer(kr.st, r.args)
 		if r.tr != nil {
 			// Per-request, before the resp send (which hands the trace back
 			// to the Lookup goroutine): the oracle span covers this
@@ -186,17 +197,22 @@ func (s *Instance) degradeBatch(batch []request, round int64) {
 			r.tr.Mark(obs.StageOracle)
 		}
 		r.resp <- response{res: Result{
-			Needle:   r.needle,
-			Found:    found,
-			LeafKey:  leaf,
-			Steps:    path,
+			Kind:     kr.kind,
+			Needle:   r.args[0],
+			Found:    ans.Found,
+			LeafKey:  ans.Value,
+			Value:    ans.Value,
+			Aux:      ans.Aux,
+			Steps:    ans.Steps,
 			Round:    round,
 			Degraded: true,
 		}}
 	}
 	s.degraded.Add(int64(len(batch)))
+	kr.degraded.Add(int64(len(batch)))
 	s.degradedRounds.Add(1)
 	s.served.Add(int64(len(batch)))
+	kr.served.Add(int64(len(batch)))
 }
 
 // observeRound feeds the circuit breaker with one mesh-path outcome.
@@ -241,50 +257,53 @@ func (s *Instance) canaryDue() bool {
 	return time.Since(s.lastCanary) >= s.canaryEvery
 }
 
-// runCanary probes the mesh with an audited round over a small synthetic
-// batch and closes the circuit when the round completes and every answer
-// agrees with the host oracle. Canary answers go nowhere — the probe exists
-// only to decide whether real traffic can trust the mesh again.
+// runCanary probes the mesh with one audited round per enabled kind over
+// each kind's small synthetic probe set, and closes the circuit only when
+// every round completes and every answer agrees with the kind's host
+// oracle. Canary answers go nowhere — the probe exists only to decide
+// whether real traffic can trust the mesh again, and a mesh distrusted for
+// one kind is distrusted for all (the fault classes are mesh-level, not
+// structure-level).
 func (s *Instance) runCanary() {
 	s.lastCanary = time.Now()
 	s.canaryRounds.Add(1)
-	needles := s.canaryNeedles()
-	queries := make([]core.Query, len(needles))
-	for i, k := range needles {
-		queries[i].Cur = s.bt.Root
-		queries[i].State[0] = k
-	}
 	s.m.SetAudit(true)
-	results, _, err := s.meshRound(fmt.Sprintf("canary %d", s.canaryRounds.Load()), "canary", queries)
-	s.m.SetAudit(s.cfg.Audit)
-	ok := err == nil
-	if ok {
-		for i, k := range needles {
-			leaf, found, _ := s.bt.HostLookup(k)
-			if dict.Member(results[i]) != found || results[i].State[dict.StateLeafKey] != leaf {
+	ok := true
+	var firstErr error
+	for _, kind := range s.kinds {
+		kr := s.kr[kind]
+		probes := kr.st.Canary()
+		if len(probes) > s.m.N() {
+			probes = probes[:s.m.N()]
+		}
+		queries := kr.st.MakeQueries(probes)
+		results, _, err := s.meshRound(kr, fmt.Sprintf("canary %s %d", kind, s.canaryRounds.Load()), "canary", queries)
+		if err != nil {
+			ok = false
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		for i, probe := range probes {
+			got := kr.st.Extract(results, i)
+			want := HostAnswer(kr.st, probe)
+			if got.Found != want.Found || got.Value != want.Value {
 				ok = false // silent corruption the audit did not catch
 				break
 			}
 		}
+		if !ok {
+			break
+		}
 	}
+	s.m.SetAudit(s.cfg.Audit)
 	if ok {
 		s.closeCircuit()
 		return
 	}
 	s.canaryFailures.Add(1)
-	if err != nil {
-		s.faults[core.Classify(err)].Add(1)
+	if firstErr != nil {
+		s.faults[core.Classify(firstErr)].Add(1)
 	}
-}
-
-// canaryNeedles picks a small probe set spanning the key range: known
-// members at both ends and the middle, plus guaranteed leaf-boundary
-// probes on either side of them.
-func (s *Instance) canaryNeedles() []int64 {
-	ks := s.bt.Keys
-	probes := []int64{ks[0], ks[len(ks)/2], ks[len(ks)-1], ks[0] - 1, ks[len(ks)-1] + 1, ks[len(ks)/2] + 1}
-	if len(probes) > s.m.N() {
-		probes = probes[:s.m.N()]
-	}
-	return probes
 }

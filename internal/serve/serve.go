@@ -1,27 +1,33 @@
 // Package serve turns the batch multisearch machinery into a query-serving
-// subsystem: a long-lived mesh holding a built hierarchical DAG (the dict
-// (a,b)-tree), an admission queue accepting lookups from many concurrent
-// clients, and a round loop that collects admitted queries into batches and
-// answers each batch with one multisearch round (DESIGN.md §3.5).
+// subsystem: a long-lived mesh holding built search structures — one per
+// enabled query Kind: the dict (a,b)-tree, the Kirkpatrick point-location
+// DAG, the interval rank trees, the xy-shadow wedge tree and the DK
+// hierarchy — per-kind admission queues accepting lookups from many
+// concurrent clients, and a round loop that collects admitted queries into
+// per-kind batches and answers each batch with one multisearch round
+// (DESIGN.md §3.5, §3.10).
 //
-// The serving loop is two pipeline stages connected by a one-slot channel:
-// the collector assembles the next batch (blocking for the first query, then
-// filling until the batch is full or the linger deadline passes) while the
-// executor simulates the current round — host-side batch assembly overlaps
-// simulated mesh time. Admission is bounded: when the queue is full, Lookup
-// fails fast with ErrOverloaded rather than queueing unboundedly. Shutdown
-// closes admission, drains every in-flight batch through the normal round
-// path, and only cancels the mesh run (via the run-control context seam) if
-// the caller's drain deadline expires.
+// The serving loop is per-kind collectors feeding one executor through a
+// one-slot channel: each collector assembles its kind's next batch
+// (blocking for the first query, then filling until the batch is full or
+// the linger deadline passes) while the executor simulates the current
+// round — host-side batch assembly overlaps simulated mesh time, and rounds
+// for different kinds interleave on the shared mesh (mixed-workload
+// rounds), each under its own step budget. Admission is bounded per kind:
+// when a kind's queue is full, Lookup fails fast with ErrOverloaded rather
+// than queueing unboundedly. Shutdown closes admission, drains every
+// in-flight batch through the normal round path, and only cancels the mesh
+// run (via the run-control context seam) if the caller's drain deadline
+// expires.
 //
 // Round failures are not user-visible (DESIGN.md §3.6): a faulted round is
 // classified (core.Classify), re-executed with auditing forced on under
 // jittered backoff, and — if the mesh keeps failing — the batch is answered
-// by the host-side dictionary oracle, flagged Degraded. A sliding-window
+// by the kind's host-side oracle descent, flagged Degraded. A sliding-window
 // circuit breaker drives a health state machine (healthy → degraded →
 // lame-duck) exposed on /healthz; an open circuit routes batches straight
-// to the oracle while periodic audited canary rounds probe the mesh and
-// close the circuit on success.
+// to the oracle while periodic audited canary rounds probe the mesh across
+// every enabled kind and close the circuit on success.
 package serve
 
 import (
@@ -53,6 +59,10 @@ var ErrClosed = errors.New("serve: server closed")
 // trigger — re-dispatch to a healthy replica, then the fleet-level oracle.
 var ErrCircuitOpen = errors.New("serve: circuit open, mesh path unavailable")
 
+// ErrKindNotServed is returned by LookupKind for a kind this instance was
+// not configured to serve (HTTP surfaces map it to 400).
+var ErrKindNotServed = errors.New("serve: kind not served by this instance")
+
 // Config configures a Server. The zero value of every field has a usable
 // default except Side, which must be a positive power of two.
 type Config struct {
@@ -63,14 +73,21 @@ type Config struct {
 	Keys []int64
 	// A, B select the (a,b)-tree arity; 0,0 defaults to a 2-3 tree.
 	A, B int
+	// Kinds lists the extra query kinds to serve besides membership, which
+	// is always enabled. Nil serves membership only — the pre-kind behaviour.
+	// Each kind's structure is built deterministically from (Side, Keys) and
+	// loaded onto the shared mesh with its own core.Instance registers.
+	Kinds []Kind
 	// Model selects the mesh cost model (default CostCounted).
 	Model mesh.CostModel
 	// MaxBatch caps the queries per multisearch round. 0 defaults to n,
-	// one query per processor; larger values are clamped to n.
+	// one query per processor; larger values are clamped to n. Kinds that
+	// expand one request into several mesh queries divide this cap.
 	MaxBatch int
-	// QueueDepth bounds the admission queue. 0 defaults to 4×MaxBatch.
+	// QueueDepth bounds each kind's admission queue. 0 defaults to
+	// 4×MaxBatch.
 	QueueDepth int
-	// Linger is how long the collector waits to fill a batch after its
+	// Linger is how long a collector waits to fill a batch after its
 	// first query arrives. ≤ 0 means no waiting: a round starts with
 	// whatever is already queued.
 	Linger time.Duration
@@ -78,6 +95,9 @@ type Config struct {
 	// a round that exceeds it fails with a *mesh.BudgetExceededError
 	// delivered to every query of the batch. 0 = unlimited.
 	Budget int64
+	// KindBudgets overrides Budget per kind (per-kind step budgets for
+	// mixed-workload rounds); kinds absent from the map use Budget.
+	KindBudgets map[Kind]int64
 	// Tracer, when set, records one traced run per round — including every
 	// retry re-execution and canary probe, each tagged in its run label
 	// (retention is bounded by RetainRuns) — and feeds the /metrics live
@@ -133,20 +153,38 @@ type Config struct {
 	// /debug/traces. Nil (the default) disables all of it at the cost of one
 	// pointer check per stage boundary — the mesh.Tracer/Injector pattern.
 	// An instance inside a fleet shares the fleet's Observer, so its stage
-	// marks land on the trace the fleet began.
+	// marks land on the trace the fleet began. An Observer built with
+	// obs.Config.Classes = KindNames() splits stage histograms by kind.
 	Obs *obs.Observer
 }
 
 // Result is the answer to one lookup.
 type Result struct {
+	Kind    Kind  `json:"kind"`
 	Needle  int64 `json:"needle"`
 	Found   bool  `json:"found"`
-	LeafKey int64 `json:"leaf_key"` // key of the reached leaf
-	Steps   int32 `json:"steps"`    // search-path length of this query
-	Round   int64 `json:"round"`    // serving round that answered it
+	LeafKey int64 `json:"leaf_key"` // key of the reached leaf (= Value)
+	// Value is the kind's primary answer: leaf key (membership), triangle
+	// index (pointloc), intersection count (interval), wedge index
+	// (linepoly), extreme vertex index (tangent).
+	Value int64 `json:"value"`
+	// Aux is the kind's secondary answer (the tangent plane offset d·v).
+	Aux   int64 `json:"aux,omitempty"`
+	Steps int32 `json:"steps"` // search-path length of this query
+	Round int64 `json:"round"` // serving round that answered it
 	// Degraded marks an answer produced by the host-side oracle instead of
 	// a mesh round: correct, but unaccounted in simulated mesh steps.
 	Degraded bool `json:"degraded,omitempty"`
+}
+
+// KindStats is the per-kind slice of the serving counters.
+type KindStats struct {
+	Kind     string         `json:"kind"`
+	Served   int64          `json:"served"`
+	Degraded int64          `json:"degraded"`
+	Rounds   int64          `json:"rounds"`
+	SimSteps int64          `json:"sim_steps"`
+	Latency  LatencySummary `json:"latency"`
 }
 
 // Stats is a point-in-time snapshot of the serving counters. Served counts
@@ -189,11 +227,15 @@ type Stats struct {
 	// for continuity with PR 6 dashboards.
 	LatencyMesh     LatencySummary `json:"latency_mesh"`
 	LatencyDegraded LatencySummary `json:"latency_degraded"`
+
+	// Kinds splits the served/degraded/round counters and latency by query
+	// kind, in enabled-kind order (DESIGN.md §3.10).
+	Kinds []KindStats `json:"kinds,omitempty"`
 }
 
 type request struct {
-	needle int64
-	resp   chan response
+	args Args
+	resp chan response
 	// tr is the request's wall-clock trace (nil when observability is off).
 	// Ownership moves with the request along the pipeline's channel handoffs
 	// — Lookup → queue → collector → batches → executor → resp → Lookup —
@@ -206,20 +248,43 @@ type response struct {
 	err error
 }
 
-// Instance owns one mesh with a built dictionary and serves batched lookups
-// against it: the collector/executor pair, the recovery ladder, the breaker
-// state, and the serving counters — the unit internal/fleet replicates and
-// routes between. Safe for concurrent use.
+// kindRuntime is one enabled kind's serving state: its structure, its
+// mesh-resident registers, its admission queue and collector, its step
+// budget and its counters. The executor multiplexes rounds across the
+// runtimes on the one shared mesh.
+type kindRuntime struct {
+	kind     Kind
+	st       Structure
+	in       *core.Instance
+	queue    chan request
+	budget   int64
+	maxBatch int // requests per round: Config.MaxBatch / PerRequest
+
+	rounds, served, degraded, simSteps atomic.Int64
+	lat                                Histogram
+}
+
+// kindBatch is one collected batch annotated with its kind runtime.
+type kindBatch struct {
+	kr   *kindRuntime
+	reqs []request
+}
+
+// Instance owns one mesh with the built structures of its enabled kinds and
+// serves batched lookups against them: the per-kind collectors, the shared
+// executor, the recovery ladder, the breaker state, and the serving
+// counters — the unit internal/fleet replicates and routes between. Safe
+// for concurrent use.
 type Instance struct {
 	cfg      Config
 	m        *mesh.Mesh
+	ss       *StructureSet
 	bt       *dict.BTree
-	in       *core.Instance
-	maxPart  int
+	kinds    []Kind
+	kr       [NumKinds]*kindRuntime
 	maxBatch int
 
-	queue   chan request
-	batches chan []request
+	batches chan kindBatch
 	runCtx  context.Context
 	cancel  context.CancelFunc
 	done    chan struct{}
@@ -257,12 +322,13 @@ type Instance struct {
 }
 
 // Server is the historical name for a standalone Instance: one mesh, one
-// dictionary, one recovery ladder. A fleet is N Instances behind a router
-// (internal/fleet); a Server is the degenerate one-replica fleet.
+// structure set, one recovery ladder. A fleet is N Instances behind a
+// router (internal/fleet); a Server is the degenerate one-replica fleet.
 type Server = Instance
 
-// New builds the dictionary, loads it onto a fresh mesh, and starts the
-// serving loop. The returned instance answers Lookups until Shutdown.
+// New builds the enabled kinds' structures, loads them onto a fresh mesh,
+// and starts the serving loop. The returned instance answers Lookups until
+// Shutdown.
 func New(cfg Config) (*Instance, error) {
 	if cfg.Side <= 0 || cfg.Side&(cfg.Side-1) != 0 {
 		return nil, fmt.Errorf("serve: side must be a positive power of two, got %d", cfg.Side)
@@ -279,10 +345,9 @@ func New(cfg Config) (*Instance, error) {
 	if a == 0 && b == 0 {
 		a, b = 2, 3
 	}
-	bt := dict.New(keys, a, b)
-	if bt.G.N() > n {
-		return nil, fmt.Errorf("serve: (%d,%d)-tree over %d keys needs %d processors, mesh has %d",
-			a, b, len(keys), bt.G.N(), n)
+	ss, err := BuildStructures(cfg.Side, keys, a, b, cfg.Kinds)
+	if err != nil {
+		return nil, err
 	}
 	maxBatch := cfg.MaxBatch
 	if maxBatch <= 0 || maxBatch > n {
@@ -337,11 +402,11 @@ func New(cfg Config) (*Instance, error) {
 	s := &Instance{
 		cfg:         cfg,
 		m:           m,
-		bt:          bt,
-		maxPart:     bt.InstallSplitter(),
+		ss:          ss,
+		bt:          ss.Membership(),
+		kinds:       ss.Kinds(),
 		maxBatch:    maxBatch,
-		queue:       make(chan request, depth),
-		batches:     make(chan []request, 1),
+		batches:     make(chan kindBatch, 1),
 		runCtx:      ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
@@ -352,8 +417,23 @@ func New(cfg Config) (*Instance, error) {
 		nudge:       make(chan struct{}, 1),
 		obs:         cfg.Obs,
 	}
-	s.in = core.NewInstance(m, bt.G, nil, dict.Successor)
-	// The injector goes in only after the dictionary is resident: a fault
+	for _, k := range s.kinds {
+		st := ss.Get(k)
+		per := max(1, st.PerRequest())
+		kr := &kindRuntime{
+			kind:     k,
+			st:       st,
+			in:       core.NewInstance(m, st.Graph(), nil, st.Successor()),
+			queue:    make(chan request, depth),
+			budget:   cfg.Budget,
+			maxBatch: max(1, maxBatch/per),
+		}
+		if kb, ok := cfg.KindBudgets[k]; ok {
+			kr.budget = kb
+		}
+		s.kr[k] = kr
+	}
+	// The injector goes in only after every structure is resident: a fault
 	// injected during host-side construction would surface outside the
 	// core.Run containment boundary and crash the process instead of
 	// entering the recovery ladder. The serving goroutines have not started,
@@ -361,7 +441,19 @@ func New(cfg Config) (*Instance, error) {
 	if cfg.Injector != nil {
 		m.SetInjector(cfg.Injector)
 	}
-	go s.collect()
+	var collectors sync.WaitGroup
+	for _, k := range s.kinds {
+		collectors.Add(1)
+		kr := s.kr[k]
+		go func() {
+			defer collectors.Done()
+			s.collect(kr)
+		}()
+	}
+	go func() {
+		collectors.Wait()
+		close(s.batches)
+	}()
 	go s.execute()
 	if canaryEvery > 0 && !cfg.DisableDegrade {
 		go s.canaryTicker()
@@ -385,18 +477,39 @@ func (s *Instance) Health() Health {
 // load generator).
 func (s *Instance) Tree() *dict.BTree { return s.bt }
 
-// MaxBatch reports the effective per-round batch cap.
+// Structures exposes the kind registry (fleet oracle rung, load-generator
+// oracle checks, tests).
+func (s *Instance) Structures() *StructureSet { return s.ss }
+
+// Kinds lists the kinds this instance serves, in registry order.
+func (s *Instance) Kinds() []Kind { return append([]Kind(nil), s.kinds...) }
+
+// MaxBatch reports the effective per-round batch cap (membership; kinds
+// with PerRequest > 1 divide it).
 func (s *Instance) MaxBatch() int { return s.maxBatch }
 
 // Side reports the mesh side length.
 func (s *Instance) Side() int { return s.cfg.Side }
 
-// QueueLen is the current admission-queue depth — the load signal the
-// fleet's least-loaded routing policy reads. A point-in-time sample.
-func (s *Instance) QueueLen() int { return len(s.queue) }
+// QueueLen is the current admission backlog summed across kinds — the load
+// signal the fleet's least-loaded routing policy reads. A point-in-time
+// sample.
+func (s *Instance) QueueLen() int {
+	total := 0
+	for _, k := range s.kinds {
+		total += len(s.kr[k].queue)
+	}
+	return total
+}
 
-// QueueCap is the admission queue's capacity.
-func (s *Instance) QueueCap() int { return cap(s.queue) }
+// QueueCap is the admission capacity summed across kinds.
+func (s *Instance) QueueCap() int {
+	total := 0
+	for _, k := range s.kinds {
+		total += cap(s.kr[k].queue)
+	}
+	return total
+}
 
 // RetryAfterHint estimates how long a rejected (or routed-around) client
 // should wait before retrying this instance: the time for the current
@@ -410,7 +523,7 @@ func (s *Instance) RetryAfterHint() time.Duration {
 	if per <= 0 {
 		per = time.Millisecond
 	}
-	hint := time.Duration(len(s.queue)/s.maxBatch+1) * per
+	hint := time.Duration(s.QueueLen()/s.maxBatch+1) * per
 	if s.circuitOpen.Load() && s.canaryEvery > hint {
 		hint = s.canaryEvery
 	}
@@ -421,7 +534,19 @@ func (s *Instance) RetryAfterHint() time.Duration {
 // ctx is done, or the server refuses it (ErrOverloaded when the admission
 // queue is full, ErrClosed after Shutdown).
 func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
+	return s.LookupKind(ctx, KindMembership, Args{needle})
+}
+
+// LookupKind submits one query of the given kind and blocks until its round
+// completes, ctx is done, or the server refuses it (ErrOverloaded when the
+// kind's admission queue is full, ErrClosed after Shutdown,
+// ErrKindNotServed for a kind this instance does not serve).
+func (s *Instance) LookupKind(ctx context.Context, kind Kind, args Args) (Result, error) {
 	start := time.Now()
+	if kind >= NumKinds || s.kr[kind] == nil {
+		return Result{}, ErrKindNotServed
+	}
+	kr := s.kr[kind]
 	// Observability (nil s.obs skips everything, even the ctx lookups): the
 	// trace either arrives on ctx — the fleet began it and will finish it —
 	// or is begun here, in which case this call finishes it ("creator
@@ -430,11 +555,11 @@ func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 	created := false
 	if s.obs != nil {
 		if tr = obs.FromContext(ctx); tr == nil {
-			tr = s.obs.Begin(obs.ParentFromContext(ctx), needle, start)
+			tr = s.obs.BeginClass(int(kind), obs.ParentFromContext(ctx), args[0], start)
 			created = true
 		}
 	}
-	req := request{needle: needle, resp: make(chan response, 1), tr: tr}
+	req := request{args: args, resp: make(chan response, 1), tr: tr}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -452,7 +577,7 @@ func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 	// Non-blocking admission under the read lock: Shutdown takes the write
 	// lock before closing the queue, so this send cannot race the close.
 	select {
-	case s.queue <- req:
+	case kr.queue <- req:
 		s.mu.RUnlock()
 		s.accepted.Add(1)
 	default:
@@ -470,6 +595,7 @@ func (s *Instance) Lookup(ctx context.Context, needle int64) (Result, error) {
 		// not pollute the serving histogram.
 		e2e := time.Since(start)
 		s.lat.Observe(e2e)
+		kr.lat.Observe(e2e)
 		if r.err == nil {
 			if r.res.Degraded {
 				s.latDegraded.Observe(e2e)
@@ -515,30 +641,39 @@ func (s *Instance) LatencyByOutcome() (mesh, degraded HistSnapshot) {
 	return s.latMesh.Snapshot(), s.latDegraded.Snapshot()
 }
 
+// LatencyByKind exposes one kind's answered-lookup latency histogram (zero
+// snapshot for kinds not served).
+func (s *Instance) LatencyByKind(k Kind) HistSnapshot {
+	if k >= NumKinds || s.kr[k] == nil {
+		return HistSnapshot{}
+	}
+	return s.kr[k].lat.Snapshot()
+}
+
 // Observer exposes the installed observability hub (nil when disabled).
 func (s *Instance) Observer() *obs.Observer { return s.obs }
 
-// collect is the admission stage: it blocks for a round's first query, then
-// fills the batch until MaxBatch or the linger deadline, and hands it to the
-// executor. The one-slot batches channel lets the next batch assemble while
-// the current round simulates.
-func (s *Instance) collect() {
-	defer close(s.batches)
+// collect is one kind's admission stage: it blocks for a round's first
+// query, then fills the batch until the kind's batch cap or the linger
+// deadline, and hands it to the executor. The one-slot batches channel lets
+// the next batch assemble while the current round simulates; batches of
+// different kinds interleave in arrival order.
+func (s *Instance) collect(kr *kindRuntime) {
 	for {
-		first, ok := <-s.queue
+		first, ok := <-kr.queue
 		if !ok {
 			return
 		}
 		if first.tr != nil {
 			first.tr.Mark(obs.StageQueue)
 		}
-		batch := append(make([]request, 0, s.maxBatch), first)
+		batch := append(make([]request, 0, kr.maxBatch), first)
 		if s.cfg.Linger > 0 {
 			timer := time.NewTimer(s.cfg.Linger)
 		fill:
-			for len(batch) < s.maxBatch {
+			for len(batch) < kr.maxBatch {
 				select {
-				case r, ok := <-s.queue:
+				case r, ok := <-kr.queue:
 					if !ok {
 						break fill
 					}
@@ -553,9 +688,9 @@ func (s *Instance) collect() {
 			timer.Stop()
 		} else {
 		greedy:
-			for len(batch) < s.maxBatch {
+			for len(batch) < kr.maxBatch {
 				select {
-				case r, ok := <-s.queue:
+				case r, ok := <-kr.queue:
 					if !ok {
 						break greedy
 					}
@@ -568,23 +703,23 @@ func (s *Instance) collect() {
 				}
 			}
 		}
-		s.batches <- batch
+		s.batches <- kindBatch{kr: kr, reqs: batch}
 	}
 }
 
-// execute serves batches until the collector drains, waking for idle
+// execute serves batches until every collector drains, waking for idle
 // canary probes while the circuit is open. It is the only goroutine that
-// touches the mesh, which is what makes the recovery ladder's audit
-// toggling and breaker bookkeeping lock-free.
+// touches the mesh, which is what makes the recovery ladder's audit and
+// budget toggling and breaker bookkeeping lock-free.
 func (s *Instance) execute() {
 	defer close(s.done)
 	for {
 		select {
-		case batch, ok := <-s.batches:
+		case b, ok := <-s.batches:
 			if !ok {
 				return
 			}
-			s.serveBatch(batch)
+			s.serveBatch(b.kr, b.reqs)
 		case <-s.nudge:
 			if s.circuitOpen.Load() && !s.lameduck.Load() && s.canaryDue() {
 				s.runCanary()
@@ -627,7 +762,9 @@ func (s *Instance) Shutdown(ctx context.Context) error {
 	}
 	s.closed = true
 	s.lameduck.Store(true) // /healthz flips to 503 while the drain runs
-	close(s.queue)
+	for _, k := range s.kinds {
+		close(s.kr[k].queue)
+	}
 	s.mu.Unlock()
 
 	select {
@@ -643,7 +780,7 @@ func (s *Instance) Shutdown(ctx context.Context) error {
 
 // Stats returns a snapshot of the serving counters.
 func (s *Instance) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Accepted:   s.accepted.Load(),
 		Rejected:   s.rejected.Load(),
 		Served:     s.served.Load(),
@@ -672,4 +809,16 @@ func (s *Instance) Stats() Stats {
 		LatencyMesh:     s.latMesh.Snapshot().Summary(),
 		LatencyDegraded: s.latDegraded.Snapshot().Summary(),
 	}
+	for _, k := range s.kinds {
+		kr := s.kr[k]
+		st.Kinds = append(st.Kinds, KindStats{
+			Kind:     k.String(),
+			Served:   kr.served.Load(),
+			Degraded: kr.degraded.Load(),
+			Rounds:   kr.rounds.Load(),
+			SimSteps: kr.simSteps.Load(),
+			Latency:  kr.lat.Snapshot().Summary(),
+		})
+	}
+	return st
 }
