@@ -122,6 +122,16 @@ func main() {
 	chaosKillEvery := flag.Duration("chaos-kill-every", 500*time.Millisecond, "mean interval between instance kills (-chaos-instance)")
 	chaosDowntime := flag.Duration("chaos-downtime", 250*time.Millisecond, "how long a killed instance stays down before restart (-chaos-instance)")
 
+	outage := flag.String("outage", "", "gray-failure schedule: per-replica latency injection, e.g. \"slow:r1:10x@2s,stall:r2@5s\" (needs -replicas ≥ 2; see DESIGN.md §3.11)")
+	hedge := flag.Bool("hedge", false, "hedge slow dispatches: speculatively re-dispatch to a second replica after the hedge delay, first answer wins (§3.11)")
+	hedgeDelay := flag.Duration("hedge-delay", 0, "fixed hedge delay (0 = adaptive: -hedge-p99x × the median per-replica p99)")
+	hedgeP99x := flag.Float64("hedge-p99x", 3, "adaptive hedge delay multiple of the per-replica p99 median (-hedge)")
+	eject := flag.Bool("eject", false, "eject latency-outlier replicas from routing until canary probes re-admit them (§3.11)")
+	ejectMultiple := flag.Float64("eject-multiple", 4, "eject a replica whose EWMA latency exceeds this multiple of the fleet median (-eject)")
+	ejectProbe := flag.Duration("eject-probe-interval", 100*time.Millisecond, "how often ejected replicas are probed for re-admission (-eject)")
+	outageCompare := flag.Bool("outage-compare", false, "run the -outage plan twice over the same arrival plan — plain failover vs hedging+ejection — and report the p99 recovery ratio (workload)")
+	outageMinRecovery := flag.Float64("outage-min-recovery", 0, "fail unless the -outage-compare p99 recovery ratio reaches this bound (0 = report only)")
+
 	workload := flag.String("workload", "", "open-loop workload mode: poisson | burst | replay (see DESIGN.md §3.7)")
 	target := flag.String("target", "", "drive a remote meshserve at this base URL (e.g. http://host:8845) instead of an in-process server (workload; remote must serve the default key set)")
 	sweepReplicas := flag.String("sweep-replicas", "", "capacity-planning sweep: comma-separated replica counts, one saturation search each (workload -saturate)")
@@ -201,6 +211,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "meshserve: -chaos forces -audit on (faults must trip the audit, not corrupt answers)")
 			*audit = true
 		}
+		// Satellite of §3.11: the retry ladder's backoff jitter draws from a
+		// chaos-derived seed, so a chaos run's whole recovery timeline —
+		// faults AND backoff sleeps — replays deterministically.
+		cfg.BackoffSeed = *chaos
 	}
 	cfg.Audit = *audit
 
@@ -245,6 +259,28 @@ func main() {
 		fmt.Fprintln(os.Stderr, "meshserve: -chaos-instance needs -replicas ≥ 2 (the monkey never kills the last replica)")
 		os.Exit(2)
 	}
+	var outagePlanParsed outagePlan
+	if *outage != "" {
+		if *replicas < 2 {
+			fmt.Fprintln(os.Stderr, "meshserve: -outage needs -replicas ≥ 2 (gray-failure resilience is routing around a slow replica)")
+			os.Exit(2)
+		}
+		plan, err := parseOutage(*outage, *replicas, *seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
+			os.Exit(2)
+		}
+		outagePlanParsed = plan
+		// Unlike -chaos this does NOT force -audit: latency injection is a
+		// gray failure — every answer stays correct, no audit would trip.
+		makeInjector = plan.makeInjector(makeInjector)
+	}
+	if *outageCompare && (*outage == "" || *workload == "") {
+		fmt.Fprintln(os.Stderr, "meshserve: -outage-compare needs -outage and -workload (it reruns one arrival plan with and without hedging+ejection)")
+		os.Exit(2)
+	}
+	hedgeCfg := fleet.HedgeConfig{Enabled: *hedge, Delay: *hedgeDelay, P99Multiple: *hedgeP99x}
+	ejectCfg := fleet.EjectConfig{Enabled: *eject, Multiple: *ejectMultiple, ProbeInterval: *ejectProbe}
 	if *loadgen && *replicas > 1 {
 		fmt.Fprintln(os.Stderr, "meshserve: -loadgen drives one instance; use -workload for fleet runs")
 		os.Exit(2)
@@ -278,6 +314,9 @@ func main() {
 			sweepReplicas: *sweepReplicas, makeInjector: makeInjector,
 			chaosInstance: *chaosInstance, chaosKillEvery: *chaosKillEvery,
 			chaosDowntime: *chaosDowntime,
+			outage:        *outage, outagePlan: outagePlanParsed,
+			outageCompare: *outageCompare, outageMinRecovery: *outageMinRecovery,
+			hedgeCfg: hedgeCfg, ejectCfg: ejectCfg,
 		}
 		if err := runWorkload(cfg, f); err != nil {
 			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
@@ -298,7 +337,7 @@ func main() {
 		return
 	}
 	if *replicas > 1 {
-		fc := fleetConfig(cfg, *replicas, *policy, makeInjector)
+		fc := fleetConfig(cfg, *replicas, *policy, makeInjector, hedgeCfg, ejectCfg)
 		chaos := fleet.ChaosConfig{Seed: *chaosInstance, KillEvery: *chaosKillEvery, Downtime: *chaosDowntime}
 		if err := runServeFleet(fc, *addr, *drain, chaos); err != nil {
 			fmt.Fprintf(os.Stderr, "meshserve: %v\n", err)
@@ -315,7 +354,7 @@ func main() {
 // fleetConfig assembles the fleet template from the per-instance serve
 // config: every replica gets its own tracer (a tracer records one mesh) and,
 // under -chaos, its own derived fault injector.
-func fleetConfig(cfg serve.Config, replicas int, policyName string, makeInjector func(i int) mesh.Injector) fleet.Config {
+func fleetConfig(cfg serve.Config, replicas int, policyName string, makeInjector func(i int) mesh.Injector, hedge fleet.HedgeConfig, eject fleet.EjectConfig) fleet.Config {
 	pol, err := fleet.PolicyByName(policyName)
 	if err != nil {
 		pol = fleet.RoundRobin() // validated in main; sweep passes "all"
@@ -329,7 +368,9 @@ func fleetConfig(cfg serve.Config, replicas int, policyName string, makeInjector
 		// Unlike tracers and injectors, the observer is deliberately shared:
 		// a failed-over request's trace must accumulate stage marks from
 		// every replica it touched, in one place.
-		Obs: cfg.Obs,
+		Obs:   cfg.Obs,
+		Hedge: hedge,
+		Eject: eject,
 	}
 }
 
@@ -386,6 +427,12 @@ func printFleetStats(st fleet.Stats) {
 			"meshserve: chaos — %d crashes, %d restarts, time-to-healthy last %s / max %s\n",
 			st.Crashes, st.Restarts,
 			st.LastTimeToHealthy.Round(time.Millisecond), st.MaxTimeToHealthy.Round(time.Millisecond))
+	}
+	if st.Hedges > 0 || st.Ejections > 0 || st.BudgetShed > 0 || st.Agg.BudgetShed > 0 {
+		fmt.Fprintf(os.Stderr,
+			"meshserve: gray-failure — %d hedges (%d won), %d ejections / %d readmissions (%d probes), budget shed %d fleet + %d instance\n",
+			st.Hedges, st.HedgeWins, st.Ejections, st.Readmissions, st.EjectProbes,
+			st.BudgetShed, st.Agg.BudgetShed)
 	}
 }
 
@@ -506,6 +553,18 @@ func runLoadgen(cfg serve.Config, counts []int, dur time.Duration, seed int64, d
 							return // measurement window closed, not a lost query
 						}
 						fail(fmt.Errorf("lookup of %d exceeded its %s deadline", needle, deadline))
+						return
+					case errors.Is(err, serve.ErrBudgetExhausted):
+						// The measurement-window context doubles as each
+						// query's outer deadline, so as the window closes the
+						// budget rung rightly sheds queries that cannot finish
+						// in time — end of stream, not a lost query. Only a
+						// shed against the per-query deadline itself counts
+						// as a failure.
+						if wd, ok := ctx.Deadline(); ok && (deadline <= 0 || time.Until(wd) < deadline) {
+							return
+						}
+						fail(fmt.Errorf("lookup of %d shed mid-window: %w", needle, err))
 						return
 					case err != nil:
 						fail(fmt.Errorf("lookup of %d failed: %w", needle, err))

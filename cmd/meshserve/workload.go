@@ -60,6 +60,14 @@ type workloadFlags struct {
 	chaosInstance  int64
 	chaosKillEvery time.Duration
 	chaosDowntime  time.Duration
+
+	// Gray-failure resilience (-outage and friends, DESIGN.md §3.11).
+	outage            string     // raw -outage spec for banners and bench docs
+	outagePlan        outagePlan // parsed plan (already folded into makeInjector)
+	outageCompare     bool
+	outageMinRecovery float64
+	hedgeCfg          fleet.HedgeConfig
+	ejectCfg          fleet.EjectConfig
 }
 
 // wlTarget is what the harness drives: a single in-process instance, an
@@ -127,7 +135,7 @@ func newTarget(cfg serve.Config, f workloadFlags, replicas int, policyName strin
 // chaos monkey when -chaos-instance is set (and the fleet is big enough for
 // the monkey to ever fire).
 func newFleetTarget(cfg serve.Config, f workloadFlags, replicas int, policyName string) (*wlTarget, error) {
-	fc := fleetConfig(cfg, replicas, policyName, f.makeInjector)
+	fc := fleetConfig(cfg, replicas, policyName, f.makeInjector, f.hedgeCfg, f.ejectCfg)
 	fl, err := fleet.New(fc)
 	if err != nil {
 		return nil, err
@@ -258,6 +266,9 @@ func (t *wlTarget) runConfig(events []loadgen.TraceEvent, f workloadFlags) loadg
 func runWorkload(cfg serve.Config, f workloadFlags) error {
 	if f.sweepReplicas != "" {
 		return runSweep(cfg, f)
+	}
+	if f.outageCompare {
+		return runOutageCompare(cfg, f)
 	}
 	t, err := newTarget(cfg, f, f.replicas, f.policy, false)
 	if err != nil {
@@ -611,10 +622,12 @@ type benchDoc struct {
 	Target     string              `json:"target,omitempty"`
 	Replicas   int                 `json:"replicas,omitempty"`
 	Policy     string              `json:"policy,omitempty"`
+	Outage     string              `json:"outage,omitempty"`
 	Report     *loadgen.Report     `json:"report,omitempty"`
 	Saturation *loadgen.KneeReport `json:"saturation,omitempty"`
 	Sweep      []sweepEntry        `json:"sweep,omitempty"`
 	Fleet      *fleet.Stats        `json:"fleet,omitempty"`
+	Compare    *compareDoc         `json:"compare,omitempty"`
 }
 
 func writeBench(path string, cfg serve.Config, f workloadFlags, t *wlTarget, rep *loadgen.Report, kr *loadgen.KneeReport, sweep []sweepEntry) error {
@@ -639,6 +652,11 @@ func writeBench(path string, cfg serve.Config, f workloadFlags, t *wlTarget, rep
 	if f.kinds != "" {
 		doc.PR = 9
 		doc.Title = "Typed query-kind serving (E25)"
+	}
+	if f.outage != "" {
+		doc.PR = 10
+		doc.Title = "Gray-failure resilience: hedging + latency ejection (E26)"
+		doc.Outage = f.outage
 	}
 	if kr != nil {
 		doc.Saturation = kr

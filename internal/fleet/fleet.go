@@ -94,6 +94,11 @@ type Config struct {
 	// across failover hops, and every replica's stage marks land in one set
 	// of histograms. Nil disables observability fleet-wide.
 	Obs *obs.Observer
+	// Hedge configures speculative re-dispatch of slow lookups; Eject
+	// configures latency-outlier replica ejection (both DESIGN.md §3.11,
+	// both default off).
+	Hedge HedgeConfig
+	Eject EjectConfig
 }
 
 // Result is one answered lookup plus its provenance: which replica served
@@ -116,6 +121,17 @@ type replica struct {
 	crashes   int64
 	lastTTH   time.Duration
 	lost      serve.Stats
+
+	// Gray-failure state (§3.11): the EWMA latency score over answered
+	// dispatches (plus censored hedge/probe samples), the sample count
+	// gating it, and the ejection verdict — all reset on restart, because a
+	// fresh incarnation owes nothing to the old one's slowness. The
+	// dispatch-latency histogram (the adaptive hedge delay reads its p99)
+	// is cumulative across incarnations, like every other histogram here.
+	ewmaNS     atomic.Int64
+	latSamples atomic.Int64
+	ejected    atomic.Bool
+	lat        serve.Histogram
 }
 
 // Fleet is N serve instances behind a router. Safe for concurrent use.
@@ -138,12 +154,24 @@ type Fleet struct {
 	unrouted       atomic.Int64 // lookups that found no routable replica
 	crashes        atomic.Int64
 	restarts       atomic.Int64
-	lastTTH        atomic.Int64 // ns, most recent crash → healthy
-	maxTTH         atomic.Int64 // ns, worst observed
-	lat            serve.Histogram
-	latFailover    serve.Histogram // answered by a non-first pick
-	latOracle      serve.Histogram // answered by the fleet oracle rung
-	obs            *obs.Observer
+	budgetShed     atomic.Int64 // dispatches skipped: deadline budget below expected round time
+	hedges         atomic.Int64 // speculative second dispatches launched
+	hedgeWins      atomic.Int64 // hedges whose answer arrived first
+	ejections      atomic.Int64 // latency-outlier ejections (auto + manual)
+	readmissions   atomic.Int64 // ejections cleared (probes or manual)
+	ejectProbes    atomic.Int64 // canary probes sent to ejected replicas
+	hedgeDelayNS   atomic.Int64 // cached derived hedge delay
+	hedgeDelayAt   atomic.Int64 // unix ns the cache was filled
+
+	probeStop   chan struct{} // closes to stop the re-admission prober
+	probeDone   chan struct{} // closed when the prober has exited
+	probeOnce   sync.Once
+	lastTTH     atomic.Int64 // ns, most recent crash → healthy
+	maxTTH      atomic.Int64 // ns, worst observed
+	lat         serve.Histogram
+	latFailover serve.Histogram // answered by a non-first pick
+	latOracle   serve.Histogram // answered by the fleet oracle rung
+	obs         *obs.Observer
 
 	kindServed [serve.NumKinds]atomic.Int64 // answered lookups per query kind
 	kindOracle [serve.NumKinds]atomic.Int64 // fleet-oracle answers per query kind
@@ -160,6 +188,8 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Replicas > MaxReplicas {
 		return nil, &ReplicaLimitError{Replicas: cfg.Replicas}
 	}
+	cfg.Hedge.setDefaults()
+	cfg.Eject.setDefaults()
 	f := &Fleet{cfg: cfg, policy: cfg.Policy, obs: cfg.Obs}
 	if f.policy == nil {
 		f.policy = RoundRobin()
@@ -189,6 +219,11 @@ func New(cfg Config) (*Fleet, error) {
 	// even across that replica's later crashes.
 	f.ss = f.reps[0].inst.Structures()
 	f.bt = f.ss.Membership()
+	if cfg.Eject.Enabled {
+		f.probeStop = make(chan struct{})
+		f.probeDone = make(chan struct{})
+		go f.probeEjected()
+	}
 	return f, nil
 }
 
@@ -269,6 +304,8 @@ func (f *Fleet) views() []ReplicaView {
 			v.Health = inst.Health()
 			v.QueueLen = inst.QueueLen()
 			v.QueueCap = inst.QueueCap()
+			v.LatencyEWMA = time.Duration(r.ewmaNS.Load())
+			v.Ejected = r.ejected.Load()
 		}
 		out[i] = v
 	}
@@ -322,8 +359,9 @@ func (f *Fleet) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args
 	var lastErr error
 	attempts, firstIdx := 0, -1
 	overloadedOnly := true
+	deadline, hasDeadline := ctx.Deadline()
 	for attempts <= f.maxFailovers {
-		idx := f.policy.Pick(f.views(), func(i int) bool { return tried&(1<<uint(i)) != 0 })
+		idx := f.pick(tried)
 		if idx < 0 {
 			break
 		}
@@ -345,7 +383,21 @@ func (f *Fleet) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args
 			overloadedOnly = false
 			continue
 		}
-		res, err := inst.LookupKind(ctx, kind, args)
+		// Failover budget rung (§3.11): re-dispatching to a replica whose
+		// expected round time exceeds the remaining deadline budget is
+		// doomed work — skip the rung instead of burning it. The per-replica
+		// prediction is what makes this gray-failure-aware: a latency-
+		// injected replica honestly predicts long rounds, so tight-deadline
+		// lookups route past it while generous ones may still use it.
+		if hasDeadline {
+			if need := inst.ExpectedRoundTime(kind); need > 0 && time.Until(deadline) < need {
+				lastErr = serve.ErrBudgetExhausted
+				overloadedOnly = false
+				f.budgetShed.Add(1)
+				continue
+			}
+		}
+		res, servedIdx, hedgeWon, err := f.dispatchHedged(ctx, kind, args, idx, inst, &tried)
 		if err == nil {
 			failedOver := idx != firstIdx
 			if failedOver {
@@ -359,18 +411,18 @@ func (f *Fleet) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args
 				f.latFailover.Observe(e2e)
 			}
 			if tr != nil {
-				tr.Replica = idx
+				tr.Replica = servedIdx
 			}
 			if created {
 				oc := obs.OutcomeMesh
-				if failedOver {
+				if failedOver || hedgeWon {
 					oc = obs.OutcomeFailover
 				} else if res.Degraded {
 					oc = obs.OutcomeDegraded
 				}
 				f.obs.Finish(tr, oc, nil)
 			}
-			return Result{Result: res, Replica: idx}, nil
+			return Result{Result: res, Replica: servedIdx}, nil
 		}
 		if ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The client is gone, not the replica. The instance's pipeline
@@ -508,6 +560,14 @@ func (f *Fleet) RestartReplica(i int) error {
 	r.down = false
 	r.lastTTH = tth
 	r.mu.Unlock()
+	// A fresh incarnation starts with a clean latency record: the old
+	// instance's slowness (often the very reason it was crashed) must not
+	// pre-eject its replacement.
+	r.ewmaNS.Store(0)
+	r.latSamples.Store(0)
+	if r.ejected.CompareAndSwap(true, false) {
+		f.readmissions.Add(1)
+	}
 	f.restarts.Add(1)
 	f.lastTTH.Store(tth.Nanoseconds())
 	for {
@@ -520,9 +580,12 @@ func (f *Fleet) RestartReplica(i int) error {
 }
 
 // Health is the fleet's admission-facing state: Healthy while at least one
-// replica is healthy, LameDuck once Shutdown begins, Degraded in between —
-// every lookup is then answered by failover-to-degraded-replicas or the
-// oracle, and /healthz tells balancers to prefer elsewhere.
+// replica is healthy *and not latency-ejected*, LameDuck once Shutdown
+// begins, Degraded in between — every lookup is then answered by
+// failover-to-degraded-replicas, last-resort ejected replicas, or the
+// oracle, and /healthz tells balancers to prefer elsewhere. An all-ejected
+// fleet is therefore Degraded even though every breaker is closed: that is
+// the gray-failure case /healthz exists to surface.
 func (f *Fleet) Health() serve.Health {
 	f.mu.RLock()
 	closed := f.closed
@@ -531,7 +594,7 @@ func (f *Fleet) Health() serve.Health {
 		return serve.LameDuck
 	}
 	for _, v := range f.views() {
-		if v.Up && v.Health == serve.Healthy {
+		if v.Up && v.Health == serve.Healthy && !v.Ejected {
 			return serve.Healthy
 		}
 	}
@@ -549,12 +612,19 @@ const RestartBoundHint = time.Second
 // RetryAfterHint is the fleet's backpressure signal: the minimum retry hint
 // across healthy routable replicas — the soonest any replica could accept
 // work — not whichever instance happened to reject. Degraded replicas are
-// consulted only when no healthy one exists; with no routable replica at
-// all the hint is RestartBoundHint.
+// consulted only when no healthy one exists. When every live replica is
+// latency-ejected the hint is one probe interval: re-admission is gated on
+// the prober's next canary, so that is the soonest routing can recover.
+// With no routable replica at all the hint is RestartBoundHint.
 func (f *Fleet) RetryAfterHint() time.Duration {
 	best, bestDegraded := time.Duration(-1), time.Duration(-1)
+	anyEjected := false
 	for i, v := range f.views() {
 		if !v.Up || v.Health == serve.LameDuck {
+			continue
+		}
+		if v.Ejected {
+			anyEjected = true
 			continue
 		}
 		inst := f.instance(i)
@@ -575,6 +645,8 @@ func (f *Fleet) RetryAfterHint() time.Duration {
 		return best
 	case bestDegraded >= 0:
 		return bestDegraded
+	case anyEjected:
+		return f.cfg.Eject.ProbeInterval
 	default:
 		return RestartBoundHint
 	}
@@ -587,6 +659,11 @@ func (f *Fleet) Shutdown(ctx context.Context) error {
 	f.mu.Lock()
 	f.closed = true
 	f.mu.Unlock()
+
+	if f.probeStop != nil {
+		f.probeOnce.Do(func() { close(f.probeStop) })
+		<-f.probeDone
+	}
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(f.reps))
@@ -630,6 +707,7 @@ func sumStats(dst *serve.Stats, src serve.Stats) {
 	dst.StepBudget = src.StepBudget
 	dst.Retries += src.Retries
 	dst.Recovered += src.Recovered
+	dst.BudgetShed += src.BudgetShed
 	dst.Degraded += src.Degraded
 	dst.DegradedRounds += src.DegradedRounds
 	dst.CircuitOpens += src.CircuitOpens
@@ -651,7 +729,11 @@ type ReplicaStats struct {
 	QueueLen      int           `json:"queue_len"`
 	Crashes       int64         `json:"crashes"`
 	TimeToHealthy time.Duration `json:"time_to_healthy_ns,omitempty"` // last restart
-	Serve         serve.Stats   `json:"serve"`
+	// Ejected and LatencyEWMA are the gray-failure columns (§3.11): the
+	// fleet's latency-outlier verdict and the score behind it.
+	Ejected     bool          `json:"ejected,omitempty"`
+	LatencyEWMA time.Duration `json:"latency_ewma_ns,omitempty"`
+	Serve       serve.Stats   `json:"serve"`
 }
 
 // Stats is a point-in-time snapshot of the fleet. Agg sums every
@@ -663,6 +745,7 @@ type Stats struct {
 	HealthyReplicas  int    `json:"healthy_replicas"`
 	DegradedReplicas int    `json:"degraded_replicas"`
 	DownReplicas     int    `json:"down_replicas"`
+	EjectedReplicas  int    `json:"ejected_replicas"`
 	Policy           string `json:"policy"`
 	Health           string `json:"health"`
 
@@ -674,6 +757,19 @@ type Stats struct {
 	Unrouted       int64 `json:"unrouted"`
 	Crashes        int64 `json:"crashes"`
 	Restarts       int64 `json:"restarts"`
+
+	// Gray-failure counters (§3.11). BudgetShed here counts *fleet-side*
+	// pre-dispatch sheds (replica skipped because its expected round time
+	// exceeded the remaining deadline budget); instance-side sheds are in
+	// Agg.BudgetShed. Hedges/HedgeWins: speculative second dispatches and
+	// how many beat the primary. Ejections/Readmissions/EjectProbes: the
+	// latency-outlier ejection lifecycle.
+	BudgetShed   int64 `json:"budget_shed"`
+	Hedges       int64 `json:"hedges"`
+	HedgeWins    int64 `json:"hedge_wins"`
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
+	EjectProbes  int64 `json:"eject_probes"`
 
 	LastTimeToHealthy time.Duration `json:"last_time_to_healthy_ns"`
 	MaxTimeToHealthy  time.Duration `json:"max_time_to_healthy_ns"`
@@ -715,6 +811,12 @@ func (f *Fleet) Stats() Stats {
 		Unrouted:          f.unrouted.Load(),
 		Crashes:           f.crashes.Load(),
 		Restarts:          f.restarts.Load(),
+		BudgetShed:        f.budgetShed.Load(),
+		Hedges:            f.hedges.Load(),
+		HedgeWins:         f.hedgeWins.Load(),
+		Ejections:         f.ejections.Load(),
+		Readmissions:      f.readmissions.Load(),
+		EjectProbes:       f.ejectProbes.Load(),
 		LastTimeToHealthy: time.Duration(f.lastTTH.Load()),
 		MaxTimeToHealthy:  time.Duration(f.maxTTH.Load()),
 		Latency:           f.lat.Snapshot().Summary(),
@@ -732,14 +834,24 @@ func (f *Fleet) Stats() Stats {
 		} else {
 			row.State = "up"
 			h := inst.Health()
-			row.Health = h.String()
 			row.QueueLen = inst.QueueLen()
+			row.LatencyEWMA = time.Duration(r.ewmaNS.Load())
+			row.Ejected = r.ejected.Load()
+			if row.Ejected {
+				// The fleet's verdict overrides the instance's self-report:
+				// a gray-failed replica says Healthy about itself.
+				row.Health = serve.Ejected.String()
+				st.EjectedReplicas++
+			} else {
+				row.Health = h.String()
+			}
 			live := inst.Stats()
 			sumStats(&row.Serve, live)
-			switch h {
-			case serve.Healthy:
+			switch {
+			case row.Ejected:
+			case h == serve.Healthy:
 				st.HealthyReplicas++
-			case serve.Degraded:
+			case h == serve.Degraded:
 				st.DegradedReplicas++
 			}
 		}

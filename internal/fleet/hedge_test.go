@@ -1,0 +1,136 @@
+package fleet
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/mesh"
+	"repro/internal/serve"
+)
+
+// TestHedgeBeatsGraySlowReplica is the satellite-2 contract, run under
+// -race in CI: replica 0 — the least-loaded tie-break pick — carries a
+// latency injector that makes its mesh work ~200× slower while staying
+// perfectly correct (a gray failure: no faults, closed breaker, Healthy
+// self-report), and hedging with a small fixed delay routes around it.
+// Every lookup must return exactly one oracle-correct answer, hedges must
+// fire and win, and the win accounting must not double-count: a hedge win
+// is not a failover, dispatches count once per lookup, and the oracle rung
+// is never reached.
+func TestHedgeBeatsGraySlowReplica(t *testing.T) {
+	// Factor 1 keeps the injector inert through the dictionary build; the
+	// test arms the slowdown only once the fleet is up, via SetFactor.
+	lat := faults.NewLatency(faults.LatencyConfig{Factor: 1}, nil)
+	f := newTestFleet(t, Config{
+		Replicas: 2,
+		Policy:   LeastLoaded(), // ties break to replica 0, the slow one
+		Instance: serve.Config{Side: 8, Linger: 100 * time.Microsecond},
+		MakeInjector: func(i int) mesh.Injector {
+			if i == 0 {
+				return lat
+			}
+			return nil
+		},
+		Hedge: HedgeConfig{Enabled: true, Delay: 2 * time.Millisecond},
+	})
+
+	// Warm both replicas while the fleet is uniformly fast.
+	for i := 0; i < 4; i++ {
+		needle := int64(2*i + 1)
+		res, err := f.Lookup(context.Background(), needle)
+		if err != nil {
+			t.Fatalf("warm lookup %d: %v", needle, err)
+		}
+		checkAnswer(t, f, needle, res)
+	}
+	warm := f.Stats().Dispatched
+
+	lat.SetFactor(200) // replica 0 goes gray: slow, correct, Healthy
+
+	// Sequential phase: drive lookups until hedges demonstrably win, with a
+	// generous iteration bound instead of a wall-clock one.
+	issued := int64(0)
+	for i := 0; i < 300; i++ {
+		needle := int64(i)
+		res, err := f.Lookup(context.Background(), needle)
+		if err != nil {
+			t.Fatalf("lookup %d under gray slowdown: %v", needle, err)
+		}
+		checkAnswer(t, f, needle, res)
+		issued++
+		if st := f.Stats(); st.HedgeWins >= 3 && i >= 20 {
+			break
+		}
+	}
+
+	// Concurrent phase: racing hedged dispatches against each other is what
+	// -race is here to scrutinise (score CAS, answer channel, cancellation).
+	const workers, perWorker = 8, 4
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				needle := int64(w*perWorker + i)
+				res, err := f.Lookup(context.Background(), needle)
+				if err != nil {
+					t.Errorf("concurrent lookup %d: %v", needle, err)
+					return
+				}
+				checkAnswer(t, f, needle, res)
+			}
+		}()
+	}
+	wg.Wait()
+	issued += workers * perWorker
+
+	st := f.Stats()
+	if st.Hedges == 0 || st.HedgeWins == 0 {
+		t.Fatalf("no hedges fired against a 200× slow primary: %+v", st)
+	}
+	if st.HedgeWins > st.Hedges {
+		t.Fatalf("hedge wins %d exceed hedges %d", st.HedgeWins, st.Hedges)
+	}
+	// No double-count: one dispatch per lookup regardless of speculative
+	// attempts, hedge wins stay out of the failover ledger, and no lookup
+	// fell through to the oracle.
+	if st.Dispatched != warm+issued {
+		t.Fatalf("dispatched %d for %d lookups — hedges leaked into the dispatch count", st.Dispatched, warm+issued)
+	}
+	if st.FailoverServed != 0 || st.Failovers != 0 {
+		t.Fatalf("hedge wins were booked as failovers: %+v", st)
+	}
+	if st.OracleServed != 0 || st.Unrouted != 0 {
+		t.Fatalf("gray slowdown reached the oracle/unrouted rungs: %+v", st)
+	}
+	// Gray means gray: the slow replica never faulted and still reports up.
+	if st.DownReplicas != 0 || st.Crashes != 0 {
+		t.Fatalf("latency injection crashed a replica: %+v", st)
+	}
+}
+
+// TestHedgeDisabledNeverSpeculates pins the default: without Hedge.Enabled
+// the dispatch path is the plain single-attempt call and no hedge counters
+// move, even with a fixed delay configured.
+func TestHedgeDisabledNeverSpeculates(t *testing.T) {
+	f := newTestFleet(t, Config{
+		Replicas: 2,
+		Instance: serve.Config{Side: 8, Linger: 100 * time.Microsecond},
+		Hedge:    HedgeConfig{Delay: time.Nanosecond}, // armed but not enabled
+	})
+	for i := 0; i < 10; i++ {
+		res, err := f.Lookup(context.Background(), int64(i))
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		checkAnswer(t, f, int64(i), res)
+	}
+	if st := f.Stats(); st.Hedges != 0 || st.HedgeWins != 0 {
+		t.Fatalf("disabled hedging still speculated: %+v", st)
+	}
+}

@@ -22,10 +22,13 @@ import (
 //	                    loaded healthy* replica's estimate — the soonest the
 //	                    fleet could accept work — not whichever instance
 //	                    happened to reject.
-//	GET /healthz      — 200 while at least one replica is healthy; 503 only
-//	                    when none is (all degraded/crashed) or the fleet is
-//	                    draining. A single replica loss is the fleet working
-//	                    as designed, not an incident.
+//	GET /healthz      — 200 while at least one replica is healthy and not
+//	                    latency-ejected; 503 only when none is (all
+//	                    degraded/crashed/ejected) or the fleet is draining.
+//	                    A single replica loss is the fleet working as
+//	                    designed, not an incident. 504 on /search means the
+//	                    X-Deadline-Budget ran out before any replica could
+//	                    answer (§3.11).
 //	GET /metrics      — fleet stats (routing, failover, crash/restart,
 //	                    time-to-healthy), per-replica state, and the summed
 //	                    per-instance serving counters under "serve" so
@@ -75,7 +78,12 @@ func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := f.LookupKind(f.traceCtx(w, r), kind, args)
+	// The X-Deadline-Budget header becomes a real context deadline here, so
+	// the whole ladder below — fleet budget rung, instance admission, batch
+	// linger, retries, hedges — sees one consistent remaining budget.
+	ctx, cancel := serve.WithDeadlineBudget(f.traceCtx(w, r), r)
+	defer cancel()
+	res, err := f.LookupKind(ctx, kind, args)
 	switch {
 	case errors.Is(err, serve.ErrKindNotServed):
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -87,6 +95,17 @@ func (f *Fleet) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, serve.ErrClosed):
 		w.Header().Set("Retry-After", serve.RetryAfterSeconds(f.RetryAfterHint()))
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, serve.ErrBudgetExhausted):
+		// Deadline budget below every replica's expected round time: the
+		// fleet shed the work rather than answer past the deadline. 504 —
+		// the server-side deadline verdict — mirrors the instance handler.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case r.Context().Err() == nil && errors.Is(err, context.DeadlineExceeded):
+		// A deadline fired that the client's own context did not carry: the
+		// X-Deadline-Budget header's server-side deadline ran out mid-flight.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		return
 	case r.Context().Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// Same client-versus-server split as the instance handler: the
@@ -108,13 +127,14 @@ func (f *Fleet) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	h := f.Health()
 	st := f.Stats()
 	doc := map[string]any{
-		"health":            h.String(),
-		"replicas":          st.Replicas,
-		"healthy_replicas":  st.HealthyReplicas,
-		"degraded_replicas": st.DegradedReplicas,
-		"down_replicas":     st.DownReplicas,
-		"crashes":           st.Crashes,
-		"restarts":          st.Restarts,
+		"health":                  h.String(),
+		"replicas":                st.Replicas,
+		"healthy_replicas":        st.HealthyReplicas,
+		"degraded_replicas":       st.DegradedReplicas,
+		"down_replicas":           st.DownReplicas,
+		"ejected_replicas":        st.EjectedReplicas,
+		"crashes":                 st.Crashes,
+		"restarts":                st.Restarts,
 		"last_time_to_healthy_ns": st.LastTimeToHealthy,
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -166,6 +186,13 @@ func (f *Fleet) promMetrics(w http.ResponseWriter) {
 	pw.Counter("meshfleet_unrouted_total", "Lookups that found no routable replica.", float64(st.Unrouted))
 	pw.Counter("meshfleet_crashes_total", "Replica crashes.", float64(st.Crashes))
 	pw.Counter("meshfleet_restarts_total", "Replica restarts.", float64(st.Restarts))
+	pw.Counter("meshfleet_budget_shed_total", "Dispatches skipped: deadline budget below the replica's expected round time.", float64(st.BudgetShed))
+	pw.Counter("meshfleet_hedges_total", "Speculative second dispatches launched.", float64(st.Hedges))
+	pw.Counter("meshfleet_hedge_wins_total", "Hedged dispatches whose answer arrived first.", float64(st.HedgeWins))
+	pw.Counter("meshfleet_ejections_total", "Latency-outlier replica ejections.", float64(st.Ejections))
+	pw.Counter("meshfleet_readmissions_total", "Ejections cleared by probes or operators.", float64(st.Readmissions))
+	pw.Counter("meshfleet_eject_probes_total", "Canary probes sent to ejected replicas.", float64(st.EjectProbes))
+	pw.Gauge("meshfleet_ejected_replicas", "Replicas currently latency-ejected.", float64(st.EjectedReplicas))
 
 	pw.Gauge("meshfleet_replicas", "Configured replica count.", float64(st.Replicas))
 	pw.Gauge("meshfleet_last_time_to_healthy_seconds", "Most recent crash-to-healthy duration.", float64(st.LastTimeToHealthy)/1e9)
@@ -178,6 +205,8 @@ func (f *Fleet) promMetrics(w http.ResponseWriter) {
 		}
 		pw.Gauge("meshfleet_replica_healthy", "1 while the replica reports healthy.", boolGauge(rv.Up && rv.Health == serve.Healthy), "replica", idx, "health", health)
 		pw.Gauge("meshfleet_replica_queue_depth", "Replica admission-queue depth.", float64(rv.QueueLen), "replica", idx)
+		pw.Gauge("meshfleet_replica_latency_ewma_seconds", "Per-replica EWMA dispatch-latency score (the ejection signal).", float64(rv.LatencyEWMA)/1e9, "replica", idx)
+		pw.Gauge("meshfleet_replica_ejected", "1 while the replica is latency-ejected.", boolGauge(rv.Ejected), "replica", idx)
 		rep := f.reps[rv.Index]
 		rep.mu.RLock()
 		crashes := rep.crashes

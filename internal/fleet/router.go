@@ -3,26 +3,36 @@ package fleet
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/serve"
 )
 
 // ReplicaView is one replica's routing-relevant state, snapshotted per
-// dispatch: liveness, the PR 5 health ladder's verdict, and the admission
-// queue depth (the least-loaded signal).
+// dispatch: liveness, the PR 5 health ladder's verdict, the admission queue
+// depth (the least-loaded signal), and the PR 10 latency score (the
+// gray-failure signal — DESIGN.md §3.11).
 type ReplicaView struct {
 	Index    int
 	Up       bool // instance running (not crashed/restarting)
 	Health   serve.Health
 	QueueLen int
 	QueueCap int
+	// LatencyEWMA is the fleet's per-replica answered-dispatch latency
+	// score; Ejected is its verdict — the score is an outlier multiple of
+	// the fleet median, so the replica is skipped by every policy until
+	// canary probes re-admit it. Policies treat Ejected like lame-duck;
+	// the dispatch loop alone may fall back to ejected replicas when
+	// nothing else is routable (slow answers still beat oracle answers).
+	LatencyEWMA time.Duration
+	Ejected     bool
 }
 
 // routable reports whether a view may receive traffic at all: the instance
-// is up, not draining, and not already tried this dispatch. Policies differ
-// only in how they *order* routable replicas.
+// is up, not draining, not latency-ejected, and not already tried this
+// dispatch. Policies differ only in how they *order* routable replicas.
 func routable(v ReplicaView, skip func(int) bool) bool {
-	return v.Up && v.Health != serve.LameDuck && !skip(v.Index)
+	return v.Up && v.Health != serve.LameDuck && !v.Ejected && !skip(v.Index)
 }
 
 // Policy orders replicas for dispatch. Pick returns the preferred routable

@@ -85,9 +85,9 @@ var kindQueryParams = [serve.NumKinds][]string{
 
 // LookupKind fires one typed /search query. Statuses map back to the
 // serve-layer errors the harness classifies on: 429 → ErrOverloaded
-// (rejected), 503 → ErrClosed, 2xx → the decoded Result. Context expiry
-// surfaces as the context's own error so deadline accounting matches
-// in-process runs.
+// (rejected), 503 → ErrClosed, 504 → ErrBudgetExhausted (shed), 2xx → the
+// decoded Result. Context expiry surfaces as the context's own error so
+// deadline accounting matches in-process runs.
 func (t *HTTPTarget) LookupKind(ctx context.Context, kind serve.Kind, args serve.Args) (serve.Result, error) {
 	url := searchURL(t.Base, kind, args)
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
@@ -96,6 +96,15 @@ func (t *HTTPTarget) LookupKind(ctx context.Context, kind serve.Kind, args serve
 	}
 	if t.Trace {
 		req.Header.Set("Traceparent", obs.NewTraceID().Traceparent())
+	}
+	// Deadline-budget propagation (§3.11): the context deadline travels as an
+	// explicit header, so the server-side ladder — fleet budget rung,
+	// admission, linger, retries, hedges — sheds work this client would have
+	// abandoned anyway, instead of discovering that at response-write time.
+	if dl, ok := ctx.Deadline(); ok {
+		if budget := time.Until(dl); budget > 0 {
+			req.Header.Set(serve.DeadlineBudgetHeader, budget.String())
+		}
 	}
 	resp, err := t.Client.Do(req)
 	if err != nil {
@@ -112,6 +121,10 @@ func (t *HTTPTarget) LookupKind(ctx context.Context, kind serve.Kind, args serve
 	case resp.StatusCode == http.StatusServiceUnavailable:
 		io.Copy(io.Discard, resp.Body)
 		return serve.Result{}, serve.ErrClosed
+	case resp.StatusCode == http.StatusGatewayTimeout:
+		// The server shed the lookup with the deadline budget exhausted.
+		io.Copy(io.Discard, resp.Body)
+		return serve.Result{}, serve.ErrBudgetExhausted
 	case resp.StatusCode != http.StatusOK:
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
 		return serve.Result{}, fmt.Errorf("loadgen: %s → %d: %s", url, resp.StatusCode, strings.TrimSpace(string(body)))

@@ -96,7 +96,7 @@ const (
 	outcomeOK       = iota // answered by a mesh round
 	outcomeDegraded        // answered by the host oracle (still correct)
 	outcomeRejected        // ErrOverloaded from admission
-	outcomeShed            // shed client-side at MaxInFlight
+	outcomeShed            // shed client-side at MaxInFlight or server-side on budget
 	outcomeFailed          // any other error (round fault, deadline)
 )
 
@@ -292,6 +292,11 @@ func Run(cfg Config) (*Report, error) {
 			switch {
 			case errors.Is(err, serve.ErrOverloaded):
 				o.status = outcomeRejected
+			case errors.Is(err, serve.ErrBudgetExhausted):
+				// Server-side budget shed: the same outcome class as a
+				// client-side MaxInFlight shed — deliberately dropped load,
+				// not a failure (§3.11).
+				o.status = outcomeShed
 			case err != nil:
 				o.status = outcomeFailed
 			default:

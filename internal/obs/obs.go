@@ -450,6 +450,19 @@ func FromContext(ctx context.Context) *ReqTrace {
 	return tr
 }
 
+// DetachContext returns ctx with any carried trace removed (the parent
+// TraceID still flows). A trace is single-owner — exactly one goroutine may
+// mark or seal it — so a caller racing two concurrent dispatches for one
+// request (hedged failover) must not hand the shared trace to both: each
+// detached dispatch begins and seals its own child trace under the same
+// propagated ID, and the caller keeps marking the original.
+func DetachContext(ctx context.Context) context.Context {
+	if FromContext(ctx) == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxTrace, (*ReqTrace)(nil))
+}
+
 // ContextWithParent returns ctx carrying a propagated W3C trace ID (from an
 // incoming traceparent header) for Begin to adopt.
 func ContextWithParent(ctx context.Context, id TraceID) context.Context {

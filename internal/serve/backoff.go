@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"time"
 )
 
@@ -18,6 +19,24 @@ import (
 type Backoff struct {
 	Base time.Duration // ceiling of the first sleep (default 200µs)
 	Cap  time.Duration // ceiling of any sleep (default 50ms)
+	// Jitter draws the uniform variate in [0, n). Nil uses the process
+	// global math/rand source — concurrency-safe but unseedable, so two
+	// chaos runs with identical fault seeds still sleep differently.
+	// SeededJitter builds a deterministic replacement from the chaos seed.
+	Jitter func(n int64) int64
+}
+
+// SeededJitter returns a concurrency-safe jitter source seeded with seed,
+// for reproducible backoff schedules in chaos runs: the same seed draws the
+// same delay sequence (per Backoff value — each caller gets its own stream).
+func SeededJitter(seed int64) func(int64) int64 {
+	var mu sync.Mutex
+	rng := rand.New(rand.NewSource(seed))
+	return func(n int64) int64 {
+		mu.Lock()
+		defer mu.Unlock()
+		return rng.Int63n(n)
+	}
 }
 
 // Delay returns the jittered sleep duration before retry attempt k
@@ -40,7 +59,11 @@ func (b Backoff) Delay(attempt int) time.Duration {
 	if ceil > max {
 		ceil = max
 	}
-	return time.Duration(rand.Int63n(int64(ceil))) + 1
+	jitter := b.Jitter
+	if jitter == nil {
+		jitter = rand.Int63n
+	}
+	return time.Duration(jitter(int64(ceil))) + 1
 }
 
 // Sleep blocks for Delay(attempt) or until ctx is done, whichever comes

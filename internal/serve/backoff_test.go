@@ -79,3 +79,43 @@ func TestBackoffSleepHonorsContext(t *testing.T) {
 		t.Fatalf("canceled sleep took %v", since)
 	}
 }
+
+// TestSeededJitterIsDeterministic pins the chaos-reproducibility contract
+// (satellite of §3.11): two Backoff values whose Jitter comes from
+// SeededJitter with the same seed draw identical delay sequences, a
+// different seed diverges, and New wires Config.BackoffSeed into the retry
+// ladder's backoff (zero seed keeps the unseeded process-global source).
+func TestSeededJitterIsDeterministic(t *testing.T) {
+	draw := func(seed int64) []time.Duration {
+		b := Backoff{Base: time.Millisecond, Cap: 32 * time.Millisecond, Jitter: SeededJitter(seed)}
+		var ds []time.Duration
+		for attempt := 0; attempt < 6; attempt++ {
+			for i := 0; i < 20; i++ {
+				ds = append(ds, b.Delay(attempt))
+			}
+		}
+		return ds
+	}
+	a, b, c := draw(42), draw(42), draw(43)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d: seed 42 twice gave %v vs %v", i, a[i], b[i])
+		}
+		if a[i] != c[i] {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("seeds 42 and 43 drew identical 120-delay sequences")
+	}
+
+	seeded := newTestServer(t, Config{Side: 8, BackoffSeed: 7})
+	if seeded.backoff.Jitter == nil {
+		t.Fatal("Config.BackoffSeed did not seed the retry ladder's jitter")
+	}
+	unseeded := newTestServer(t, Config{Side: 8})
+	if unseeded.backoff.Jitter != nil {
+		t.Fatal("zero BackoffSeed installed a jitter override")
+	}
+}

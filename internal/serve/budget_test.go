@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDeadlineBudgetAdmissionShed pins the §3.11 admission rung: once one
+// served round has trained the expected-round-time model, a lookup whose
+// remaining deadline budget cannot cover one linger window plus one expected
+// round is refused with ErrBudgetExhausted (and counted in Stats.BudgetShed)
+// instead of queueing, lingering, and expiring mid-round.
+func TestDeadlineBudgetAdmissionShed(t *testing.T) {
+	s := newTestServer(t, Config{Side: 8, Linger: 500 * time.Microsecond})
+
+	// Before any round the model is untrained: unknown never sheds, even
+	// with a hopeless budget (the lookup may still lose to its deadline the
+	// ordinary way — it just must not be *budget*-shed).
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	_, err := s.Lookup(ctx, 3)
+	cancel()
+	if errors.Is(err, ErrBudgetExhausted) {
+		t.Fatal("untrained expected-round-time model shed a lookup")
+	}
+	if st := s.Stats(); st.BudgetShed != 0 {
+		t.Fatalf("BudgetShed = %d before any observed round", st.BudgetShed)
+	}
+
+	// Train: one served round records steps and ns/step for the kind.
+	if _, err := s.Lookup(context.Background(), 3); err != nil {
+		t.Fatal(err)
+	}
+	need := s.ExpectedRoundTime(KindMembership)
+	if need <= 0 {
+		t.Fatalf("ExpectedRoundTime = %v after a served round", need)
+	}
+
+	// A budget of half one expected round is doomed work; admission sheds
+	// it. Retried a few times because the budget can also expire outright
+	// between ctx creation and the admission check on a loaded machine.
+	shed := false
+	for i := 0; i < 100 && !shed; i++ {
+		ctx, cancel := context.WithTimeout(context.Background(), need/2)
+		_, err := s.Lookup(ctx, 5)
+		cancel()
+		switch {
+		case errors.Is(err, ErrBudgetExhausted):
+			shed = true
+		case err == nil, errors.Is(err, context.DeadlineExceeded):
+		default:
+			t.Fatalf("lookup under a doomed budget: %v", err)
+		}
+	}
+	if !shed {
+		t.Fatalf("no lookup with budget %v (< expected round %v) was shed in 100 tries", need/2, need)
+	}
+	if st := s.Stats(); st.BudgetShed == 0 {
+		t.Fatal("a shed lookup left Stats.BudgetShed at 0")
+	}
+
+	// Budget discipline must not leak onto unbudgeted or comfortable
+	// lookups: no deadline and a generous deadline both serve normally.
+	if _, err := s.Lookup(context.Background(), 7); err != nil {
+		t.Fatalf("deadline-free lookup after sheds: %v", err)
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if _, err := s.Lookup(ctx2, 9); err != nil {
+		t.Fatalf("generously budgeted lookup: %v", err)
+	}
+}

@@ -1,7 +1,7 @@
 package serve
 
 // Health is the server's admission-facing state, driven by the circuit
-// breaker and by Shutdown (DESIGN.md §3.6):
+// breaker and by Shutdown (DESIGN.md §3.6, §3.11):
 //
 //	Healthy   — circuit closed; batches run on the mesh (with the retry
 //	            ladder behind them).
@@ -10,12 +10,21 @@ package serve
 //	            circuit on the first success.
 //	LameDuck  — Shutdown has begun; admission is closed and /healthz tells
 //	            load balancers to route elsewhere while the drain finishes.
+//	Ejected   — the fleet's latency-outlier verdict (DESIGN.md §3.11): the
+//	            replica answers correctly and its own breaker is closed —
+//	            gray failure — but its EWMA latency score is an outlier
+//	            multiple of the fleet median, so routing skips it until
+//	            fleet-level canary probes measure it back within bounds.
+//	            An instance never reports Ejected about itself: the state
+//	            is relative to the fleet's other replicas, so only the
+//	            fleet view (fleet.ReplicaView, fleet stats) carries it.
 type Health int32
 
 const (
 	Healthy Health = iota
 	Degraded
 	LameDuck
+	Ejected
 )
 
 func (h Health) String() string {
@@ -26,6 +35,8 @@ func (h Health) String() string {
 		return "degraded"
 	case LameDuck:
 		return "lame-duck"
+	case Ejected:
+		return "ejected"
 	default:
 		return "unknown"
 	}

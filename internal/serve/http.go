@@ -19,6 +19,28 @@ import (
 // server's error accounting.
 const StatusClientClosedRequest = 499
 
+// DeadlineBudgetHeader carries the client's remaining deadline budget as a
+// Go duration string (e.g. "250ms"): loadgen.HTTPTarget sets it from its
+// per-query context, the /search handlers parse it into a server-side
+// deadline, and every budget rung below — admission, linger, retry ladder,
+// fleet failover — then sees the same budget the client is holding
+// (DESIGN.md §3.11). Without it a remote server cannot shed doomed work:
+// the client's deadline is invisible across the wire.
+const DeadlineBudgetHeader = "X-Deadline-Budget"
+
+// WithDeadlineBudget applies an incoming deadline-budget header to ctx.
+// Absent or malformed headers leave ctx unchanged (the returned cancel is
+// then a no-op but always non-nil, so callers can defer it unconditionally).
+// Shared with the fleet handler.
+func WithDeadlineBudget(ctx context.Context, r *http.Request) (context.Context, context.CancelFunc) {
+	if v := r.Header.Get(DeadlineBudgetHeader); v != "" {
+		if d, err := time.ParseDuration(v); err == nil && d > 0 {
+			return context.WithTimeout(ctx, d)
+		}
+	}
+	return ctx, func() {}
+}
+
 // Handler returns the server's HTTP surface:
 //
 //	GET /search?key=K   — one lookup; the response rides the query's round.
@@ -135,7 +157,9 @@ func (s *Instance) handleSearch(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	res, err := s.LookupKind(s.traceCtx(w, r), kind, args)
+	ctx, cancel := WithDeadlineBudget(s.traceCtx(w, r), r)
+	defer cancel()
+	res, err := s.LookupKind(ctx, kind, args)
 	switch {
 	case errors.Is(err, ErrKindNotServed):
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -147,6 +171,17 @@ func (s *Instance) handleSearch(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrClosed):
 		w.Header().Set("Retry-After", s.retryAfterSeconds())
 		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, ErrBudgetExhausted):
+		// Doomed work shed by a budget rung: the client's own deadline was
+		// about to lapse, so 504 (the server gave up on its behalf) rather
+		// than a 5xx that reads as a server fault.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
+		return
+	case r.Context().Err() == nil && errors.Is(err, context.DeadlineExceeded):
+		// The budget-header deadline fired server-side while the client
+		// connection is still open: same doomed-work class as the typed shed.
+		http.Error(w, err.Error(), http.StatusGatewayTimeout)
 		return
 	case r.Context().Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		// The *request's* context fired: the client disconnected (Canceled)
@@ -280,6 +315,7 @@ func (s *Instance) promMetrics(w http.ResponseWriter) {
 	pw.Counter("meshserve_rounds_total", "Serving rounds by kind.", float64(st.CanaryRounds), "kind", "canary")
 	pw.Counter("meshserve_sim_steps_total", "Simulated mesh steps across all rounds.", float64(st.SimSteps))
 	pw.Counter("meshserve_retries_total", "Audited re-executions of failed rounds.", float64(st.Retries))
+	pw.Counter("meshserve_budget_shed_total", "Lookups shed with the deadline budget exhausted.", float64(st.BudgetShed))
 	pw.Counter("meshserve_recovered_rounds_total", "Rounds that failed, then succeeded on a retry.", float64(st.Recovered))
 	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsAudit), "class", "audit")
 	pw.Counter("meshserve_faults_total", "Round attempts failed, by fault class.", float64(st.FaultsBudget), "class", "budget")

@@ -66,6 +66,20 @@ func (s *Instance) serveBatch(kr *kindRuntime, batch []request) {
 				break // server context gone: no point re-executing
 			}
 		}
+		// Deadline-budget retry rung (DESIGN.md §3.11): when no deadline in
+		// the batch can survive one more expected round, the attempt would
+		// answer nobody — shed the batch with the typed budget error instead
+		// of burning the mesh time. Checked before the first attempt too
+		// (a batch can expire while waiting in the one-slot pipeline).
+		if batchDoomed(batch, s.expectedRoundDur(kr)) {
+			if attempt > 0 {
+				s.m.SetAudit(s.cfg.Audit)
+				s.observeRound(true, false)
+			}
+			s.budgetShed.Add(int64(len(batch)))
+			s.failBatch(batch, ErrBudgetExhausted)
+			return
+		}
 		tag := ""
 		if attempt > 0 {
 			tag = fmt.Sprintf("retry %d audited", attempt)
@@ -124,6 +138,21 @@ func (s *Instance) serveBatch(kr *kindRuntime, batch []request) {
 	s.degradeBatch(kr, batch, round)
 }
 
+// batchDoomed reports whether every request of the batch carries a deadline
+// that cannot survive one more round of the given expected duration: the
+// shed condition of the retry-ladder budget rung. A single request without a
+// deadline (or with budget to spare) keeps the batch alive — the round runs
+// and answers whoever is still listening.
+func batchDoomed(batch []request, need time.Duration) bool {
+	now := time.Now()
+	for _, r := range batch {
+		if r.deadline.IsZero() || r.deadline.Sub(now) > need {
+			return false
+		}
+	}
+	return true
+}
+
 // failBatch delivers one error to every query of the batch.
 func (s *Instance) failBatch(batch []request, err error) {
 	s.failed.Add(int64(len(batch)))
@@ -150,6 +179,7 @@ func (s *Instance) meshRound(kr *kindRuntime, label, tag string, queries []core.
 	if tag != "" {
 		h.Tag(tag)
 	}
+	t0 := time.Now()
 	err := core.Run(label, func() error {
 		v := s.m.Root()
 		defer trace.Span(v, "%s q=%d", label, len(queries))()
@@ -163,6 +193,11 @@ func (s *Instance) meshRound(kr *kindRuntime, label, tag string, queries []core.
 	if err != nil {
 		return nil, h, err
 	}
+	// Completed rounds train the expected-round-time model (§3.11): wall
+	// time over charged steps. A latency-injected mesh completes its rounds
+	// slowly but correctly, so its growing ns/step ratio is exactly the gray
+	// failure signal the budget checks and the fleet's ejection score read.
+	s.observeStepRatio(kr, steps, time.Since(t0))
 	return kr.in.ResultQueries(), h, nil
 }
 

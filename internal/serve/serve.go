@@ -34,6 +34,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -62,6 +63,14 @@ var ErrCircuitOpen = errors.New("serve: circuit open, mesh path unavailable")
 // ErrKindNotServed is returned by LookupKind for a kind this instance was
 // not configured to serve (HTTP surfaces map it to 400).
 var ErrKindNotServed = errors.New("serve: kind not served by this instance")
+
+// ErrBudgetExhausted is returned when a lookup's remaining deadline budget
+// is smaller than the expected time a round needs to answer it: the work is
+// doomed — by the time a batch lingered and a round ran, the client would be
+// gone — so it is shed before burning mesh time (DESIGN.md §3.11). Typed so
+// the fleet treats it as a failover trigger (a faster replica may still make
+// the deadline) and the HTTP surface maps it to 504.
+var ErrBudgetExhausted = errors.New("serve: deadline budget exhausted before a round could answer")
 
 // Config configures a Server. The zero value of every field has a usable
 // default except Side, which must be a positive power of two.
@@ -123,6 +132,11 @@ type Config struct {
 	// RetryBackoff is the base of the jittered exponential backoff slept
 	// between attempts (0 defaults to Backoff's 200µs base).
 	RetryBackoff time.Duration
+	// BackoffSeed seeds the retry ladder's backoff jitter so chaos runs are
+	// reproducible end-to-end: with the fault injector seeded but the backoff
+	// drawing from the process-global rand, two identical chaos runs sleep
+	// differently between retries. 0 keeps the global source (the default).
+	BackoffSeed int64
 	// DisableDegrade turns off the oracle fallback and the circuit breaker:
 	// a round that exhausts its retries delivers the typed fault to every
 	// query of the batch (the pre-recovery behaviour). Diagnostics and
@@ -201,6 +215,11 @@ type Stats struct {
 	PeakBatch  int64 `json:"peak_batch"`  // largest batch so far
 	StepBudget int64 `json:"step_budget"` // configured per-round budget (0 = unlimited)
 
+	// BudgetShed counts lookups refused (at admission) or failed (in the
+	// retry ladder) with ErrBudgetExhausted: doomed work shed before a mesh
+	// round was burned on it (DESIGN.md §3.11).
+	BudgetShed int64 `json:"budget_shed"`
+
 	// Recovery accounting (DESIGN.md §3.6).
 	Retries        int64  `json:"retries"`         // audited re-executions of failed rounds
 	Recovered      int64  `json:"recovered"`       // rounds that failed, then succeeded on a retry
@@ -236,6 +255,10 @@ type Stats struct {
 type request struct {
 	args Args
 	resp chan response
+	// deadline is the client context's deadline (zero when it has none). It
+	// rides the request through the pipeline so the collector can cut linger
+	// short and the retry ladder can shed a batch no deadline can survive.
+	deadline time.Time
 	// tr is the request's wall-clock trace (nil when observability is off).
 	// Ownership moves with the request along the pipeline's channel handoffs
 	// — Lookup → queue → collector → batches → executor → resp → Lookup —
@@ -262,6 +285,9 @@ type kindRuntime struct {
 
 	rounds, served, degraded, simSteps atomic.Int64
 	lat                                Histogram
+	// stepsEWMA tracks recent mesh steps per round of this kind (EWMA ×256
+	// fixed-point), the steps half of the expected-round-time product.
+	stepsEWMA atomic.Int64
 }
 
 // kindBatch is one collected batch annotated with its kind runtime.
@@ -293,12 +319,17 @@ type Instance struct {
 	closed bool
 
 	accepted, rejected, served, failed atomic.Int64
+	budgetShed                         atomic.Int64
 	rounds, simSteps                   atomic.Int64
 	lastBatch, peakBatch               atomic.Int64
-	lat                                Histogram // answered-lookup latency, admission → response
-	latMesh                            Histogram // mesh-answered subset
-	latDegraded                        Histogram // oracle-answered subset
-	obs                                *obs.Observer
+	// nsPerStep is the observed steps-to-wall-clock ratio (float64 bits),
+	// an EWMA over mesh rounds. With the kind's step budget (Theorem 2's
+	// O(√n) bound) it predicts round latency: expected ≈ steps × ns/step.
+	nsPerStep   atomic.Uint64
+	lat         Histogram // answered-lookup latency, admission → response
+	latMesh     Histogram // mesh-answered subset
+	latDegraded Histogram // oracle-answered subset
+	obs         *obs.Observer
 
 	// Recovery state (DESIGN.md §3.6). maxRetries/backoff/canaryEvery are
 	// the resolved Config knobs; brk and lastCanary are owned by the
@@ -398,6 +429,10 @@ func New(cfg Config) (*Instance, error) {
 	if canaryEvery == 0 {
 		canaryEvery = 50 * time.Millisecond
 	}
+	backoff := Backoff{Base: cfg.RetryBackoff}
+	if cfg.BackoffSeed != 0 {
+		backoff.Jitter = SeededJitter(cfg.BackoffSeed)
+	}
 
 	s := &Instance{
 		cfg:         cfg,
@@ -411,7 +446,7 @@ func New(cfg Config) (*Instance, error) {
 		cancel:      cancel,
 		done:        make(chan struct{}),
 		maxRetries:  maxRetries,
-		backoff:     Backoff{Base: cfg.RetryBackoff},
+		backoff:     backoff,
 		canaryEvery: canaryEvery,
 		brk:         newBreaker(window, threshold),
 		nudge:       make(chan struct{}, 1),
@@ -530,6 +565,69 @@ func (s *Instance) RetryAfterHint() time.Duration {
 	return hint
 }
 
+// observeStepRatio feeds one completed mesh attempt into the ns/step EWMA
+// and the kind's steps-per-round EWMA (executor goroutine only; readers load
+// the atomics). α = 1/4: responsive to a replica turning slow within a few
+// rounds, stable against one outlier round.
+func (s *Instance) observeStepRatio(kr *kindRuntime, steps int64, wall time.Duration) {
+	if steps <= 0 || wall <= 0 {
+		return
+	}
+	ratio := float64(wall) / float64(steps)
+	if old := math.Float64frombits(s.nsPerStep.Load()); old > 0 {
+		ratio = old + (ratio-old)/4
+	}
+	s.nsPerStep.Store(math.Float64bits(ratio))
+	scaled := steps * 256
+	if old := kr.stepsEWMA.Load(); old > 0 {
+		scaled = old + (scaled-old)/4
+	}
+	kr.stepsEWMA.Store(scaled)
+}
+
+// expectedRoundDur predicts one mesh round's wall-clock cost for the kind:
+// expected steps × observed ns/step. The steps estimate is the kind's recent
+// per-round EWMA, capped by its configured step budget (the Theorem 2 O(√n)
+// bound — a round provably never runs longer, so the prediction never
+// exceeds what the budget enforces); before any round has been observed the
+// prediction is 0, meaning "unknown: never shed".
+func (s *Instance) expectedRoundDur(kr *kindRuntime) time.Duration {
+	ratio := math.Float64frombits(s.nsPerStep.Load())
+	if ratio <= 0 {
+		return 0
+	}
+	steps := kr.stepsEWMA.Load() / 256
+	if kr.budget > 0 && (steps <= 0 || steps > kr.budget) {
+		steps = kr.budget
+	}
+	if steps <= 0 {
+		return 0
+	}
+	return time.Duration(float64(steps) * ratio)
+}
+
+// ExpectedRoundTime predicts admission-to-answer time for one lookup of the
+// kind under current conditions: one full linger window plus one expected
+// mesh round (DESIGN.md §3.11). This is the budget-check threshold at every
+// rung — admission here, the pre-dispatch check in the fleet's failover
+// ladder — and it is per-instance: a slow replica predicts honestly longer
+// times than its healthy peers, which is exactly what lets the fleet route
+// a tight-deadline lookup to a replica that can still make it. 0 = unknown
+// (no round observed yet); unknown never sheds.
+func (s *Instance) ExpectedRoundTime(kind Kind) time.Duration {
+	if kind >= NumKinds || s.kr[kind] == nil {
+		return 0
+	}
+	round := s.expectedRoundDur(s.kr[kind])
+	if round <= 0 {
+		return 0
+	}
+	if s.cfg.Linger > 0 {
+		round += s.cfg.Linger
+	}
+	return round
+}
+
 // Lookup submits one membership query and blocks until its round completes,
 // ctx is done, or the server refuses it (ErrOverloaded when the admission
 // queue is full, ErrClosed after Shutdown).
@@ -547,6 +645,28 @@ func (s *Instance) LookupKind(ctx context.Context, kind Kind, args Args) (Result
 		return Result{}, ErrKindNotServed
 	}
 	kr := s.kr[kind]
+	// Deadline-budget admission rung (DESIGN.md §3.11): a lookup whose
+	// remaining budget cannot cover one linger window plus one expected
+	// round is doomed — shed it now instead of letting it queue, linger,
+	// and expire mid-round. No deadline, or no observed rounds yet, skips
+	// the check.
+	var deadline time.Time
+	if dl, ok := ctx.Deadline(); ok {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+		deadline = dl
+		if need := s.ExpectedRoundTime(kind); need > 0 && time.Until(dl) < need {
+			s.budgetShed.Add(1)
+			if s.obs != nil {
+				if tr := obs.FromContext(ctx); tr == nil {
+					tr = s.obs.BeginClass(int(kind), obs.ParentFromContext(ctx), args[0], start)
+					s.obs.Finish(tr, obs.OutcomeError, ErrBudgetExhausted)
+				}
+			}
+			return Result{}, ErrBudgetExhausted
+		}
+	}
 	// Observability (nil s.obs skips everything, even the ctx lookups): the
 	// trace either arrives on ctx — the fleet began it and will finish it —
 	// or is begun here, in which case this call finishes it ("creator
@@ -559,7 +679,7 @@ func (s *Instance) LookupKind(ctx context.Context, kind Kind, args Args) (Result
 			created = true
 		}
 	}
-	req := request{args: args, resp: make(chan response, 1), tr: tr}
+	req := request{args: args, resp: make(chan response, 1), deadline: deadline, tr: tr}
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
@@ -668,8 +788,18 @@ func (s *Instance) collect(kr *kindRuntime) {
 			first.tr.Mark(obs.StageQueue)
 		}
 		batch := append(make([]request, 0, kr.maxBatch), first)
-		if s.cfg.Linger > 0 {
-			timer := time.NewTimer(s.cfg.Linger)
+		// Deadline-budget linger rung (DESIGN.md §3.11): lingering is spending
+		// the first request's budget, so cap the fill window at what its
+		// deadline can afford after one expected round. A batch whose opener
+		// has no time to linger starts its round immediately.
+		linger := s.cfg.Linger
+		if linger > 0 && !first.deadline.IsZero() {
+			if afford := time.Until(first.deadline) - s.expectedRoundDur(kr); afford < linger {
+				linger = afford
+			}
+		}
+		if linger > 0 {
+			timer := time.NewTimer(linger)
 		fill:
 			for len(batch) < kr.maxBatch {
 				select {
@@ -785,25 +915,26 @@ func (s *Instance) Stats() Stats {
 		Rejected:   s.rejected.Load(),
 		Served:     s.served.Load(),
 		Failed:     s.failed.Load(),
+		BudgetShed: s.budgetShed.Load(),
 		Rounds:     s.rounds.Load(),
 		SimSteps:   s.simSteps.Load(),
 		LastBatch:  s.lastBatch.Load(),
 		PeakBatch:  s.peakBatch.Load(),
 		StepBudget: s.cfg.Budget,
 
-		Retries:        s.retries.Load(),
-		Recovered:      s.recovered.Load(),
-		Degraded:       s.degraded.Load(),
-		DegradedRounds: s.degradedRounds.Load(),
-		CircuitOpens:   s.circuitOpens.Load(),
-		CircuitCloses:  s.circuitCloses.Load(),
-		CanaryRounds:   s.canaryRounds.Load(),
-		CanaryFails:    s.canaryFailures.Load(),
-		FaultsAudit:    s.faults[core.FaultAudit].Load(),
-		FaultsBudget:   s.faults[core.FaultBudget].Load(),
-		FaultsCanceled: s.faults[core.FaultCanceled].Load(),
-		FaultsPanic:    s.faults[core.FaultPanic].Load(),
-		FaultsOther:    s.faults[core.FaultOther].Load(),
+		Retries:         s.retries.Load(),
+		Recovered:       s.recovered.Load(),
+		Degraded:        s.degraded.Load(),
+		DegradedRounds:  s.degradedRounds.Load(),
+		CircuitOpens:    s.circuitOpens.Load(),
+		CircuitCloses:   s.circuitCloses.Load(),
+		CanaryRounds:    s.canaryRounds.Load(),
+		CanaryFails:     s.canaryFailures.Load(),
+		FaultsAudit:     s.faults[core.FaultAudit].Load(),
+		FaultsBudget:    s.faults[core.FaultBudget].Load(),
+		FaultsCanceled:  s.faults[core.FaultCanceled].Load(),
+		FaultsPanic:     s.faults[core.FaultPanic].Load(),
+		FaultsOther:     s.faults[core.FaultOther].Load(),
 		Health:          s.Health().String(),
 		Latency:         s.lat.Snapshot().Summary(),
 		LatencyMesh:     s.latMesh.Snapshot().Summary(),
